@@ -1,0 +1,45 @@
+"""A4 — Ablation: BNP vs UNC+CS on a bounded machine.
+
+The paper's conclusion proposes exactly this study: "It would be an
+interesting study to compare the BNP approach with the UNC+CS approach"
+— scheduling directly onto p processors versus clustering first and
+then folding clusters onto p processors with Sarkar's (order-aware) or
+RCP (load-balancing) assignment.
+"""
+
+from collections import defaultdict
+
+from conftest import emit
+
+from repro import Machine
+from repro.algorithms.cs import cluster_schedule
+from repro.bench.runner import run_one
+from repro.bench.suites import rgnos_suite
+from repro.metrics import nsl
+
+P = 8
+
+
+def _compare():
+    graphs = rgnos_suite(None, sizes=[50, 100])
+    acc = defaultdict(list)
+    for g in graphs:
+        acc["MCP (BNP)"].append(
+            run_one("MCP", g, machine=Machine(P)).nsl
+        )
+        for unc in ("DSC", "DCP"):
+            for method in ("sarkar", "rcp"):
+                sched = cluster_schedule(g, P, unc=unc, method=method)
+                acc[f"{unc}+{method}"].append(nsl(sched))
+    return {k: sum(v) / len(v) for k, v in acc.items()}
+
+
+def test_cluster_scheduling_ablation(benchmark):
+    means = benchmark.pedantic(_compare, rounds=1, iterations=1)
+    lines = [f"A4 ablation — BNP vs UNC+CS on {P} processors (mean NSL)"]
+    for k in sorted(means, key=means.get):
+        lines.append(f"  {k:>14}: {means[k]:.3f}")
+    emit("ablation_cluster_scheduling", "\n".join(lines))
+    # Order-aware assignment beats order-oblivious for each UNC base.
+    assert means["DSC+sarkar"] <= means["DSC+rcp"] + 0.05
+    assert means["DCP+sarkar"] <= means["DCP+rcp"] + 0.05

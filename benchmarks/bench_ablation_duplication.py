@@ -1,0 +1,45 @@
+"""A5 — Ablation: what does task duplication buy? (TDB extension)
+
+The paper's taxonomy includes TDB algorithms but its benchmark excludes
+them.  This bench quantifies the excluded dimension: DSH (duplication)
+vs HLFET (the same list scheduler without duplication) across CCR — the
+gain should grow with CCR, because duplication exists to avoid paying
+communication.
+"""
+
+from collections import defaultdict
+
+from conftest import emit
+
+from repro import Machine, get_scheduler
+from repro.duplication import dsh_schedule
+from repro.generators.random_graphs import rgbos_graph
+
+P = 4
+SIZES = (14, 18, 22)
+CCRS = (0.1, 1.0, 10.0)
+SEEDS = range(4)
+
+
+def _sweep():
+    gains = defaultdict(list)
+    for ccr in CCRS:
+        for v in SIZES:
+            for seed in SEEDS:
+                g = rgbos_graph(v, ccr, seed=900 + seed)
+                base = get_scheduler("HLFET").schedule(g, Machine(P)).length
+                dup = dsh_schedule(g, P).length
+                gains[ccr].append(100.0 * (base - dup) / base)
+    return {ccr: sum(v) / len(v) for ccr, v in gains.items()}
+
+
+def test_duplication_ablation(benchmark):
+    mean_gain = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    lines = ["A5 ablation — duplication gain of DSH over HLFET "
+             "(% schedule length saved)"]
+    for ccr in CCRS:
+        lines.append(f"  CCR {ccr:>5}: {mean_gain[ccr]:6.2f}%")
+    emit("ablation_duplication", "\n".join(lines))
+    # Duplication helps more when communication is expensive.
+    assert mean_gain[10.0] >= mean_gain[0.1] - 1.0
+    assert mean_gain[10.0] >= 0.0

@@ -1,0 +1,48 @@
+"""A1 — Ablation: insertion vs non-insertion (ISH vs HLFET).
+
+The paper's conclusion: "Insertion is better than non-insertion — a
+simple algorithm such as ISH employing insertion can yield dramatic
+performance."  ISH is exactly HLFET plus hole filling, so the pair
+isolates the design decision.
+"""
+
+from collections import defaultdict
+
+from conftest import emit
+
+from repro.bench.runner import run_grid
+from repro.bench.suites import rgnos_suite
+
+
+def _compare():
+    graphs = rgnos_suite(None)
+    rows = run_grid(["HLFET", "ISH"], graphs)
+    by_graph = defaultdict(dict)
+    for r in rows:
+        by_graph[r.graph][r.algorithm] = r.length
+    wins = ties = losses = 0
+    gains = []
+    for cells in by_graph.values():
+        d = cells["HLFET"] - cells["ISH"]
+        gains.append(d / cells["HLFET"])
+        if d > 1e-9:
+            wins += 1
+        elif d < -1e-9:
+            losses += 1
+        else:
+            ties += 1
+    return wins, ties, losses, 100 * sum(gains) / len(gains)
+
+
+def test_insertion_ablation(benchmark):
+    wins, ties, losses, mean_gain_pct = benchmark.pedantic(
+        _compare, rounds=1, iterations=1
+    )
+    emit(
+        "ablation_insertion",
+        "A1 ablation — insertion (ISH) vs non-insertion (HLFET)\n"
+        f"  ISH wins: {wins}, ties: {ties}, losses: {losses}\n"
+        f"  mean schedule-length gain: {mean_gain_pct:.2f}%",
+    )
+    # Insertion must not lose on aggregate.
+    assert wins >= losses

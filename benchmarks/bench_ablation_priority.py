@@ -1,0 +1,42 @@
+"""A2 — Ablation: static vs dynamic priority, quality/cost frontier.
+
+The paper: "Dynamic priority is in general better than static priority,
+although it can cause substantial complexity gain — DLS and ETF have
+higher complexities.  One exception: MCP using static priorities
+performs the best in its class."  This bench measures both axes on one
+suite: solution quality (mean NSL) and scheduling time.
+"""
+
+from conftest import emit
+
+from repro.bench.runner import run_grid
+from repro.bench.suites import rgnos_suite
+from repro.metrics.ranking import summarize_by_algorithm
+
+STATIC = ("HLFET", "ISH", "MCP")
+DYNAMIC = ("ETF", "DLS", "LAST")
+
+
+def _frontier():
+    graphs = rgnos_suite(None)
+    rows = run_grid(list(STATIC + DYNAMIC), graphs)
+    return summarize_by_algorithm(rows)
+
+
+def test_priority_ablation(benchmark):
+    summary = benchmark.pedantic(_frontier, rounds=1, iterations=1)
+    lines = ["A2 ablation — static vs dynamic priority (RGNOS)",
+             f"{'alg':>8} {'kind':>8} {'mean NSL':>10} {'mean time(s)':>13}"]
+    for a in STATIC:
+        s = summary[a]
+        lines.append(f"{a:>8} {'static':>8} {s['mean_nsl']:10.3f} "
+                     f"{s['mean_runtime_s']:13.4f}")
+    for a in DYNAMIC:
+        s = summary[a]
+        lines.append(f"{a:>8} {'dynamic':>8} {s['mean_nsl']:10.3f} "
+                     f"{s['mean_runtime_s']:13.4f}")
+    emit("ablation_priority", "\n".join(lines))
+    # Cost axis (the uncontested half of the claim): exhaustive
+    # pair-probing costs more than static-order scheduling.
+    assert summary["ETF"]["mean_runtime_s"] >= summary["MCP"]["mean_runtime_s"]
+    assert summary["DLS"]["mean_runtime_s"] >= summary["MCP"]["mean_runtime_s"]

@@ -1,0 +1,55 @@
+"""A3 — Ablation: APN sensitivity to network topology.
+
+The paper (Section 6.4.1): "all algorithms perform better on the
+networks with more communication links.  However, these results are
+excluded due to space limitations."  This bench regenerates that
+excluded experiment: mean NSL of each APN algorithm across topologies
+of increasing connectivity at a fixed machine size.
+"""
+
+from collections import defaultdict
+
+from conftest import emit
+
+from repro import NetworkMachine, Topology
+from repro.bench.runner import APN_ALGORITHMS, BenchConfig, run_grid
+from repro.bench.suites import rgnos_suite
+
+TOPOLOGIES = [
+    ("chain", lambda: Topology.chain(8)),
+    ("ring", lambda: Topology.ring(8)),
+    ("mesh", lambda: Topology.mesh2d(2, 4)),
+    ("hypercube", lambda: Topology.hypercube(3)),
+    ("clique", lambda: Topology.clique(8)),
+]
+
+
+def _sweep():
+    graphs = rgnos_suite(None, sizes=[50])
+    table = defaultdict(dict)
+    links = {}
+    for name, factory in TOPOLOGIES:
+        topo = factory()
+        links[name] = topo.num_links
+        rows = run_grid(list(APN_ALGORITHMS), graphs,
+                        config=BenchConfig(apn_topology=topo))
+        for alg in APN_ALGORITHMS:
+            vals = [r.nsl for r in rows if r.algorithm == alg]
+            table[alg][name] = sum(vals) / len(vals)
+    return table, links
+
+
+def test_topology_ablation(benchmark):
+    table, links = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    names = [n for n, _ in TOPOLOGIES]
+    lines = ["A3 ablation — APN mean NSL by topology (8 processors)",
+             f"{'alg':>8} | " + " | ".join(f"{n}({links[n]}L)" for n in names)]
+    for alg in APN_ALGORITHMS:
+        lines.append(
+            f"{alg:>8} | "
+            + " | ".join(f"{table[alg][n]:8.3f}" for n in names)
+        )
+    emit("ablation_topology", "\n".join(lines))
+    # More links must help on aggregate: clique beats chain per algorithm.
+    for alg in APN_ALGORITHMS:
+        assert table[alg]["clique"] <= table[alg]["chain"] + 0.25

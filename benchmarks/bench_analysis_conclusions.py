@@ -1,0 +1,37 @@
+"""A6 — Section 7 conclusions, regenerated from raw data.
+
+The paper closes with design-philosophy findings: CP-based beats
+non-CP-based, insertion beats non-insertion, dynamic priority generally
+beats static.  This bench recomputes those splits from the RGNOS grid
+and emits the comparison as an artifact.
+"""
+
+from conftest import emit
+
+from repro.bench.analysis import (
+    design_decision_report,
+    matched_pair_report,
+    render_pairs,
+    render_report,
+)
+from repro.bench.runner import BNP_ALGORITHMS, UNC_ALGORITHMS, run_grid
+from repro.bench.suites import rgnos_suite
+
+
+def _report():
+    graphs = rgnos_suite(None)
+    rows = run_grid(list(BNP_ALGORITHMS) + list(UNC_ALGORITHMS), graphs)
+    return design_decision_report(rows), matched_pair_report(rows)
+
+
+def test_design_decisions(benchmark):
+    groups, pairs = benchmark.pedantic(_report, rounds=1, iterations=1)
+    emit(
+        "analysis_conclusions",
+        render_pairs(pairs) + "\n\n" + render_report(groups),
+    )
+    by_fav = {p.favoured: p for p in pairs}
+    # The paper's robust conclusions, tested the clean (matched) way.
+    assert by_fav["ISH"].advantage > -0.02     # insertion helps
+    assert by_fav["MCP"].advantage > -0.02     # CP priorities help
+    assert by_fav["DCP"].advantage > -0.05     # dynamic CP helps

@@ -1,0 +1,52 @@
+"""A7 — supplementary sweep: NSL vs CCR per algorithm class.
+
+The paper names CCR as a primary performance driver and slices it
+through Tables 2-5; this bench presents the same effect as an explicit
+series at fixed graph size — the crossover view a practitioner needs
+("above which CCR does clustering stop paying?").
+"""
+
+from collections import defaultdict
+
+from conftest import emit
+
+from repro.bench.runner import (
+    APN_ALGORITHMS,
+    BNP_ALGORITHMS,
+    UNC_ALGORITHMS,
+    run_grid,
+)
+from repro.generators.random_graphs import rgnos_graph
+
+CCRS = (0.1, 0.5, 1.0, 2.0, 10.0)
+V = 80
+SEEDS = (0, 1, 2)
+
+
+def _sweep():
+    names = list(BNP_ALGORITHMS) + list(UNC_ALGORITHMS) + list(APN_ALGORITHMS)
+    table = defaultdict(dict)
+    for ccr in CCRS:
+        graphs = [rgnos_graph(V, ccr, 3, seed=s) for s in SEEDS]
+        rows = run_grid(names, graphs)
+        for name in names:
+            vals = [r.nsl for r in rows if r.algorithm == name]
+            table[name][ccr] = sum(vals) / len(vals)
+    return table
+
+
+def test_ccr_sweep(benchmark):
+    table = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    names = sorted(table)
+    lines = [f"A7 — mean NSL vs CCR at v={V} (RGNOS, parallelism 3)",
+             f"{'alg':>8} | " + " | ".join(f"ccr={c:<5g}" for c in CCRS)]
+    for name in names:
+        lines.append(
+            f"{name:>8} | "
+            + " | ".join(f"{table[name][c]:9.3f}" for c in CCRS)
+        )
+    emit("extra_ccr_sweep", "\n".join(lines))
+    # NSL must rise with CCR for every algorithm (communication can only
+    # hurt a fixed structure).
+    for name in names:
+        assert table[name][10.0] >= table[name][0.1] - 0.2, name

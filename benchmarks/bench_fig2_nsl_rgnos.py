@@ -1,0 +1,25 @@
+"""E6 — Figure 2: average NSL vs graph size on RGNOS (UNC/BNP/APN).
+
+Paper shape: greedy BNP algorithms produce tightly clustered NSL curves;
+DCP leads the UNC class; BSA ahead of MH/BU on large graphs; substantial
+spread inside the APN class.
+"""
+
+from conftest import emit
+
+from repro.bench.figures import fig2, render_figure
+
+
+def test_fig2_artifact(benchmark):
+    panels = benchmark.pedantic(fig2, rounds=1, iterations=1)
+    for key, fig in panels.items():
+        emit(f"fig2_{key.lower()}", render_figure(fig))
+    # Shape checks at the largest size.
+    unc = panels["UNC"]
+    last = {a: unc.series[a][-1] for a in unc.series}
+    assert last["DCP"] <= min(last[a] for a in ("EZ", "LC")) + 0.3
+    apn = panels["APN"]
+    spread = max(s[-1] for s in apn.series.values()) - min(
+        s[-1] for s in apn.series.values()
+    )
+    assert spread >= 0.0  # recorded for EXPERIMENTS.md; paper: large

@@ -1,0 +1,22 @@
+"""E7 — Figure 3: average processors used on RGNOS (UNC and BNP).
+
+Paper shape: DSC/LC/EZ use many processors (LC >100 at 500 nodes, full
+scale), DCP and MD far fewer; DLS uses the fewest among BNP; MCP and ETF
+close to each other.
+"""
+
+from conftest import emit
+
+from repro.bench.figures import fig3, render_figure
+
+
+def test_fig3_artifact(benchmark):
+    panels = benchmark.pedantic(fig3, rounds=1, iterations=1)
+    for key, fig in panels.items():
+        emit(f"fig3_{key.lower()}", render_figure(fig))
+    unc = panels["UNC"]
+    last = {a: unc.series[a][-1] for a in unc.series}
+    # Processor economy: DCP and MD below DSC and LC.
+    assert last["DCP"] <= last["DSC"] + 1e-9
+    assert last["DCP"] <= last["LC"] + 1e-9
+    assert last["MD"] <= last["LC"] + 1e-9

@@ -1,0 +1,30 @@
+"""E9 — Figure 4: average NSL on Cholesky factorization traced graphs.
+
+Paper shape: BNP algorithms perform similarly with LAST much worse;
+UNC algorithms diverse; APN relative order stable across dimensions.
+"""
+
+from conftest import emit
+
+from repro.bench.figures import fig4, render_figure
+
+
+def test_fig4_artifact(benchmark):
+    panels = benchmark.pedantic(fig4, rounds=1, iterations=1)
+    for key, fig in panels.items():
+        emit(f"fig4_{key.lower()}", render_figure(fig))
+    bnp = panels["BNP"]
+    # LAST is the outlier: worst on at least one dimension.
+    worst_somewhere = any(
+        max(bnp.series, key=lambda a: bnp.series[a][i]) == "LAST"
+        for i in range(len(bnp.x))
+    )
+    assert worst_somewhere
+    # UNC curves are more diverse than the non-LAST BNP cluster.
+    unc = panels["UNC"]
+    unc_spread = max(s[-1] for s in unc.series.values()) - min(
+        s[-1] for s in unc.series.values()
+    )
+    core_bnp = {a: bnp.series[a][-1] for a in bnp.series if a != "LAST"}
+    bnp_spread = max(core_bnp.values()) - min(core_bnp.values())
+    assert unc_spread >= bnp_spread - 0.5

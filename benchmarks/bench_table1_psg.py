@@ -1,0 +1,18 @@
+"""E1 — Table 1: schedule lengths of UNC and BNP algorithms on the PSGs.
+
+Paper shape to reproduce: schedule lengths vary considerably across
+algorithms despite the small graph sizes; DCP consistently competitive;
+no single BNP winner.
+"""
+
+from conftest import emit
+
+from repro.bench.tables import render, table1
+
+
+def test_table1_artifact(benchmark):
+    table = benchmark(table1)
+    emit("table1", render(table))
+    # Sanity: one row per peer graph, lengths positive.
+    assert len(table.rows) >= 10
+    assert all(float(c) > 0 for row in table.rows for c in row[2:])

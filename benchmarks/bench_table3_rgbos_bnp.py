@@ -1,0 +1,32 @@
+"""E3 — Table 3: % degradation from B&B optimal on RGBOS, BNP class.
+
+Paper shape: MCP/ETF/ISH/DLS cluster together; LAST the worst;
+degradations grow with CCR.
+"""
+
+import pytest
+from conftest import emit
+
+from repro.bench.suites import rgbos_suite
+from repro.bench.tables import render, rgbos_optima, table3
+
+BUDGET = 30_000
+
+
+@pytest.fixture(scope="module")
+def optima():
+    return rgbos_optima(rgbos_suite(None), budget=BUDGET)
+
+
+def test_table3_artifact(benchmark, optima):
+    table = benchmark.pedantic(
+        lambda: table3(budget=BUDGET), rounds=1, iterations=1
+    )
+    emit("table3", render(table))
+    avg_row = next(r for r in table.rows if r[0] == "avg deg")
+    cols = {c: float(v) for c, v in zip(table.columns[1:], avg_row[1:])}
+    # LAST must not be the best BNP algorithm at any CCR (paper: worst).
+    for ccr in ("0.1", "1", "10"):
+        others = [cols[f"{a}@{ccr}"] for a in
+                  ("HLFET", "ISH", "MCP", "ETF", "DLS")]
+        assert cols[f"LAST@{ccr}"] >= min(others) - 1e-9

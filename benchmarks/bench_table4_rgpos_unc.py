@@ -1,0 +1,21 @@
+"""E4 — Table 4: % degradation from the constructed optimum on RGPOS,
+UNC class.
+
+Paper shape: DCP close to optimal at CCR 0.1 (avg degradation ~2%),
+degradations increase with CCR, no UNC algorithm except DCP finds
+optima at CCR 10.
+"""
+
+from conftest import emit
+
+from repro.bench.tables import render, table4
+
+
+def test_table4_artifact(benchmark):
+    table = benchmark.pedantic(table4, rounds=1, iterations=1)
+    emit("table4", render(table))
+    avg_row = next(r for r in table.rows if r[0] == "avg deg")
+    cols = {c: float(v) for c, v in zip(table.columns[1:], avg_row[1:])}
+    # Degradations grow with CCR for every algorithm.
+    for a in ("EZ", "LC", "DSC", "MD", "DCP"):
+        assert cols[f"{a}@10"] >= cols[f"{a}@0.1"] - 5.0

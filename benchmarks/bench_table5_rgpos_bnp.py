@@ -1,0 +1,19 @@
+"""E5 — Table 5: % degradation from the constructed optimum on RGPOS,
+BNP class.
+
+Paper shape: BNP algorithms similar to each other; none finds optima at
+CCR 10; degradations increase with CCR.
+"""
+
+from conftest import emit
+
+from repro.bench.tables import render, table5
+
+
+def test_table5_artifact(benchmark):
+    table = benchmark.pedantic(table5, rounds=1, iterations=1)
+    emit("table5", render(table))
+    avg_row = next(r for r in table.rows if r[0] == "avg deg")
+    cols = {c: float(v) for c, v in zip(table.columns[1:], avg_row[1:])}
+    for a in ("HLFET", "ISH", "MCP", "ETF", "DLS", "LAST"):
+        assert cols[f"{a}@10"] >= cols[f"{a}@0.1"] - 5.0

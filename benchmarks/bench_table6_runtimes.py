@@ -1,0 +1,21 @@
+"""E8 — Table 6: average algorithm running times on RGNOS.
+
+Paper shape: MCP is the fastest BNP algorithm, DLS/ETF the slowest
+(exhaustive pair probing); LC/DSC fast among UNC, MD slowest; BU the
+fastest APN algorithm, DLS-APN the slowest.  Absolute values are Python
+vs 1998 SPARC — only the ratios are comparable.
+"""
+
+from conftest import emit
+
+from repro.bench.tables import render, table6
+
+
+def test_table6_artifact(benchmark):
+    table = benchmark.pedantic(table6, rounds=1, iterations=1)
+    emit("table6", render(table))
+    # Shape: at the largest size, ETF and DLS are slower than MCP.
+    last = table.rows[-1]
+    cols = dict(zip(table.columns, last))
+    assert float(cols["ETF"]) >= float(cols["MCP"]) - 1e-6
+    assert float(cols["DLS"]) >= float(cols["MCP"]) - 1e-6

@@ -1,0 +1,34 @@
+"""Shared configuration for the benchmark suite.
+
+Each ``bench_*`` module regenerates one artifact of the paper (a table
+or a figure) and times a representative slice of the work with
+pytest-benchmark.  Artifacts are printed to the captured stdout (run
+with ``-s`` to see them) and written under ``results/``.
+
+Scale: benchmarks default to the reduced suites; set ``REPRO_FULL=1``
+for the paper's exact grids.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "..", "results")
+
+
+def emit(name: str, text: str) -> None:
+    """Print an artifact and persist it under results/."""
+    print()
+    print(text)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w") as fh:
+        fh.write(text + "\n")
+
+
+@pytest.fixture(scope="session")
+def full_scale() -> bool:
+    from repro.bench.suites import is_full_scale
+
+    return is_full_scale(None)

@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Schedule a real numerical workload: Cholesky factorization.
+
+The traced-graph suite (paper Section 5.5) models the macro-dataflow of
+column-oriented Cholesky: ``cdiv(k)`` normalises column k, ``cmod(j,k)``
+applies it to column j.  Graph size grows as O(N^2) with the matrix
+dimension N, so this is also the paper's scalability probe (Figure 4).
+
+This example sweeps N, schedules each graph with one algorithm per
+class, and reports speedup and processor usage — the numbers an HPC
+user would check before committing to a runtime scheduler.
+
+Run:  python examples/cholesky_pipeline.py
+"""
+
+from repro import Machine, NetworkMachine, Topology, get_scheduler, validate
+from repro.generators import cholesky_graph
+from repro.metrics import efficiency, nsl, speedup
+
+ALGORITHMS = (
+    ("MCP", "BNP"),   # bounded processors, static priorities
+    ("DCP", "UNC"),   # clustering, dynamic critical path
+    ("BSA", "APN"),   # 8-processor hypercube with link contention
+)
+
+print(f"{'N':>4} {'tasks':>6} | "
+      + " | ".join(f"{name:>22}" for name, _ in ALGORITHMS))
+print(f"{'':>4} {'':>6} | "
+      + " | ".join(f"{'len / NSL / procs':>22}" for _ in ALGORITHMS))
+print("-" * (13 + 25 * len(ALGORITHMS)))
+
+for n in (4, 6, 8, 10, 12):
+    graph = cholesky_graph(n, ccr=1.0)
+    cells = []
+    for name, klass in ALGORITHMS:
+        scheduler = get_scheduler(name)
+        if klass == "APN":
+            machine = NetworkMachine(Topology.hypercube(3))
+            schedule = scheduler.schedule(graph, machine)
+            validate(schedule, network=machine.topology)
+        else:
+            machine = Machine.unbounded(graph)
+            schedule = scheduler.schedule(graph, machine)
+            validate(schedule)
+        cells.append(
+            f"{schedule.length:7.1f} /{nsl(schedule):5.2f} /"
+            f"{schedule.processors_used():3d}"
+        )
+    print(f"{n:>4} {graph.num_nodes:>6} | " + " | ".join(cells))
+
+print()
+print("Reading the table: NSL -> 1.0 means the schedule approaches the")
+print("computation-only critical path, the best any machine could do;")
+print("the APN column pays real link contention on the hypercube, so its")
+print("NSL sits above the clique-model columns, and the gap is the price")
+print("of the interconnect.")

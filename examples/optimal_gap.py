@@ -1,0 +1,42 @@
+#!/usr/bin/env python3
+"""How far from optimal are the heuristics?  (The RGBOS experiment.)
+
+Generates small random graphs, solves them exactly with branch-and-
+bound, and reports each heuristic's percentage degradation — the measure
+behind Tables 2 and 3 of the paper.  Watch the effect of CCR: at 0.1
+nearly everything is optimal; at 10 the spread blows up.
+
+Run:  python examples/optimal_gap.py
+"""
+
+from repro import Machine, get_scheduler
+from repro.generators.random_graphs import rgbos_graph
+from repro.metrics import degradation_pct
+from repro.optimal import solve_optimal
+
+ALGORITHMS = ("HLFET", "ISH", "MCP", "ETF", "DLS", "LAST", "DSC", "DCP")
+
+for ccr in (0.1, 1.0, 10.0):
+    print(f"=== CCR {ccr:g} ===")
+    print(f"{'v':>4} {'optimal':>8} {'proved':>7} | "
+          + " | ".join(f"{a:>6}" for a in ALGORITHMS))
+    for v in (10, 14, 18):
+        graph = rgbos_graph(v, ccr, seed=100 + v)
+        result = solve_optimal(graph, budget=60_000)
+        cells = []
+        for name in ALGORITHMS:
+            scheduler = get_scheduler(name)
+            machine = Machine.unbounded(graph)
+            length = scheduler.schedule(graph, machine).length
+            cells.append(
+                f"{degradation_pct(length, result.length):6.1f}"
+            )
+        proved = "yes" if result.proved else "no*"
+        print(f"{v:>4} {result.length:8.1f} {proved:>7} | "
+              + " | ".join(cells))
+    print()
+
+print("Degradations are % above the branch-and-bound result ('no*' rows")
+print("compare against the best schedule found within the search budget).")
+print("The paper's Tables 2/3 show the same pattern: near-zero columns at")
+print("CCR 0.1, growing spread at CCR 10, LAST trailing the BNP class.")

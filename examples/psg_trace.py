@@ -1,0 +1,44 @@
+#!/usr/bin/env python3
+"""Trace every UNC and BNP algorithm over the peer set graphs (Table 1).
+
+The PSG suite exists precisely for this: graphs small enough that you
+can read the schedule an algorithm produced and understand *why* it made
+each decision.  This example reproduces the paper's Table 1 and then
+walks through one graph in detail with Gantt charts.
+
+Run:  python examples/psg_trace.py
+"""
+
+from repro import Machine, get_scheduler
+from repro.bench.tables import render, table1
+from repro.generators.psg import kwok_ahmad_9
+from repro.io import gantt
+from repro.metrics import average_ranks
+from repro.bench.runner import BNP_ALGORITHMS, UNC_ALGORITHMS, run_grid
+from repro.bench.suites import psg_suite
+
+# ----------------------------------------------------------------------
+# Table 1: schedule lengths on the whole suite.
+# ----------------------------------------------------------------------
+print(render(table1()))
+print()
+
+# ----------------------------------------------------------------------
+# Rank algorithms across the suite (the paper's Section 6.1 commentary).
+# ----------------------------------------------------------------------
+rows = run_grid(list(UNC_ALGORITHMS) + list(BNP_ALGORITHMS), psg_suite())
+print("average rank by schedule length (1 = best):")
+for alg, rank in average_ranks(rows):
+    print(f"  {alg:8s} {rank:.2f}")
+print()
+
+# ----------------------------------------------------------------------
+# Zoom in: how differently do MCP and LC treat the same graph?
+# ----------------------------------------------------------------------
+graph = kwok_ahmad_9()
+for name in ("MCP", "LC"):
+    scheduler = get_scheduler(name)
+    schedule = scheduler.schedule(graph, Machine.unbounded(graph))
+    print(f"--- {name}: length {schedule.length:g} ---")
+    print(gantt(schedule, width=64))
+    print()

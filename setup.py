@@ -1,0 +1,12 @@
+"""Legacy-install shim.
+
+This environment has setuptools but not ``wheel``, so PEP 517 editable
+installs fail with ``invalid command 'bdist_wheel'``.  Keeping a
+``setup.py`` lets ``pip install -e . --no-build-isolation --no-use-pep517``
+(and plain ``python setup.py develop``) work offline; all metadata lives
+in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,93 @@
+"""repro — reproduction of Kwok & Ahmad (IPPS 1998).
+
+*Benchmarking the Task Graph Scheduling Algorithms*: 15 static DAG
+scheduling heuristics (BNP, UNC and APN classes), the five benchmark
+graph suites, a branch-and-bound optimal solver, and a harness that
+regenerates every table and figure of the paper's evaluation.
+
+Quickstart
+----------
+>>> from repro import TaskGraph, Machine, get_scheduler
+>>> g = TaskGraph([2, 3, 3, 4], {(0, 1): 4, (0, 2): 1, (1, 3): 1, (2, 3): 1})
+>>> sched = get_scheduler("MCP").schedule(g, Machine(2))
+>>> sched.length > 0
+True
+"""
+
+from .core import (
+    Machine,
+    Message,
+    NetworkMachine,
+    Placement,
+    Schedule,
+    TaskGraph,
+    alap,
+    blevel,
+    cp_computation_cost,
+    cp_length,
+    critical_path,
+    static_blevel,
+    tlevel,
+    validate,
+)
+from .core.exceptions import (
+    CycleError,
+    GeneratorError,
+    GraphError,
+    MachineError,
+    ReproError,
+    RoutingError,
+    ScheduleError,
+    SolverBudgetExceeded,
+)
+from .network import LinkSchedule, Topology
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "TaskGraph",
+    "Machine",
+    "NetworkMachine",
+    "Schedule",
+    "Placement",
+    "Message",
+    "Topology",
+    "LinkSchedule",
+    "validate",
+    "tlevel",
+    "blevel",
+    "static_blevel",
+    "alap",
+    "critical_path",
+    "cp_length",
+    "cp_computation_cost",
+    "get_scheduler",
+    "list_schedulers",
+    "ReproError",
+    "GraphError",
+    "CycleError",
+    "ScheduleError",
+    "MachineError",
+    "RoutingError",
+    "GeneratorError",
+    "SolverBudgetExceeded",
+    "__version__",
+]
+
+
+def get_scheduler(name: str):
+    """Look up a scheduler instance by its paper acronym (e.g. ``"DCP"``).
+
+    Defers the algorithm-package import so ``import repro`` stays cheap.
+    """
+    from .algorithms import get_scheduler as _get
+
+    return _get(name)
+
+
+def list_schedulers(klass: str | None = None):
+    """Names of available schedulers, optionally filtered by class
+    (``"BNP"``, ``"UNC"`` or ``"APN"``)."""
+    from .algorithms import list_schedulers as _list
+
+    return _list(klass)

@@ -1,0 +1,106 @@
+"""Scheduler interface and registry.
+
+Every algorithm is a :class:`Scheduler` subclass exposing
+``schedule(graph, machine) -> Schedule`` and three bits of metadata that
+mirror the paper's taxonomy (Section 3/4): the class (BNP/UNC/APN) and
+the design-decision flags the paper's analysis keys on (critical-path
+based?, dynamic priority?, insertion?).
+
+Algorithms self-register via the :func:`register` decorator; lookups go
+through :func:`get_scheduler` / :func:`list_schedulers`.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, List, Optional, Type
+
+from ..core.graph import TaskGraph
+from ..core.machine import Machine, NetworkMachine
+from ..core.schedule import Schedule
+
+__all__ = [
+    "Scheduler",
+    "register",
+    "get_scheduler",
+    "list_schedulers",
+    "SCHEDULER_CLASSES",
+]
+
+SCHEDULER_CLASSES = ("BNP", "UNC", "APN")
+
+_REGISTRY: Dict[str, Type["Scheduler"]] = {}
+
+
+class Scheduler(abc.ABC):
+    """Abstract static DAG scheduler.
+
+    Class attributes
+    ----------------
+    name:
+        Paper acronym (``"MCP"``, ``"DSC"``, ...).
+    klass:
+        ``"BNP"``, ``"UNC"`` or ``"APN"``.
+    cp_based / dynamic_priority / uses_insertion:
+        Taxonomy flags used by the analysis tables.
+    """
+
+    name: str = "?"
+    klass: str = "?"
+    cp_based: bool = False
+    dynamic_priority: bool = False
+    uses_insertion: bool = False
+    complexity: str = "?"
+
+    def schedule(self, graph: TaskGraph, machine: Machine) -> Schedule:
+        """Produce a complete schedule of ``graph`` on ``machine``."""
+        self._check_machine(machine)
+        sched = self._run(graph, machine)
+        if not sched.is_complete():
+            raise RuntimeError(
+                f"{self.name} returned an incomplete schedule"
+            )  # pragma: no cover - defensive
+        return sched
+
+    @abc.abstractmethod
+    def _run(self, graph: TaskGraph, machine: Machine) -> Schedule:
+        """Algorithm body; subclasses may assume a validated machine."""
+
+    def _check_machine(self, machine: Machine) -> None:
+        if self.klass == "APN" and not isinstance(machine, NetworkMachine):
+            raise TypeError(
+                f"{self.name} is an APN algorithm and needs a NetworkMachine"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{self.klass} scheduler {self.name}>"
+
+
+def register(cls: Type[Scheduler]) -> Type[Scheduler]:
+    """Class decorator adding ``cls`` to the global registry."""
+    key = cls.name.upper()
+    if key in _REGISTRY and _REGISTRY[key] is not cls:
+        raise ValueError(f"duplicate scheduler name {cls.name!r}")
+    if cls.klass not in SCHEDULER_CLASSES:
+        raise ValueError(f"{cls.name}: unknown class {cls.klass!r}")
+    _REGISTRY[key] = cls
+    return cls
+
+
+def get_scheduler(name: str) -> Scheduler:
+    """Instantiate the scheduler registered under ``name`` (case-insensitive)."""
+    try:
+        return _REGISTRY[name.upper()]()
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(f"unknown scheduler {name!r}; known: {known}") from None
+
+
+def list_schedulers(klass: Optional[str] = None) -> List[str]:
+    """Registered scheduler names, optionally filtered by class."""
+    names = [
+        name
+        for name, cls in _REGISTRY.items()
+        if klass is None or cls.klass == klass.upper()
+    ]
+    return sorted(names)

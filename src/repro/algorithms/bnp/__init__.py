@@ -1,0 +1,15 @@
+"""BNP (bounded number of processors) scheduling algorithms.
+
+Fully connected homogeneous processors, contention-free links, a
+processor count given as input.  The six algorithms benchmarked in the
+paper: HLFET, ISH, MCP, ETF, DLS and LAST.
+"""
+
+from .dls import DLS
+from .etf import ETF
+from .hlfet import HLFET
+from .ish import ISH
+from .last import LAST
+from .mcp import MCP
+
+__all__ = ["HLFET", "ISH", "MCP", "ETF", "DLS", "LAST"]

@@ -1,0 +1,55 @@
+"""DLS — Dynamic Level Scheduling (Sih & Lee, 1993), clique variant.
+
+DLS maximises the *dynamic level* ``DL(n, p) = SL(n) - EST(n, p)`` over
+all ready-node/processor pairs: a node high in the graph scheduled on a
+processor where it can start early wins.  Unlike ETF (which minimises
+EST globally and uses the static level only for ties), DLS trades the
+two terms off against each other, so its choices drift from ETF's as the
+schedule fills up.
+
+The original targets "interconnection-constrained" architectures; the
+contention-aware variant lives in :mod:`repro.algorithms.apn.dls_apn`.
+This clique version is the BNP family member the paper evaluates.
+Dynamic-priority, greedy, non-insertion; O(p v^3) worst case (the paper
+reports DLS and ETF as the slowest BNP algorithms, and DLS as using the
+fewest processors).
+"""
+
+from __future__ import annotations
+
+from ...core.attributes import static_blevel
+from ...core.graph import TaskGraph
+from ...core.listsched import ReadyTracker, candidate_procs, est_on_proc
+from ...core.machine import Machine
+from ...core.schedule import Schedule
+from ..base import Scheduler, register
+
+__all__ = ["DLS"]
+
+
+@register
+class DLS(Scheduler):
+    name = "DLS"
+    klass = "BNP"
+    cp_based = False
+    dynamic_priority = True
+    uses_insertion = False
+    complexity = "O(p v^3)"
+
+    def _run(self, graph: TaskGraph, machine: Machine) -> Schedule:
+        sl = static_blevel(graph)
+        schedule = Schedule(graph, machine.num_procs)
+        ready = ReadyTracker(graph)
+        while not ready.all_scheduled():
+            best = None  # (-DL, node, proc, est)
+            for node in ready.ready:
+                for proc in candidate_procs(schedule):
+                    est = est_on_proc(schedule, node, proc, insertion=False)
+                    dl = sl[node] - est
+                    key = (-dl, node, proc)
+                    if best is None or key < best[:3]:
+                        best = (key[0], node, proc, est)
+            _, node, proc, est = best
+            schedule.place(node, proc, est)
+            ready.mark_scheduled(node)
+        return schedule

@@ -1,0 +1,47 @@
+"""ETF — Earliest Time First (Hwang, Chow, Anger & Lee, 1989).
+
+At every step ETF computes the earliest start time of *every* ready node
+on *every* processor and schedules the (node, processor) pair that can
+start soonest; ties are resolved toward the node with the higher static
+level.  The exhaustive pair search is what the paper blames for ETF's
+high running time (Table 6): a dynamic-priority, greedy, non-insertion
+algorithm of complexity O(p v^2).
+"""
+
+from __future__ import annotations
+
+from ...core.attributes import static_blevel
+from ...core.graph import TaskGraph
+from ...core.listsched import ReadyTracker, candidate_procs, est_on_proc
+from ...core.machine import Machine
+from ...core.schedule import Schedule
+from ..base import Scheduler, register
+
+__all__ = ["ETF"]
+
+
+@register
+class ETF(Scheduler):
+    name = "ETF"
+    klass = "BNP"
+    cp_based = False
+    dynamic_priority = True
+    uses_insertion = False
+    complexity = "O(p v^2)"
+
+    def _run(self, graph: TaskGraph, machine: Machine) -> Schedule:
+        sl = static_blevel(graph)
+        schedule = Schedule(graph, machine.num_procs)
+        ready = ReadyTracker(graph)
+        while not ready.all_scheduled():
+            best = None  # (est, -sl, node, proc)
+            for node in ready.ready:
+                for proc in candidate_procs(schedule):
+                    est = est_on_proc(schedule, node, proc, insertion=False)
+                    key = (est, -sl[node], node, proc)
+                    if best is None or key < best:
+                        best = key
+            _, _, node, proc = best
+            schedule.place(node, proc, best[0])
+            ready.mark_scheduled(node)
+        return schedule

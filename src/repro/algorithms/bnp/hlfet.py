@@ -1,0 +1,41 @@
+"""HLFET — Highest Level First with Estimated Times (Adam et al., 1974).
+
+One of the earliest list schedulers.  Node priority is the *static
+level* (longest computation-only path to an exit node); at each step the
+highest-level ready node is placed on the processor that allows the
+earliest start time, **without** insertion.  The paper classifies HLFET
+as non-CP-based, static-list, greedy; complexity O(v^2).
+"""
+
+from __future__ import annotations
+
+from ...core.graph import TaskGraph
+from ...core.listsched import ReadyTracker, best_proc_min_est
+from ...core.machine import Machine
+from ...core.attributes import static_blevel
+from ...core.schedule import Schedule
+from ..base import Scheduler, register
+
+__all__ = ["HLFET"]
+
+
+@register
+class HLFET(Scheduler):
+    name = "HLFET"
+    klass = "BNP"
+    cp_based = False
+    dynamic_priority = False
+    uses_insertion = False
+    complexity = "O(v^2)"
+
+    def _run(self, graph: TaskGraph, machine: Machine) -> Schedule:
+        sl = static_blevel(graph)
+        schedule = Schedule(graph, machine.num_procs)
+        ready = ReadyTracker(graph)
+        while not ready.all_scheduled():
+            # Highest static level first; ties toward the smaller node id.
+            node = max(ready.ready, key=lambda n: (sl[n], -n))
+            proc, start = best_proc_min_est(schedule, node, insertion=False)
+            schedule.place(node, proc, start)
+            ready.mark_scheduled(node)
+        return schedule

@@ -1,0 +1,72 @@
+"""ISH — Insertion Scheduling Heuristic (Kruatrachue & Lewis, 1987).
+
+HLFET plus *hole filling*: when placing the selected node leaves an idle
+gap on its processor (because the node must wait for data), ISH tries to
+fill the gap with other ready nodes that fit without delaying the node
+just scheduled.  The paper singles ISH out as evidence that "insertion
+is better than non-insertion — a simple algorithm employing insertion
+can yield dramatic performance" (Section 7).
+"""
+
+from __future__ import annotations
+
+from ...core.attributes import static_blevel
+from ...core.graph import TaskGraph
+from ...core.listsched import ReadyTracker, best_proc_min_est
+from ...core.machine import Machine
+from ...core.schedule import Schedule
+from ..base import Scheduler, register
+
+__all__ = ["ISH"]
+
+
+@register
+class ISH(Scheduler):
+    name = "ISH"
+    klass = "BNP"
+    cp_based = False
+    dynamic_priority = False
+    uses_insertion = True
+    complexity = "O(v^2)"
+
+    def _run(self, graph: TaskGraph, machine: Machine) -> Schedule:
+        sl = static_blevel(graph)
+        schedule = Schedule(graph, machine.num_procs)
+        ready = ReadyTracker(graph)
+        while not ready.all_scheduled():
+            node = max(ready.ready, key=lambda n: (sl[n], -n))
+            # Processor choice is HLFET's: min EST without insertion.
+            hole_start = {
+                p: schedule.proc_ready_time(p) for p in range(machine.num_procs)
+            }
+            proc, start = best_proc_min_est(schedule, node, insertion=False)
+            gap_begin = hole_start[proc]
+            schedule.place(node, proc, start)
+            ready.mark_scheduled(node)
+            # Hole filling: the idle window [gap_begin, start) may host
+            # other ready nodes, highest static level first.  Following
+            # Kruatrachue & Lewis, a node is inserted only when it (a)
+            # fits entirely inside the hole and (b) could not start
+            # earlier on any other processor — otherwise stealing it
+            # into the hole trades global placement quality for local
+            # utilisation.
+            gap_end = start
+            while gap_end - gap_begin > 1e-12:
+                placed_any = False
+                for cand in sorted(ready.ready, key=lambda n: (-sl[n], n)):
+                    drt = schedule.data_ready_time(cand, proc)
+                    cand_start = max(gap_begin, drt)
+                    if cand_start + graph.weight(cand) > gap_end + 1e-9:
+                        continue
+                    _, elsewhere = best_proc_min_est(schedule, cand,
+                                                     insertion=False)
+                    if cand_start > elsewhere + 1e-9:
+                        continue
+                    schedule.place(cand, proc, cand_start)
+                    ready.mark_scheduled(cand)
+                    gap_begin = cand_start + graph.weight(cand)
+                    placed_any = True
+                    break
+                if not placed_any:
+                    break
+        return schedule

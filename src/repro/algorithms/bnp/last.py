@@ -1,0 +1,63 @@
+"""LAST — Localized Allocation of Static Tasks (Baxter & Patel, 1989).
+
+LAST is *edge-driven* rather than level-driven: the priority of a ready
+node is ``D_NODE``, the fraction of its incident edge weight that
+connects it to already-scheduled nodes.  Nodes strongly coupled to the
+scheduled region are allocated next, on the processor minimising their
+start time — the goal is localising communication, not shortening the
+critical path.
+
+The paper consistently finds LAST the worst BNP performer (Tables 3/5,
+Figure 4), which it attributes to exactly this design: ignoring node
+levels lets the critical path drift.  Non-CP-based, dynamic-list,
+non-greedy; O(v(e+v)).
+"""
+
+from __future__ import annotations
+
+from ...core.attributes import static_blevel
+from ...core.graph import TaskGraph
+from ...core.listsched import ReadyTracker, best_proc_min_est
+from ...core.machine import Machine
+from ...core.schedule import Schedule
+from ..base import Scheduler, register
+
+__all__ = ["LAST"]
+
+
+@register
+class LAST(Scheduler):
+    name = "LAST"
+    klass = "BNP"
+    cp_based = False
+    dynamic_priority = True
+    uses_insertion = False
+    complexity = "O(v(e+v))"
+
+    def _run(self, graph: TaskGraph, machine: Machine) -> Schedule:
+        sl = static_blevel(graph)  # tie-break only
+        # Total incident edge weight per node (denominator of D_NODE).
+        incident = [0.0] * graph.num_nodes
+        for u, v, c in graph.edges():
+            incident[u] += c
+            incident[v] += c
+        # Weight of edges joining a node to already-scheduled neighbours.
+        settled = [0.0] * graph.num_nodes
+
+        def d_node(n: int) -> float:
+            if incident[n] <= 0:
+                return 1.0  # isolated w.r.t. communication: fully localised
+            return settled[n] / incident[n]
+
+        schedule = Schedule(graph, machine.num_procs)
+        ready = ReadyTracker(graph)
+        while not ready.all_scheduled():
+            node = max(ready.ready, key=lambda n: (d_node(n), sl[n], -n))
+            proc, start = best_proc_min_est(schedule, node, insertion=False)
+            schedule.place(node, proc, start)
+            ready.mark_scheduled(node)
+            for s in graph.successors(node):
+                settled[s] += graph.comm_cost(node, s)
+            for p in graph.predecessors(node):
+                settled[p] += graph.comm_cost(p, node)
+        return schedule

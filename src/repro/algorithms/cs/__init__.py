@@ -1,0 +1,15 @@
+"""Cluster scheduling: the UNC+CS pipeline from the paper's future work."""
+
+from .assignment import (
+    cluster_schedule,
+    clusters_from_schedule,
+    rcp_assignment,
+    sarkar_assignment,
+)
+
+__all__ = [
+    "cluster_schedule",
+    "clusters_from_schedule",
+    "sarkar_assignment",
+    "rcp_assignment",
+]

@@ -1,0 +1,131 @@
+"""Cluster scheduling (UNC+CS): mapping clusters onto bounded processors.
+
+The paper's conclusion sketches the missing stage of the UNC pipeline:
+"In UNC algorithms, clusters obtained through scheduling are assigned to
+a bounded number of processors.  All nodes in a cluster must be
+scheduled to the same processor. [...] Two such algorithms called
+Sarkar's assignment algorithm and Yang's RCP algorithm [...] Sarkar's
+algorithm combines the cluster merging and ordering nodes into one step,
+considering the execution order.  RCP merges clusters without
+considering the execution order [...] RCP has a lower complexity."
+
+This module implements both, plus the glue that runs any UNC algorithm
+and folds its clusters onto ``p`` processors — enabling the comparison
+the paper calls "an interesting study": BNP vs UNC+CS
+(:mod:`benchmarks.bench_ablation_cluster_scheduling`).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ...core.attributes import blevel
+from ...core.exceptions import MachineError
+from ...core.graph import TaskGraph
+from ...core.machine import Machine
+from ...core.schedule import Schedule
+from ..base import get_scheduler
+from ..mapping import mapping_makespan, schedule_from_mapping
+
+__all__ = [
+    "clusters_from_schedule",
+    "sarkar_assignment",
+    "rcp_assignment",
+    "cluster_schedule",
+]
+
+
+def clusters_from_schedule(schedule: Schedule) -> List[List[int]]:
+    """Extract the clusters of a UNC schedule (one per used processor)."""
+    return [
+        [pl.node for pl in schedule.tasks_on(p)]
+        for p in schedule.used_proc_ids()
+    ]
+
+
+def sarkar_assignment(graph: TaskGraph, clusters: Sequence[Sequence[int]],
+                      num_procs: int) -> List[int]:
+    """Sarkar's cluster-to-processor assignment (execution-order aware).
+
+    Clusters are taken in descending order of total computation; each is
+    mapped to the physical processor that minimises the *simulated*
+    parallel time of everything assigned so far (unassigned clusters run
+    on private virtual processors during the estimate).  O(C p (v + e))
+    for C clusters.
+
+    Returns ``proc_of`` per node.
+    """
+    if num_procs < 1:
+        raise MachineError("need at least one physical processor")
+    prio = blevel(graph)
+    order = sorted(
+        range(len(clusters)),
+        key=lambda c: (-sum(graph.weight(n) for n in clusters[c]), c),
+    )
+    # Virtual placement: cluster i starts on virtual proc num_procs + i.
+    proc_of = [0] * graph.num_nodes
+    for ci, cluster in enumerate(clusters):
+        for n in cluster:
+            proc_of[n] = num_procs + ci
+    for ci in order:
+        best_p, best_len = 0, float("inf")
+        for p in range(num_procs):
+            trial = list(proc_of)
+            for n in clusters[ci]:
+                trial[n] = p
+            length = mapping_makespan(graph, trial, prio)
+            if length < best_len - 1e-12:
+                best_p, best_len = p, length
+        for n in clusters[ci]:
+            proc_of[n] = best_p
+    return proc_of
+
+
+def rcp_assignment(graph: TaskGraph, clusters: Sequence[Sequence[int]],
+                   num_procs: int) -> List[int]:
+    """Yang's RCP-style assignment: load balancing, order-oblivious.
+
+    Clusters in descending total computation go to the currently
+    least-loaded processor (LPT rule) — O(C log C).  Cheaper than
+    Sarkar's but blind to execution order, the trade-off the paper
+    describes.
+    """
+    if num_procs < 1:
+        raise MachineError("need at least one physical processor")
+    loads = [0.0] * num_procs
+    proc_of = [0] * graph.num_nodes
+    order = sorted(
+        range(len(clusters)),
+        key=lambda c: (-sum(graph.weight(n) for n in clusters[c]), c),
+    )
+    for ci in order:
+        p = min(range(num_procs), key=lambda q: (loads[q], q))
+        for n in clusters[ci]:
+            proc_of[n] = p
+        loads[p] += sum(graph.weight(n) for n in clusters[ci])
+    return proc_of
+
+
+def cluster_schedule(graph: TaskGraph, num_procs: int,
+                     unc: str = "DSC", method: str = "sarkar") -> Schedule:
+    """Full UNC+CS pipeline: cluster with ``unc``, fold onto ``num_procs``.
+
+    Parameters
+    ----------
+    unc:
+        Name of the UNC algorithm producing the clustering.
+    method:
+        ``"sarkar"`` (order-aware) or ``"rcp"`` (load balancing).
+    """
+    scheduler = get_scheduler(unc)
+    if scheduler.klass != "UNC":
+        raise ValueError(f"{unc} is not a UNC algorithm")
+    unc_schedule = scheduler.schedule(graph, Machine.unbounded(graph))
+    clusters = clusters_from_schedule(unc_schedule)
+    if method == "sarkar":
+        proc_of = sarkar_assignment(graph, clusters, num_procs)
+    elif method == "rcp":
+        proc_of = rcp_assignment(graph, clusters, num_procs)
+    else:
+        raise ValueError(f"unknown assignment method {method!r}")
+    return schedule_from_mapping(graph, proc_of, num_procs, blevel(graph))

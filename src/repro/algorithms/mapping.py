@@ -1,0 +1,173 @@
+"""Turning mappings and clusterings into concrete schedules.
+
+Several algorithms decide *where* tasks go separately from *when* they
+run:
+
+* EZ and LC produce a clustering and rely on a list simulation to order
+  and time the tasks (Sarkar's execution model);
+* MD and DCP pin tentative start times while deciding the mapping, then
+  need a consistency pass to turn (mapping, per-processor order) into a
+  feasible schedule;
+* BU and BSA (APN) fix a mapping/order and need the same pass with
+  network message scheduling (see :mod:`repro.algorithms.apn.netsim`).
+
+This module implements the two clique-model passes.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Optional, Sequence
+
+from ..core.attributes import blevel
+from ..core.exceptions import ScheduleError
+from ..core.graph import TaskGraph
+from ..core.schedule import Schedule
+
+__all__ = [
+    "schedule_from_mapping",
+    "mapping_makespan",
+    "simulate_fixed_sequences",
+]
+
+
+def mapping_makespan(graph: TaskGraph, proc_of: Sequence[int],
+                     priority: Optional[Sequence[float]] = None) -> float:
+    """Makespan of list-simulating ``graph`` under a fixed mapping.
+
+    Sarkar's execution model: every processor runs its tasks serially;
+    among ready tasks the one with the highest ``priority`` (default:
+    static b-level) starts next on its assigned processor, at
+    ``max(processor available, data ready)``.  Communication inside a
+    processor is free.  This is the estimator EZ minimises while zeroing
+    edges.
+    """
+    if priority is None:
+        priority = blevel(graph)
+    n = graph.num_nodes
+    remaining = [graph.in_degree(i) for i in range(n)]
+    finish = [0.0] * n
+    proc_free: Dict[int, float] = {}
+    heap = [(-priority[i], i) for i in range(n) if remaining[i] == 0]
+    heapq.heapify(heap)
+    makespan = 0.0
+    while heap:
+        _, node = heapq.heappop(heap)
+        p = proc_of[node]
+        drt = 0.0
+        for parent in graph.predecessors(node):
+            arr = finish[parent]
+            if proc_of[parent] != p:
+                arr += graph.comm_cost(parent, node)
+            if arr > drt:
+                drt = arr
+        start = max(proc_free.get(p, 0.0), drt)
+        end = start + graph.weight(node)
+        finish[node] = end
+        proc_free[p] = end
+        if end > makespan:
+            makespan = end
+        for child in graph.successors(node):
+            remaining[child] -= 1
+            if remaining[child] == 0:
+                heapq.heappush(heap, (-priority[child], child))
+    return makespan
+
+
+def schedule_from_mapping(graph: TaskGraph, proc_of: Sequence[int],
+                          num_procs: int,
+                          priority: Optional[Sequence[float]] = None
+                          ) -> Schedule:
+    """Full :class:`Schedule` version of :func:`mapping_makespan`.
+
+    ``proc_of`` may use arbitrary processor labels; they are compacted
+    onto ``0..k-1`` in first-use order (so cluster counts equal
+    processors used).
+    """
+    if priority is None:
+        priority = blevel(graph)
+    compact: Dict[int, int] = {}
+    for node in sorted(graph.nodes(), key=lambda i: (priority[i], -i), reverse=True):
+        compact.setdefault(proc_of[node], len(compact))
+    if len(compact) > num_procs:
+        raise ScheduleError(
+            f"mapping uses {len(compact)} processors but machine has {num_procs}"
+        )
+    n = graph.num_nodes
+    remaining = [graph.in_degree(i) for i in range(n)]
+    schedule = Schedule(graph, num_procs)
+    heap = [(-priority[i], i) for i in range(n) if remaining[i] == 0]
+    heapq.heapify(heap)
+    while heap:
+        _, node = heapq.heappop(heap)
+        p = compact[proc_of[node]]
+        drt = schedule.data_ready_time(node, p)
+        start = max(schedule.proc_ready_time(p), drt)
+        schedule.place(node, p, start)
+        for child in graph.successors(node):
+            remaining[child] -= 1
+            if remaining[child] == 0:
+                heapq.heappush(heap, (-priority[child], child))
+    return schedule
+
+
+def simulate_fixed_sequences(graph: TaskGraph,
+                             sequences: List[List[int]],
+                             num_procs: int) -> Schedule:
+    """Compute start times for fixed per-processor task sequences.
+
+    Each task waits for its graph parents *and* for the task preceding it
+    in its processor's sequence.  If the sequences are inconsistent with
+    the precedence order (a descendant queued before an ancestor on the
+    same processor), the offending processors' sequences are re-sorted by
+    topological index and the pass restarted — schedulers that pin
+    tentative orders (MD, DCP) may rarely produce such inversions.
+    """
+    topo_index = {n: i for i, n in enumerate(graph.topological_order)}
+    seqs = [list(s) for s in sequences]
+    for _attempt in range(2):
+        schedule = _try_sequences(graph, seqs, num_procs)
+        if schedule is not None:
+            return schedule
+        seqs = [sorted(s, key=topo_index.__getitem__) for s in seqs]
+    raise ScheduleError("fixed-sequence simulation failed")  # pragma: no cover
+
+
+def _try_sequences(graph: TaskGraph, sequences: List[List[int]],
+                   num_procs: int) -> Optional[Schedule]:
+    n = graph.num_nodes
+    proc_of: Dict[int, int] = {}
+    pos: Dict[int, int] = {}
+    for p, seq in enumerate(sequences):
+        for i, node in enumerate(seq):
+            proc_of[node] = p
+            pos[node] = i
+    if len(proc_of) != n:
+        raise ScheduleError("sequences must cover every node exactly once")
+    remaining = [graph.in_degree(i) for i in range(n)]
+    next_slot = [0] * len(sequences)
+    schedule = Schedule(graph, num_procs)
+    ready = [i for i in range(n) if remaining[i] == 0]
+    placed = 0
+    while placed < n:
+        progress = False
+        new_ready: List[int] = []
+        for node in list(ready):
+            p = proc_of[node]
+            if pos[node] != next_slot[p]:
+                continue  # not yet this node's turn on its processor
+            drt = schedule.data_ready_time(node, p)
+            start = max(schedule.proc_ready_time(p), drt)
+            schedule.place(node, p, start)
+            ready.remove(node)
+            next_slot[p] += 1
+            placed += 1
+            progress = True
+            for child in graph.successors(node):
+                remaining[child] -= 1
+                if remaining[child] == 0:
+                    new_ready.append(child)
+        ready.extend(new_ready)
+        if not progress:
+            return None  # sequence/precedence deadlock
+    return schedule

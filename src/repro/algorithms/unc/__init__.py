@@ -1,0 +1,14 @@
+"""UNC (unbounded number of clusters) scheduling algorithms.
+
+Clustering-based schedulers that may use as many processors as they
+like; fully connected contention-free interconnect.  The five algorithms
+benchmarked in the paper: EZ, LC, DSC, MD and DCP.
+"""
+
+from .dcp import DCP
+from .dsc import DSC
+from .ez import EZ
+from .lc import LC
+from .md import MD
+
+__all__ = ["EZ", "LC", "DSC", "MD", "DCP"]

@@ -1,0 +1,209 @@
+"""DCP — Dynamic Critical Path scheduling (Kwok & Ahmad, 1996).
+
+The best UNC performer in the paper.  Three ideas distinguish DCP:
+
+1. **Dynamic critical path** — after every placement the absolute
+   earliest and latest start times (AEST / ALST) of all nodes are
+   recomputed on the partially scheduled graph; the next node is the
+   unscheduled one with minimum mobility ``ALST - AEST`` (a node on the
+   current dynamic critical path), breaking ties toward smaller ALST.
+2. **Restricted candidate processors** — only processors already holding
+   one of the node's parents or children (plus one fresh processor) are
+   examined, which both speeds the search and economises processors: "as
+   long as the schedule length is not affected, it tries to schedule a
+   child to a processor holding its parent even though its start time
+   may not reduce" (Section 6.4.2).
+3. **Look-ahead** — a candidate processor is scored by the start time it
+   gives the node *plus* the start time it would give the node's
+   *critical child* (the unscheduled child with the smallest ALST) on
+   that same processor; minimising the sum avoids greedy placements that
+   strangle the rest of the critical path.
+
+Complexity O(v^3).  Final start times are produced by a fixed-sequence
+timing pass over the (mapping, per-processor order) DCP decides.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, List, Optional, Tuple
+
+from ...core.graph import TaskGraph
+from ...core.machine import Machine
+from ...core.schedule import Schedule
+from ..base import Scheduler, register
+from ..mapping import simulate_fixed_sequences
+
+__all__ = ["DCP"]
+
+_EPS = 1e-9
+_INF = float("inf")
+
+
+@register
+class DCP(Scheduler):
+    name = "DCP"
+    klass = "UNC"
+    cp_based = True
+    dynamic_priority = True
+    uses_insertion = True
+    complexity = "O(v^3)"
+
+    def _run(self, graph: TaskGraph, machine: Machine) -> Schedule:
+        n = graph.num_nodes
+        pinned: Dict[int, float] = {}
+        proc_of: Dict[int, int] = {}
+        proc_starts: List[List[float]] = []
+        proc_finishes: List[List[float]] = []
+        proc_nodes: List[List[int]] = []
+
+        def comm(u: int, v: int) -> float:
+            """Edge cost under the current partial assignment."""
+            if u in proc_of and v in proc_of and proc_of[u] == proc_of[v]:
+                return 0.0
+            return graph.comm_cost(u, v)
+
+        for _step in range(n):
+            aest = self._aest(graph, pinned, comm)
+            alst = self._alst(graph, pinned, comm, aest)
+            node = min(
+                (i for i in range(n) if i not in pinned),
+                key=lambda i: (alst[i] - aest[i], alst[i], i),
+            )
+            candidates = sorted(
+                {proc_of[x] for x in graph.predecessors(node) if x in proc_of}
+                | {proc_of[x] for x in graph.successors(node) if x in proc_of}
+            )
+            if len(proc_starts) < n:
+                candidates.append(len(proc_starts))  # one fresh processor
+            if not candidates:
+                candidates = [len(proc_starts)]
+            cc = self._critical_child(graph, node, pinned, alst)
+            best: Optional[Tuple[float, float, int, float]] = None
+            for p in candidates:
+                fresh = p == len(proc_starts)
+                starts = [] if fresh else proc_starts[p]
+                fins = [] if fresh else proc_finishes[p]
+                est = self._est_on(graph, node, p, aest, pinned, proc_of)
+                slot = _find_slot(starts, fins, est, graph.weight(node))
+                if cc is not None:
+                    slot_cc = self._lookahead(graph, cc, node, slot, p, aest,
+                                              pinned, proc_of, starts, fins)
+                    score = slot + slot_cc
+                else:
+                    score = slot
+                key = (score, slot, p, slot)
+                if best is None or key[:3] < (best[0], best[1], best[2]):
+                    best = (score, slot, p, slot)
+            _, _, p, start = best
+            if p == len(proc_starts):
+                proc_starts.append([])
+                proc_finishes.append([])
+                proc_nodes.append([])
+            i = bisect.bisect_left(proc_starts[p], start)
+            proc_starts[p].insert(i, start)
+            proc_finishes[p].insert(i, start + graph.weight(node))
+            proc_nodes[p].insert(i, node)
+            pinned[node] = start
+            proc_of[node] = p
+
+        sequences = [list(nodes) for nodes in proc_nodes]
+        return simulate_fixed_sequences(graph, sequences, machine.num_procs)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _aest(graph: TaskGraph, pinned, comm) -> List[float]:
+        """Absolute earliest start times on the partially scheduled graph.
+
+        Scheduled nodes sit at their pinned start (floored up if a parent
+        placement has since pushed their inputs later — the final timing
+        pass resolves such tentative inconsistencies).
+        """
+        a = [0.0] * graph.num_nodes
+        for u in graph.topological_order:
+            best = 0.0
+            for p in graph.predecessors(u):
+                cand = a[p] + graph.weight(p) + comm(p, u)
+                if cand > best:
+                    best = cand
+            pin = pinned.get(u)
+            if pin is not None and pin > best:
+                best = pin
+            a[u] = best
+        return a
+
+    @staticmethod
+    def _alst(graph: TaskGraph, pinned, comm, aest) -> List[float]:
+        """Absolute latest start times w.r.t. the dynamic CP length."""
+        dcpl = max(aest[i] + graph.weight(i) for i in graph.nodes())
+        al = [0.0] * graph.num_nodes
+        for u in reversed(graph.topological_order):
+            pin = pinned.get(u)
+            if pin is not None:
+                al[u] = pin
+                continue
+            best = dcpl - graph.weight(u)
+            for s in graph.successors(u):
+                cand = al[s] - comm(u, s) - graph.weight(u)
+                if cand < best:
+                    best = cand
+            al[u] = best
+        return al
+
+    @staticmethod
+    def _critical_child(graph: TaskGraph, node: int, pinned,
+                        alst) -> Optional[int]:
+        """Unscheduled child with the smallest ALST (ties: smaller id)."""
+        cands = [s for s in graph.successors(node) if s not in pinned]
+        if not cands:
+            return None
+        return min(cands, key=lambda s: (alst[s], s))
+
+    @staticmethod
+    def _est_on(graph: TaskGraph, node: int, proc: int, aest, pinned,
+                proc_of) -> float:
+        est = 0.0
+        for p in graph.predecessors(node):
+            arr = aest[p] + graph.weight(p)
+            if not (p in proc_of and proc_of[p] == proc):
+                arr += graph.comm_cost(p, node)
+            if arr > est:
+                est = arr
+        return est
+
+    @staticmethod
+    def _lookahead(graph: TaskGraph, cc: int, node: int, node_slot: float,
+                   proc: int, aest, pinned, proc_of, starts, fins) -> float:
+        """Start the critical child would get on ``proc`` next to ``node``."""
+        est = 0.0
+        for q in graph.predecessors(cc):
+            if q == node:
+                arr = node_slot + graph.weight(node)  # co-located, comm-free
+            else:
+                arr = aest[q] + graph.weight(q)
+                if not (q in proc_of and proc_of[q] == proc):
+                    arr += graph.comm_cost(q, cc)
+            if arr > est:
+                est = arr
+        # Search the processor's gaps with the node tentatively inserted.
+        i = bisect.bisect_left(starts, node_slot)
+        t_starts = starts[:i] + [node_slot] + starts[i:]
+        t_fins = fins[:i] + [node_slot + graph.weight(node)] + fins[i:]
+        return _find_slot(t_starts, t_fins, est, graph.weight(cc))
+
+
+def _find_slot(starts: List[float], finishes: List[float], est: float,
+               duration: float) -> float:
+    """Earliest insertion slot >= est among sorted busy intervals."""
+    if not starts:
+        return est
+    if est + duration <= starts[0] + _EPS:
+        return est
+    i = bisect.bisect_right(finishes, est)
+    if i > 0:
+        i -= 1
+    for k in range(i, len(starts) - 1):
+        gap = max(est, finishes[k])
+        if gap + duration <= starts[k + 1] + _EPS:
+            return gap
+    return max(est, finishes[-1])

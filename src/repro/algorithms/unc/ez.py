@@ -1,0 +1,50 @@
+"""EZ — Edge Zeroing (Sarkar, 1989).
+
+Clustering by edge zeroing: examine edges in descending order of
+communication cost; merge the two endpoint clusters ("zero" the edge)
+whenever the merge does not increase the estimated parallel time under
+Sarkar's list-simulation model.  Ordering within clusters follows static
+b-levels.
+
+The paper classifies EZ as a non-CP-based, non-greedy UNC algorithm and
+finds it middling on quality and heavy on processors (it never considers
+processor economy).  Complexity O(e(v + e)).
+"""
+
+from __future__ import annotations
+
+from ...core.attributes import blevel
+from ...core.graph import TaskGraph
+from ...core.machine import Machine
+from ...core.schedule import Schedule
+from ..base import Scheduler, register
+from ..mapping import mapping_makespan, schedule_from_mapping
+
+__all__ = ["EZ"]
+
+
+@register
+class EZ(Scheduler):
+    name = "EZ"
+    klass = "UNC"
+    cp_based = False
+    dynamic_priority = False
+    uses_insertion = False
+    complexity = "O(e(v+e))"
+
+    def _run(self, graph: TaskGraph, machine: Machine) -> Schedule:
+        prio = blevel(graph)
+        cluster = list(graph.nodes())  # cluster id per node
+        best = mapping_makespan(graph, cluster, prio)
+        # Descending cost; ties by (u, v) for determinism.
+        edges = sorted(graph.edges(), key=lambda t: (-t[2], t[0], t[1]))
+        for u, v, _cost in edges:
+            cu, cv = cluster[u], cluster[v]
+            if cu == cv:
+                continue
+            trial = [cu if c == cv else c for c in cluster]
+            length = mapping_makespan(graph, trial, prio)
+            if length <= best + 1e-9:
+                cluster = trial
+                best = length
+        return schedule_from_mapping(graph, cluster, machine.num_procs, prio)

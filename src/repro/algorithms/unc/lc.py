@@ -1,0 +1,75 @@
+"""LC — Linear Clustering (Kim & Browne, 1988).
+
+Iterated critical-path extraction: find the longest path (nodes + edges)
+over the still-unclustered subgraph, make its nodes one linear cluster
+(zeroing the edges along it), remove them, repeat.  Every cluster is
+*linear* — its tasks form a chain — which Kim & Browne argue mirrors the
+natural structure of parallel computations.
+
+CP-based (each iteration clusters a whole critical path) but pays no
+attention to processor economy: the paper observes LC uses more than 100
+processors on 500-node graphs (Section 6.4.2).  Complexity O(v(v+e)).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ...core.attributes import blevel
+from ...core.graph import TaskGraph
+from ...core.machine import Machine
+from ...core.schedule import Schedule
+from ..base import Scheduler, register
+from ..mapping import schedule_from_mapping
+
+__all__ = ["LC"]
+
+
+@register
+class LC(Scheduler):
+    name = "LC"
+    klass = "UNC"
+    cp_based = True
+    dynamic_priority = False
+    uses_insertion = False
+    complexity = "O(v(v+e))"
+
+    def _run(self, graph: TaskGraph, machine: Machine) -> Schedule:
+        n = graph.num_nodes
+        cluster = [-1] * n
+        next_cluster = 0
+        unclustered = set(graph.nodes())
+        while unclustered:
+            path = self._longest_path(graph, unclustered)
+            for node in path:
+                cluster[node] = next_cluster
+                unclustered.discard(node)
+            next_cluster += 1
+        return schedule_from_mapping(graph, cluster, machine.num_procs,
+                                     blevel(graph))
+
+    @staticmethod
+    def _longest_path(graph: TaskGraph, alive: set) -> List[int]:
+        """Longest (node+edge weight) path within the ``alive`` subgraph."""
+        best_len = {}
+        best_succ = {}
+        for u in reversed(graph.topological_order):
+            if u not in alive:
+                continue
+            length, succ = graph.weight(u), None
+            for s in graph.successors(u):
+                if s not in alive:
+                    continue
+                cand = graph.weight(u) + graph.comm_cost(u, s) + best_len[s]
+                if cand > length + 1e-12 or (
+                    abs(cand - length) <= 1e-12 and succ is not None and s < succ
+                ):
+                    length, succ = cand, s
+            best_len[u] = length
+            best_succ[u] = succ
+        # Start node: maximise path length; ties toward the smaller id.
+        start = max(sorted(best_len), key=lambda u: best_len[u])
+        path = [start]
+        while best_succ[path[-1]] is not None:
+            path.append(best_succ[path[-1]])
+        return path

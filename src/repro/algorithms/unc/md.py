@@ -1,0 +1,165 @@
+"""MD — Mobility Directed scheduling (Wu & Gajski, 1990).
+
+MD schedules nodes in order of *relative mobility*
+
+    M(n) = (L' - (tlevel'(n) + blevel'(n))) / w(n)
+
+where the primed quantities are recomputed on the *partially zeroed*
+graph after every placement (edges between co-located nodes cost
+nothing) and ``L'`` is the current critical-path length.  Nodes with
+zero mobility lie on the current critical path, so MD is CP-based with a
+fully dynamic priority.  A node is placed on the first already-used
+processor that can hold it without stretching the critical path (start
+within its ALAP window, insertion allowed); only if none can is a new
+processor opened — which is why the paper finds MD using relatively few
+processors (Section 6.4.2) at the cost of the largest UNC running times
+(Table 6).
+
+Deviation from the original: Wu & Gajski allow limited re-timing of
+already-placed nodes when squeezing a new node in; we pin placed nodes
+and resolve any resulting tentative inconsistency with a final
+fixed-sequence timing pass (:func:`simulate_fixed_sequences`).
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, List, Set, Tuple
+
+from ...core.graph import TaskGraph
+from ...core.machine import Machine
+from ...core.schedule import Schedule
+from ..base import Scheduler, register
+from ..mapping import simulate_fixed_sequences
+
+__all__ = ["MD"]
+
+_EPS = 1e-9
+
+
+@register
+class MD(Scheduler):
+    name = "MD"
+    klass = "UNC"
+    cp_based = True
+    dynamic_priority = True
+    uses_insertion = True
+    complexity = "O(v^3)"
+
+    def _run(self, graph: TaskGraph, machine: Machine) -> Schedule:
+        n = graph.num_nodes
+        zeroed: Set[Tuple[int, int]] = set()
+        pinned: Dict[int, float] = {}
+        proc_of: Dict[int, int] = {}
+        # Per processor: parallel sorted lists of (start, finish, node).
+        proc_starts: List[List[float]] = []
+        proc_finishes: List[List[float]] = []
+        proc_nodes: List[List[int]] = []
+
+        for _step in range(n):
+            t = self._tlevels(graph, zeroed, pinned)
+            b = self._blevels(graph, zeroed)
+            cp = max(t[i] + b[i] for i in range(n))
+            # Min relative mobility; ties toward smaller t-level then id.
+            node = min(
+                (i for i in range(n) if i not in pinned),
+                key=lambda i: ((cp - (t[i] + b[i])) / graph.weight(i), t[i], i),
+            )
+            alst = cp - b[node]  # latest start not stretching the CP
+            choice = None
+            for p in range(len(proc_starts)):
+                est = self._est_on(graph, node, p, t, pinned, proc_of)
+                slot = self._find_slot(proc_starts[p], proc_finishes[p], est,
+                                       graph.weight(node))
+                if slot <= alst + _EPS:
+                    choice = (p, slot)
+                    break
+            if choice is None:
+                # Fresh processor: the node starts at its dynamic t-level,
+                # which by definition of cp satisfies the mobility window.
+                proc_starts.append([])
+                proc_finishes.append([])
+                proc_nodes.append([])
+                choice = (len(proc_starts) - 1, t[node])
+            p, start = choice
+            for resident in proc_nodes[p]:
+                if graph.has_edge(node, resident):
+                    zeroed.add((node, resident))
+                if graph.has_edge(resident, node):
+                    zeroed.add((resident, node))
+            i = bisect.bisect_left(proc_starts[p], start)
+            proc_starts[p].insert(i, start)
+            proc_finishes[p].insert(i, start + graph.weight(node))
+            proc_nodes[p].insert(i, node)
+            pinned[node] = start
+            proc_of[node] = p
+
+        sequences = [list(nodes) for nodes in proc_nodes]
+        return simulate_fixed_sequences(graph, sequences, machine.num_procs)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _tlevels(graph: TaskGraph, zeroed, pinned) -> List[float]:
+        t = [0.0] * graph.num_nodes
+        for u in graph.topological_order:
+            best = 0.0
+            for p in graph.predecessors(u):
+                c = 0.0 if (p, u) in zeroed else graph.comm_cost(p, u)
+                cand = t[p] + graph.weight(p) + c
+                if cand > best:
+                    best = cand
+            pin = pinned.get(u)
+            if pin is not None and pin > best:
+                best = pin
+            t[u] = best
+        return t
+
+    @staticmethod
+    def _blevels(graph: TaskGraph, zeroed) -> List[float]:
+        b = [0.0] * graph.num_nodes
+        for u in reversed(graph.topological_order):
+            best = 0.0
+            for s in graph.successors(u):
+                c = 0.0 if (u, s) in zeroed else graph.comm_cost(u, s)
+                cand = b[s] + c
+                if cand > best:
+                    best = cand
+            b[u] = best + graph.weight(u)
+        return b
+
+    @staticmethod
+    def _est_on(graph: TaskGraph, node: int, proc: int, t, pinned,
+                proc_of) -> float:
+        """Earliest data-constrained start of ``node`` on ``proc``.
+
+        Edges from parents already resident on ``proc`` are treated as
+        zeroed; unscheduled parents contribute their dynamic t-level.
+        """
+        est = 0.0
+        for p in graph.predecessors(node):
+            if p in pinned:
+                arr = pinned[p] + graph.weight(p)
+                if proc_of[p] != proc:
+                    arr += graph.comm_cost(p, node)
+            else:
+                arr = t[p] + graph.weight(p) + graph.comm_cost(p, node)
+            if arr > est:
+                est = arr
+        return est
+
+    @staticmethod
+    def _find_slot(starts: List[float], finishes: List[float], est: float,
+                   duration: float) -> float:
+        """Earliest insertion slot >= est among pinned intervals."""
+        if not starts:
+            return est
+        if est + duration <= starts[0] + _EPS:
+            return est
+        i = bisect.bisect_right(finishes, est)
+        if i > 0:
+            i -= 1
+        for k in range(i, len(starts) - 1):
+            gap = max(est, finishes[k])
+            if gap + duration <= starts[k + 1] + _EPS:
+                return gap
+        return max(est, finishes[-1])

@@ -1,0 +1,73 @@
+"""Benchmark harness: suites, runner, and the paper's tables/figures."""
+
+from .analysis import (
+    DecisionReport,
+    PairReport,
+    design_decision_report,
+    matched_pair_report,
+    render_pairs,
+    render_report,
+)
+from .figures import FigureSeries, fig2, fig3, fig4, render_figure
+from .runner import (
+    APN_ALGORITHMS,
+    BNP_ALGORITHMS,
+    UNC_ALGORITHMS,
+    BenchConfig,
+    run_grid,
+    run_one,
+)
+from .suites import (
+    default_apn_topology,
+    is_full_scale,
+    psg_suite,
+    rgbos_suite,
+    rgnos_suite,
+    rgpos_suite,
+    traced_suite,
+)
+from .tables import (
+    Table,
+    render,
+    table1,
+    table2,
+    table3,
+    table4,
+    table5,
+    table6,
+)
+
+__all__ = [
+    "BenchConfig",
+    "run_one",
+    "run_grid",
+    "DecisionReport",
+    "PairReport",
+    "design_decision_report",
+    "matched_pair_report",
+    "render_report",
+    "render_pairs",
+    "BNP_ALGORITHMS",
+    "UNC_ALGORITHMS",
+    "APN_ALGORITHMS",
+    "psg_suite",
+    "rgbos_suite",
+    "rgpos_suite",
+    "rgnos_suite",
+    "traced_suite",
+    "default_apn_topology",
+    "is_full_scale",
+    "Table",
+    "render",
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "table5",
+    "table6",
+    "FigureSeries",
+    "render_figure",
+    "fig2",
+    "fig3",
+    "fig4",
+]

@@ -1,0 +1,189 @@
+"""Automated Section-6/7 analysis: from raw results to the paper's
+conclusions.
+
+The paper closes with four design-philosophy findings (Section 7):
+
+1. CP-based algorithms beat non-CP-based ones;
+2. dynamic critical path beats static critical path;
+3. insertion beats non-insertion;
+4. dynamic priority generally beats static priority (MCP the exception).
+
+Given a set of :class:`RunResult` rows, this module aggregates mean NSL
+by each taxonomy flag of the participating schedulers and renders the
+comparison — so the conclusions can be regenerated from any suite, not
+just eyeballed from the tables.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Tuple
+
+from ..algorithms import get_scheduler
+from ..metrics.measures import RunResult
+
+__all__ = [
+    "DecisionReport",
+    "PairReport",
+    "design_decision_report",
+    "matched_pair_report",
+    "render_report",
+    "render_pairs",
+]
+
+_FLAGS = (
+    ("cp_based", "critical-path-based", "non-CP-based"),
+    ("dynamic_priority", "dynamic priority", "static priority"),
+    ("uses_insertion", "insertion", "non-insertion"),
+)
+
+
+@dataclass
+class DecisionReport:
+    """Mean NSL split by one taxonomy flag."""
+
+    flag: str
+    yes_label: str
+    no_label: str
+    yes_mean_nsl: float
+    no_mean_nsl: float
+    yes_algorithms: List[str]
+    no_algorithms: List[str]
+
+    @property
+    def advantage(self) -> float:
+        """Positive when the 'yes' side wins (lower NSL)."""
+        return self.no_mean_nsl - self.yes_mean_nsl
+
+
+def design_decision_report(results: Iterable[RunResult]
+                           ) -> List[DecisionReport]:
+    """Aggregate mean NSL per taxonomy flag over ``results``.
+
+    Only clique-model classes (BNP/UNC) participate — APN NSLs embed
+    topology effects that would confound the design-decision comparison.
+    """
+    rows = [r for r in results if r.klass in ("BNP", "UNC")]
+    by_alg: Dict[str, List[float]] = defaultdict(list)
+    for r in rows:
+        by_alg[r.algorithm].append(r.nsl)
+    reports: List[DecisionReport] = []
+    for attr, yes_label, no_label in _FLAGS:
+        yes_vals, no_vals = [], []
+        yes_algs, no_algs = [], []
+        for alg, nsls in by_alg.items():
+            flag = getattr(get_scheduler(alg), attr)
+            mean = sum(nsls) / len(nsls)
+            if flag:
+                yes_vals.append(mean)
+                yes_algs.append(alg)
+            else:
+                no_vals.append(mean)
+                no_algs.append(alg)
+        if not yes_vals or not no_vals:
+            continue
+        reports.append(DecisionReport(
+            flag=attr,
+            yes_label=yes_label,
+            no_label=no_label,
+            yes_mean_nsl=sum(yes_vals) / len(yes_vals),
+            no_mean_nsl=sum(no_vals) / len(no_vals),
+            yes_algorithms=sorted(yes_algs),
+            no_algorithms=sorted(no_algs),
+        ))
+    return reports
+
+
+@dataclass
+class PairReport:
+    """Head-to-head comparison of two algorithms differing in one
+    design decision (the clean way to test the paper's conclusions —
+    group means confound the decision with everything else about the
+    group's members)."""
+
+    decision: str
+    favoured: str           # algorithm embodying the decision
+    baseline: str
+    favoured_mean_nsl: float
+    baseline_mean_nsl: float
+    wins: int               # graphs where favoured is strictly better
+    losses: int
+
+    @property
+    def advantage(self) -> float:
+        return self.baseline_mean_nsl - self.favoured_mean_nsl
+
+
+# The canonical pairs: each differs from its baseline (almost) only in
+# the named decision.
+_PAIRS = (
+    ("insertion (ISH vs HLFET)", "ISH", "HLFET"),
+    ("CP-based priorities (MCP vs HLFET)", "MCP", "HLFET"),
+    ("dynamic critical path (DCP vs DSC)", "DCP", "DSC"),
+    ("dynamic priority (ETF vs HLFET)", "ETF", "HLFET"),
+)
+
+
+def matched_pair_report(results: Iterable[RunResult]) -> List[PairReport]:
+    """Per-graph head-to-head comparison along the canonical pairs."""
+    by_graph_alg: Dict[Tuple[str, str], float] = {}
+    for r in results:
+        by_graph_alg[(r.graph, r.algorithm)] = r.nsl
+    graphs = sorted({g for (g, _a) in by_graph_alg})
+    out: List[PairReport] = []
+    for decision, fav, base in _PAIRS:
+        fav_vals, base_vals = [], []
+        wins = losses = 0
+        for g in graphs:
+            fv = by_graph_alg.get((g, fav))
+            bv = by_graph_alg.get((g, base))
+            if fv is None or bv is None:
+                continue
+            fav_vals.append(fv)
+            base_vals.append(bv)
+            if fv < bv - 1e-9:
+                wins += 1
+            elif fv > bv + 1e-9:
+                losses += 1
+        if not fav_vals:
+            continue
+        out.append(PairReport(
+            decision, fav, base,
+            sum(fav_vals) / len(fav_vals),
+            sum(base_vals) / len(base_vals),
+            wins, losses,
+        ))
+    return out
+
+
+def render_pairs(pairs: List[PairReport]) -> str:
+    """ASCII rendering of the matched-pair conclusions."""
+    lines = ["Matched-pair design-decision analysis (NSL; lower is better)"]
+    for p in pairs:
+        verdict = "confirms" if p.advantage >= 0 else "CONTRADICTS"
+        lines.append(
+            f"  {p.decision}: {p.favoured} {p.favoured_mean_nsl:.3f} vs "
+            f"{p.baseline} {p.baseline_mean_nsl:.3f} "
+            f"(wins {p.wins}, losses {p.losses}) -> {verdict} the paper"
+        )
+    return "\n".join(lines)
+
+
+def render_report(reports: List[DecisionReport]) -> str:
+    """ASCII rendering of the design-decision comparison."""
+    lines = ["Design-decision analysis (mean NSL; lower is better)"]
+    for r in reports:
+        winner = r.yes_label if r.advantage > 0 else r.no_label
+        lines.append(
+            f"  {r.yes_label:>22}: {r.yes_mean_nsl:6.3f}  "
+            f"({', '.join(r.yes_algorithms)})"
+        )
+        lines.append(
+            f"  {r.no_label:>22}: {r.no_mean_nsl:6.3f}  "
+            f"({', '.join(r.no_algorithms)})"
+        )
+        lines.append(f"  {'-> winner':>22}: {winner} "
+                     f"(by {abs(r.advantage):.3f} NSL)")
+        lines.append("")
+    return "\n".join(lines).rstrip()

@@ -1,0 +1,121 @@
+"""Command line entry point: ``repro-bench`` / ``python -m repro.bench``.
+
+Regenerates any paper artifact on demand::
+
+    repro-bench --artifact table1
+    repro-bench --artifact fig2 --full
+    repro-bench --artifact all --out results/
+
+Reduced-scale suites run in seconds; ``--full`` (or ``REPRO_FULL=1``)
+switches to the paper's exact grids.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import Callable, Dict, List, Optional
+
+from . import figures, tables
+
+__all__ = ["main"]
+
+_TABLE_BUILDERS: Dict[str, Callable] = {
+    "table1": tables.table1,
+    "table2": tables.table2,
+    "table3": tables.table3,
+    "table4": tables.table4,
+    "table5": tables.table5,
+    "table6": tables.table6,
+}
+_FIGURE_BUILDERS: Dict[str, Callable] = {
+    "fig2": figures.fig2,
+    "fig3": figures.fig3,
+    "fig4": figures.fig4,
+}
+
+
+def _analysis_artifact(full) -> str:
+    """Section 7 conclusions: matched pairs + taxonomy-group means."""
+    from .analysis import (
+        design_decision_report,
+        matched_pair_report,
+        render_pairs,
+        render_report,
+    )
+    from .runner import BNP_ALGORITHMS, UNC_ALGORITHMS, run_grid
+    from .suites import rgnos_suite
+
+    graphs = rgnos_suite(full)
+    rows = run_grid(list(BNP_ALGORITHMS) + list(UNC_ALGORITHMS), graphs)
+    return (render_pairs(matched_pair_report(rows)) + "\n\n"
+            + render_report(design_decision_report(rows)))
+
+
+def _emit(text: str, name: str, out_dir: Optional[str]) -> None:
+    print(text)
+    print()
+    if out_dir:
+        os.makedirs(out_dir, exist_ok=True)
+        path = os.path.join(out_dir, f"{name}.txt")
+        with open(path, "w") as fh:
+            fh.write(text + "\n")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-bench",
+        description="Regenerate the tables and figures of Kwok & Ahmad "
+                    "(IPPS 1998).",
+    )
+    parser.add_argument(
+        "--artifact", default="all",
+        choices=(["all"] + sorted(_TABLE_BUILDERS)
+                 + sorted(_FIGURE_BUILDERS) + ["analysis"]),
+        help="which artifact to regenerate (default: all)",
+    )
+    parser.add_argument(
+        "--full", action="store_true",
+        help="paper-scale suites (large; pure Python takes a while)",
+    )
+    parser.add_argument(
+        "--budget", type=int, default=150_000,
+        help="branch-and-bound expansion budget for the RGBOS optima",
+    )
+    parser.add_argument(
+        "--out", default=None, metavar="DIR",
+        help="also write each artifact to DIR/<name>.txt (+ .csv for figures)",
+    )
+    args = parser.parse_args(argv)
+    full = True if args.full else None
+
+    wanted = (
+        sorted(_TABLE_BUILDERS) + sorted(_FIGURE_BUILDERS) + ["analysis"]
+        if args.artifact == "all"
+        else [args.artifact]
+    )
+    for name in wanted:
+        if name == "analysis":
+            _emit(_analysis_artifact(full), name, args.out)
+        elif name in _TABLE_BUILDERS:
+            builder = _TABLE_BUILDERS[name]
+            kwargs = {"full": full}
+            if name in ("table2", "table3"):
+                kwargs["budget"] = args.budget
+            table = builder(**kwargs)
+            _emit(tables.render(table), name, args.out)
+        else:
+            panels = _FIGURE_BUILDERS[name](full=full)
+            for key, fig in panels.items():
+                _emit(figures.render_figure(fig), f"{name}_{key.lower()}",
+                      args.out)
+                if args.out:
+                    path = os.path.join(args.out, f"{name}_{key.lower()}.csv")
+                    with open(path, "w") as fh:
+                        fh.write(fig.as_csv() + "\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,181 @@
+"""Regenerating the paper's figures (2, 3 and 4) as data series.
+
+Figures are returned as :class:`FigureSeries` — x values plus one y
+series per algorithm — and rendered as aligned ASCII tables with a
+sparkline-style bar per row (this repo regenerates the *data*; plotting
+libraries are intentionally not a dependency).
+
+=========  ==========================================================
+Figure 2   average NSL vs graph size on RGNOS (a: UNC, b: BNP, c: APN)
+Figure 3   average processors used vs graph size (a: UNC, b: BNP)
+Figure 4   average NSL on Cholesky traced graphs vs matrix dimension
+=========  ==========================================================
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..metrics.measures import RunResult
+from .runner import (
+    APN_ALGORITHMS,
+    BNP_ALGORITHMS,
+    UNC_ALGORITHMS,
+    run_grid,
+)
+from .suites import (
+    rgnos_sizes,
+    rgnos_suite,
+    traced_dimensions,
+    traced_suite,
+)
+
+__all__ = ["FigureSeries", "render_figure", "fig2", "fig3", "fig4"]
+
+
+@dataclass
+class FigureSeries:
+    """One panel: x axis plus named y series."""
+
+    id: str
+    title: str
+    x_label: str
+    y_label: str
+    x: List[float]
+    series: Dict[str, List[float]] = field(default_factory=dict)
+
+    def as_csv(self) -> str:
+        lines = [",".join([self.x_label] + list(self.series))]
+        for i, xv in enumerate(self.x):
+            lines.append(
+                ",".join(
+                    [f"{xv:g}"]
+                    + [f"{ys[i]:.4f}" for ys in self.series.values()]
+                )
+            )
+        return "\n".join(lines)
+
+
+def render_figure(fig: FigureSeries) -> str:
+    """ASCII rendering: aligned numbers plus a bar per series at max x."""
+    lines = [f"{fig.id}: {fig.title}",
+             f"  ({fig.y_label} vs {fig.x_label})"]
+    names = list(fig.series)
+    head = f"{fig.x_label:>8} | " + " | ".join(f"{n:>8}" for n in names)
+    lines.append(head)
+    lines.append("-" * len(head))
+    for i, xv in enumerate(fig.x):
+        row = f"{xv:8g} | " + " | ".join(
+            f"{fig.series[n][i]:8.3f}" for n in names
+        )
+        lines.append(row)
+    # Simple comparative bars at the largest size.
+    if fig.x:
+        lines.append("")
+        last = {n: fig.series[n][-1] for n in names}
+        top = max(last.values()) or 1.0
+        for n in names:
+            bar = "#" * max(1, int(round(30 * last[n] / top)))
+            lines.append(f"  {n:>8} at x={fig.x[-1]:g}: {bar} {last[n]:.3f}")
+    return "\n".join(lines)
+
+
+def _nsl_panel(panel_id: str, title: str, algorithms: Sequence[str],
+               results: List[RunResult], sizes: List[int]) -> FigureSeries:
+    acc: Dict[tuple, List[float]] = defaultdict(list)
+    for r in results:
+        if r.algorithm in algorithms:
+            acc[(r.num_nodes, r.algorithm)].append(r.nsl)
+    fig = FigureSeries(panel_id, title, "v", "avg NSL", [float(s) for s in sizes])
+    for a in algorithms:
+        fig.series[a] = [
+            sum(acc[(v, a)]) / len(acc[(v, a)]) if acc[(v, a)] else float("nan")
+            for v in sizes
+        ]
+    return fig
+
+
+def fig2(full: Optional[bool] = None) -> Dict[str, FigureSeries]:
+    """Average NSL of UNC, BNP and APN algorithms on RGNOS (Figure 2).
+
+    Each point averages over the CCR x parallelism grid at that size,
+    exactly as the paper aggregates its 25 graphs per size.
+    """
+    graphs = rgnos_suite(full)
+    sizes = rgnos_sizes(full)
+    names = (list(UNC_ALGORITHMS) + list(BNP_ALGORITHMS)
+             + list(APN_ALGORITHMS))
+    results = run_grid(names, graphs)
+    return {
+        "UNC": _nsl_panel("Figure 2(a)", "Average NSL, UNC algorithms, RGNOS",
+                          UNC_ALGORITHMS, results, sizes),
+        "BNP": _nsl_panel("Figure 2(b)", "Average NSL, BNP algorithms, RGNOS",
+                          BNP_ALGORITHMS, results, sizes),
+        "APN": _nsl_panel("Figure 2(c)", "Average NSL, APN algorithms, RGNOS",
+                          APN_ALGORITHMS, results, sizes),
+    }
+
+
+def fig3(full: Optional[bool] = None) -> Dict[str, FigureSeries]:
+    """Average processors used by UNC and BNP on RGNOS (Figure 3).
+
+    BNP algorithms run with a virtually unlimited processor supply and
+    the plot reports how many they actually used (Section 6.4.2).
+    """
+    graphs = rgnos_suite(full)
+    sizes = rgnos_sizes(full)
+    names = list(UNC_ALGORITHMS) + list(BNP_ALGORITHMS)
+    results = run_grid(names, graphs)
+    out: Dict[str, FigureSeries] = {}
+    for key, algorithms, panel in (
+        ("UNC", UNC_ALGORITHMS, "Figure 3(a)"),
+        ("BNP", BNP_ALGORITHMS, "Figure 3(b)"),
+    ):
+        acc: Dict[tuple, List[float]] = defaultdict(list)
+        for r in results:
+            if r.algorithm in algorithms:
+                acc[(r.num_nodes, r.algorithm)].append(float(r.procs_used))
+        fig = FigureSeries(panel,
+                           f"Average processors used, {key} algorithms, RGNOS",
+                           "v", "processors", [float(s) for s in sizes])
+        for a in algorithms:
+            fig.series[a] = [
+                sum(acc[(v, a)]) / len(acc[(v, a)]) if acc[(v, a)] else 0.0
+                for v in sizes
+            ]
+        out[key] = fig
+    return out
+
+
+def fig4(full: Optional[bool] = None, ccr: float = 1.0
+         ) -> Dict[str, FigureSeries]:
+    """Average NSL on Cholesky factorization graphs (Figure 4).
+
+    The x axis is the matrix dimension N; graph size grows as O(N^2).
+    """
+    graphs = traced_suite(full, ccr=ccr)
+    dims = traced_dimensions(full)
+    names = (list(UNC_ALGORITHMS) + list(BNP_ALGORITHMS)
+             + list(APN_ALGORITHMS))
+    results = run_grid(names, graphs)
+    size_to_dim = {g.num_nodes: d for g, d in zip(graphs, dims)}
+    out: Dict[str, FigureSeries] = {}
+    for key, algorithms, panel in (
+        ("UNC", UNC_ALGORITHMS, "Figure 4(a)"),
+        ("BNP", BNP_ALGORITHMS, "Figure 4(b)"),
+        ("APN", APN_ALGORITHMS, "Figure 4(c)"),
+    ):
+        fig = FigureSeries(panel,
+                           f"Average NSL on Cholesky graphs, {key} algorithms",
+                           "N", "NSL", [float(d) for d in dims])
+        for a in algorithms:
+            cells = {
+                size_to_dim[r.num_nodes]: r.nsl
+                for r in results
+                if r.algorithm == a and r.num_nodes in size_to_dim
+            }
+            fig.series[a] = [cells.get(d, float("nan")) for d in dims]
+        out[key] = fig
+    return out

@@ -1,0 +1,98 @@
+"""Running algorithm x graph grids and collecting measurements.
+
+The runner owns the machine-model conventions of the paper's evaluation:
+
+* UNC algorithms always get an unbounded (one-processor-per-task) clique;
+* BNP algorithms get a "virtually unlimited" clique by default — the
+  paper runs them that way and then counts processors actually used
+  (Section 6.4.2) — or a bounded machine when a table calls for one;
+* APN algorithms get a :class:`NetworkMachine` over the configured
+  topology (default: the 8-processor hypercube).
+
+Every schedule produced is validated against the full model invariants
+before it is measured — a benchmark row can never come from an invalid
+schedule.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from ..algorithms import get_scheduler
+from ..core.graph import TaskGraph
+from ..core.machine import Machine, NetworkMachine
+from ..core.schedule import validate
+from ..metrics.measures import RunResult, nsl
+from ..network.topology import Topology
+from .suites import default_apn_topology
+
+__all__ = ["BenchConfig", "run_one", "run_grid", "BNP_ALGORITHMS",
+           "UNC_ALGORITHMS", "APN_ALGORITHMS"]
+
+BNP_ALGORITHMS = ("HLFET", "ISH", "MCP", "ETF", "DLS", "LAST")
+UNC_ALGORITHMS = ("EZ", "LC", "DSC", "MD", "DCP")
+APN_ALGORITHMS = ("MH", "DLS-APN", "BU", "BSA")
+
+
+@dataclass
+class BenchConfig:
+    """Machine-model conventions for a grid run."""
+
+    bnp_procs: Optional[int] = None  # None -> virtually unlimited (v procs)
+    apn_topology: Optional[Topology] = None
+    validate_schedules: bool = True
+
+    def machine_for(self, name: str, graph: TaskGraph) -> Machine:
+        klass = get_scheduler(name).klass
+        if klass == "APN":
+            topo = self.apn_topology or default_apn_topology()
+            return NetworkMachine(topo)
+        if klass == "UNC" or self.bnp_procs is None:
+            return Machine.unbounded(graph)
+        return Machine(self.bnp_procs)
+
+
+def run_one(name: str, graph: TaskGraph,
+            machine: Optional[Machine] = None,
+            config: Optional[BenchConfig] = None,
+            optimal: Optional[float] = None) -> RunResult:
+    """Schedule ``graph`` with algorithm ``name`` and measure the result."""
+    config = config or BenchConfig()
+    scheduler = get_scheduler(name)
+    machine = machine or config.machine_for(name, graph)
+    t0 = time.perf_counter()
+    schedule = scheduler.schedule(graph, machine)
+    elapsed = time.perf_counter() - t0
+    if config.validate_schedules:
+        network = machine.topology if isinstance(machine, NetworkMachine) else None
+        validate(schedule, network=network)
+    return RunResult(
+        algorithm=scheduler.name,
+        klass=scheduler.klass,
+        graph=graph.name,
+        num_nodes=graph.num_nodes,
+        length=schedule.length,
+        nsl=nsl(schedule),
+        procs_used=schedule.processors_used(),
+        runtime_s=elapsed,
+        optimal=optimal,
+    )
+
+
+def run_grid(names: Sequence[str], graphs: Iterable[TaskGraph],
+             config: Optional[BenchConfig] = None,
+             optima: Optional[Dict[str, float]] = None) -> List[RunResult]:
+    """Run every algorithm on every graph; returns flat result rows.
+
+    ``optima`` optionally maps graph names to known optimal lengths,
+    which populates the degradation measure on each row.
+    """
+    config = config or BenchConfig()
+    results: List[RunResult] = []
+    for graph in graphs:
+        opt = optima.get(graph.name) if optima else None
+        for name in names:
+            results.append(run_one(name, graph, config=config, optimal=opt))
+    return results

@@ -1,0 +1,53 @@
+"""Core model: task graphs, node attributes, machines and schedules."""
+
+from .attributes import (
+    alap,
+    blevel,
+    cp_computation_cost,
+    cp_length,
+    critical_path,
+    priority_blevel_plus_tlevel,
+    static_blevel,
+    static_tlevel,
+    tlevel,
+)
+from .exceptions import (
+    CycleError,
+    GeneratorError,
+    GraphError,
+    MachineError,
+    ReproError,
+    RoutingError,
+    ScheduleError,
+    SolverBudgetExceeded,
+)
+from .graph import TaskGraph
+from .machine import Machine, NetworkMachine
+from .schedule import Message, Placement, Schedule, validate
+
+__all__ = [
+    "TaskGraph",
+    "Machine",
+    "NetworkMachine",
+    "Schedule",
+    "Placement",
+    "Message",
+    "validate",
+    "tlevel",
+    "blevel",
+    "static_blevel",
+    "static_tlevel",
+    "alap",
+    "critical_path",
+    "cp_length",
+    "cp_computation_cost",
+    "priority_blevel_plus_tlevel",
+    "ReproError",
+    "GraphError",
+    "CycleError",
+    "ScheduleError",
+    "MachineError",
+    "RoutingError",
+    "GeneratorError",
+    "SolverBudgetExceeded",
+]

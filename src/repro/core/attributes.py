@@ -1,0 +1,183 @@
+"""Node attributes used to assign scheduling priorities.
+
+Section 3 of the paper defines the attributes most DAG scheduling
+heuristics are built from:
+
+* **t-level** (top level) of ``n``: length of the longest path from an
+  entry node to ``n``, *excluding* ``w(n)``; path length sums node and
+  edge weights.  Correlates with the earliest possible start time.
+* **b-level** (bottom level) of ``n``: length of the longest path from
+  ``n`` to an exit node, *including* ``w(n)``.
+* **static level** (SL): b-level computed without edge weights
+  (computation costs only).  Used by HLFET, DLS and MH.
+* **ALAP** (as-late-as-possible start time): ``CP - blevel(n)`` where
+  ``CP`` is the critical-path length.  Used by MCP and MD.
+* **critical path** (CP): a path from an entry to an exit node whose
+  length (nodes + edges) is maximal.
+
+All functions return plain lists indexed by node and run in
+``O(v + e)`` over a cached topological order.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set, Tuple
+
+from .graph import TaskGraph
+
+__all__ = [
+    "tlevel",
+    "blevel",
+    "static_blevel",
+    "static_tlevel",
+    "alap",
+    "critical_path",
+    "cp_length",
+    "cp_computation_cost",
+    "priority_blevel_plus_tlevel",
+]
+
+
+def tlevel(graph: TaskGraph, zeroed: Optional[Set[Tuple[int, int]]] = None
+           ) -> List[float]:
+    """Top levels of all nodes.
+
+    ``zeroed`` optionally names edges whose communication cost should be
+    treated as zero (the two endpoints are clustered on one processor);
+    this is what makes the t-level a *dynamic* attribute during
+    clustering.
+    """
+    t = [0.0] * graph.num_nodes
+    for u in graph.topological_order:
+        best = 0.0
+        for p in graph.predecessors(u):
+            c = graph.comm_cost(p, u)
+            if zeroed and (p, u) in zeroed:
+                c = 0.0
+            cand = t[p] + graph.weight(p) + c
+            if cand > best:
+                best = cand
+        t[u] = best
+    return t
+
+
+def blevel(graph: TaskGraph, zeroed: Optional[Set[Tuple[int, int]]] = None
+           ) -> List[float]:
+    """Bottom levels of all nodes (edge weights included)."""
+    b = [0.0] * graph.num_nodes
+    for u in reversed(graph.topological_order):
+        best = 0.0
+        for s in graph.successors(u):
+            c = graph.comm_cost(u, s)
+            if zeroed and (u, s) in zeroed:
+                c = 0.0
+            cand = b[s] + c
+            if cand > best:
+                best = cand
+        b[u] = best + graph.weight(u)
+    return b
+
+
+def static_blevel(graph: TaskGraph) -> List[float]:
+    """Static levels: longest computation-only path from node to an exit.
+
+    This is the classic *SL* attribute of HLFET and DLS — edge weights are
+    ignored entirely, so the value never changes during scheduling.
+    """
+    b = [0.0] * graph.num_nodes
+    for u in reversed(graph.topological_order):
+        best = 0.0
+        for s in graph.successors(u):
+            if b[s] > best:
+                best = b[s]
+        b[u] = best + graph.weight(u)
+    return b
+
+
+def static_tlevel(graph: TaskGraph) -> List[float]:
+    """Computation-only top levels (no edge weights)."""
+    t = [0.0] * graph.num_nodes
+    for u in graph.topological_order:
+        best = 0.0
+        for p in graph.predecessors(u):
+            cand = t[p] + graph.weight(p)
+            if cand > best:
+                best = cand
+        t[u] = best
+    return t
+
+
+def cp_length(graph: TaskGraph) -> float:
+    """Critical-path length including node and edge weights."""
+    return max(blevel(graph))
+
+
+def alap(graph: TaskGraph) -> List[float]:
+    """As-late-as-possible start times: ``CP - blevel``.
+
+    Smaller ALAP means less scheduling slack; MCP schedules in ascending
+    ALAP order.
+    """
+    b = blevel(graph)
+    cp = max(b)
+    return [cp - bi for bi in b]
+
+
+def critical_path(graph: TaskGraph) -> List[int]:
+    """One critical path as an entry→exit node list.
+
+    Ties are broken toward the smallest node id so the result is
+    deterministic.
+    """
+    b = blevel(graph)
+    t = tlevel(graph)
+    cp = max(b)
+    # Entry node on the CP: tlevel == 0 and blevel == CP.
+    start = min(
+        (n for n in graph.nodes() if t[n] == 0.0 and abs(b[n] - cp) < 1e-9),
+        default=None,
+    )
+    if start is None:  # numerical fallback: take the max-blevel entry node
+        start = max(graph.entry_nodes, key=lambda n: (b[n], -n))
+    path = [start]
+    cur = start
+    while graph.successors(cur):
+        nxt = None
+        for s in graph.successors(cur):
+            need = b[cur] - graph.weight(cur) - graph.comm_cost(cur, s)
+            if abs(b[s] - need) < 1e-9:
+                nxt = s
+                break
+        if nxt is None:
+            # Round-off: fall back to the successor maximising b + c.
+            nxt = max(
+                graph.successors(cur),
+                key=lambda s: (b[s] + graph.comm_cost(cur, s), -s),
+            )
+        path.append(nxt)
+        cur = nxt
+    return path
+
+
+def cp_computation_cost(graph: TaskGraph) -> float:
+    """Sum of computation costs along a maximum-computation path.
+
+    This is the denominator of the paper's *normalized schedule length*
+    (Section 6): the NSL of a schedule of length ``L`` is
+    ``L / sum(w(n) for n on CP)``.  Following the lower-bound reading of
+    the definition, we take the path that maximises the *computation*
+    sum — on a clean system the schedule can never finish faster than
+    executing those nodes back to back.
+    """
+    best = [0.0] * graph.num_nodes
+    for u in reversed(graph.topological_order):
+        child = max((best[s] for s in graph.successors(u)), default=0.0)
+        best[u] = child + graph.weight(u)
+    return max(best)
+
+
+def priority_blevel_plus_tlevel(graph: TaskGraph) -> List[float]:
+    """DSC's dominant-sequence priority: ``blevel + tlevel`` per node."""
+    b = blevel(graph)
+    t = tlevel(graph)
+    return [bi + ti for bi, ti in zip(b, t)]

@@ -1,0 +1,61 @@
+"""Error types raised by the :mod:`repro` library.
+
+A small, flat hierarchy: every library error derives from
+:class:`ReproError` so callers can catch one type at an API boundary while
+tests can assert on the precise subclass.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "GraphError",
+    "CycleError",
+    "ScheduleError",
+    "MachineError",
+    "RoutingError",
+    "GeneratorError",
+    "SolverBudgetExceeded",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class GraphError(ReproError):
+    """Malformed task graph (bad node ids, negative weights, ...)."""
+
+
+class CycleError(GraphError):
+    """The supplied edge set contains a directed cycle."""
+
+
+class ScheduleError(ReproError):
+    """A schedule operation or validation failed."""
+
+
+class MachineError(ReproError):
+    """Invalid machine description (e.g. zero processors)."""
+
+
+class RoutingError(ReproError):
+    """No route exists between two processors of a topology."""
+
+
+class GeneratorError(ReproError):
+    """A benchmark-graph generator was given inconsistent parameters."""
+
+
+class SolverBudgetExceeded(ReproError):
+    """The optimal solver exhausted its node budget before proving optimality.
+
+    The exception carries the best schedule found so far (``best``) and the
+    strongest lower bound proven (``lower_bound``) so callers can still use
+    the partial result.
+    """
+
+    def __init__(self, message: str, best=None, lower_bound: float = 0.0):
+        super().__init__(message)
+        self.best = best
+        self.lower_bound = lower_bound

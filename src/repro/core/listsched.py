@@ -1,0 +1,113 @@
+"""Shared list-scheduling machinery.
+
+All six BNP algorithms (and much of the APN class) are variations on one
+loop: keep a ready list, pick the highest-priority ready node, pick a
+processor, place, release children.  This module holds the pieces the
+variants share so each algorithm module only encodes its distinguishing
+decision (Section 3 of the paper: priority attribute, static vs dynamic
+list, insertion vs non-insertion, greedy vs non-greedy processor choice).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from .graph import TaskGraph
+from .schedule import Schedule
+
+__all__ = [
+    "ReadyTracker",
+    "candidate_procs",
+    "est_on_proc",
+    "best_proc_min_est",
+    "best_proc_min_eft",
+]
+
+
+class ReadyTracker:
+    """Tracks which unscheduled nodes have all parents scheduled.
+
+    The ready set starts with the entry nodes; :meth:`mark_scheduled`
+    releases children whose last parent was just placed.  Iteration order
+    is unspecified — ordering is the calling algorithm's job.
+    """
+
+    def __init__(self, graph: TaskGraph):
+        self.graph = graph
+        self._unscheduled_parents = [graph.in_degree(n) for n in graph.nodes()]
+        self._ready = {n for n in graph.entry_nodes}
+        self._scheduled = [False] * graph.num_nodes
+
+    @property
+    def ready(self) -> set:
+        return self._ready
+
+    def is_ready(self, node: int) -> bool:
+        return node in self._ready
+
+    def mark_scheduled(self, node: int) -> List[int]:
+        """Remove ``node`` from the ready set; return newly-ready children."""
+        self._ready.discard(node)
+        self._scheduled[node] = True
+        released: List[int] = []
+        for child in self.graph.successors(node):
+            self._unscheduled_parents[child] -= 1
+            if self._unscheduled_parents[child] == 0:
+                self._ready.add(child)
+                released.append(child)
+        return released
+
+    def all_scheduled(self) -> bool:
+        return all(self._scheduled)
+
+
+def candidate_procs(schedule: Schedule) -> List[int]:
+    """Processors worth examining in the clique model.
+
+    Identical empty processors are interchangeable — a node's EST is the
+    same on every one of them — so it suffices to examine the used
+    processors plus the first empty one.  This keeps the paper's
+    "virtually unlimited number of processors" BNP runs (Section 6.4.2)
+    at ``O(used)`` instead of ``O(p)`` per decision without changing any
+    scheduling outcome.
+    """
+    procs = schedule.used_proc_ids()
+    if len(procs) < schedule.num_procs:
+        used = set(procs)
+        for p in range(schedule.num_procs):
+            if p not in used:
+                procs.append(p)
+                break
+        procs.sort()  # preserve exact lowest-id tie-breaking
+    return procs
+
+
+def est_on_proc(schedule: Schedule, node: int, proc: int,
+                insertion: bool) -> float:
+    """Earliest start of ``node`` on ``proc`` in the clique model."""
+    drt = schedule.data_ready_time(node, proc)
+    return schedule.earliest_slot(proc, drt, schedule.graph.weight(node),
+                                  insertion=insertion)
+
+
+def best_proc_min_est(schedule: Schedule, node: int,
+                      insertion: bool) -> Tuple[int, float]:
+    """Greedy processor choice: minimise the start time of ``node``.
+
+    Ties break toward the lowest processor id (deterministic, and keeps
+    the processors-used count honest for Figure 3).
+    """
+    best_p, best_t = 0, float("inf")
+    for p in candidate_procs(schedule):
+        t = est_on_proc(schedule, node, p, insertion)
+        if t < best_t - 1e-12:
+            best_p, best_t = p, t
+    return best_p, best_t
+
+
+def best_proc_min_eft(schedule: Schedule, node: int,
+                      insertion: bool) -> Tuple[int, float]:
+    """Processor minimising the *finish* time (same as EST for uniform
+    processors, kept separate for clarity at call sites)."""
+    p, t = best_proc_min_est(schedule, node, insertion)
+    return p, t + schedule.graph.weight(node)

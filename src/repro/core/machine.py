@@ -1,0 +1,83 @@
+"""Target machine models.
+
+The paper evaluates three algorithm classes against two machine
+abstractions:
+
+* **BNP / UNC** — a clique of identical processors with contention-free
+  links: communication between two processors always takes exactly the
+  edge cost, regardless of traffic (:class:`Machine`).  BNP algorithms
+  receive a *bounded* processor count; UNC algorithms conceptually have
+  an unbounded supply (one processor per task is always sufficient).
+* **APN** — an arbitrary processor network whose links are *not*
+  contention-free; messages must be scheduled onto links hop by hop
+  (:class:`NetworkMachine`, built on :mod:`repro.network`).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from .exceptions import MachineError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..network.topology import Topology
+
+__all__ = ["Machine", "NetworkMachine"]
+
+
+class Machine:
+    """A fully connected set of identical processors.
+
+    Parameters
+    ----------
+    num_procs:
+        Number of processors available to the scheduler (``p``).
+    """
+
+    contention_aware = False
+
+    def __init__(self, num_procs: int):
+        if num_procs < 1:
+            raise MachineError("a machine needs at least one processor")
+        self.num_procs = int(num_procs)
+
+    @classmethod
+    def unbounded(cls, graph_or_size) -> "Machine":
+        """Machine for UNC algorithms: one processor per task.
+
+        ``v`` processors are always enough — no schedule can keep more
+        than ``v`` processors busy.
+        """
+        size = getattr(graph_or_size, "num_nodes", graph_or_size)
+        return cls(int(size))
+
+    def comm_delay(self, src: int, dst: int, cost: float) -> float:
+        """Message delay between processors in the clique model."""
+        return 0.0 if src == dst else cost
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Machine(num_procs={self.num_procs})"
+
+
+class NetworkMachine(Machine):
+    """A machine whose processors are joined by an explicit topology.
+
+    APN schedulers additionally schedule each inter-processor message on
+    the links of ``topology`` (see :mod:`repro.network.contention`); this
+    class carries the topology plus its routing tables.
+    """
+
+    contention_aware = True
+
+    def __init__(self, topology: "Topology"):
+        super().__init__(topology.num_procs)
+        self.topology = topology
+
+    def comm_delay(self, src: int, dst: int, cost: float) -> float:
+        """Contention-free lower bound: per-hop store-and-forward delay."""
+        if src == dst:
+            return 0.0
+        return cost * self.topology.hop_count(src, dst)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"NetworkMachine({self.topology!r})"

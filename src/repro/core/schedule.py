@@ -1,0 +1,365 @@
+"""Schedules: task placements on processor timelines, plus validation.
+
+A :class:`Schedule` maps every scheduled task to a processor and a start
+time and maintains, per processor, a time-sorted list of busy intervals.
+It supports the two processor-selection disciplines the paper contrasts:
+
+* **non-insertion** — a task may only be appended after the last task
+  already on the processor (HLFET, ETF);
+* **insertion** — a task may also be placed into an idle slot between two
+  already-scheduled tasks if it fits (ISH, MCP, DLS, DCP, ...).
+
+For APN schedules, inter-processor messages are recorded as
+:class:`Message` objects carrying their route and per-hop link
+reservations; :func:`validate` then checks the full contention model.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from .exceptions import ScheduleError
+from .graph import TaskGraph
+
+__all__ = ["Placement", "Message", "Schedule", "validate"]
+
+_EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class Placement:
+    """A task's assignment: processor, start and finish times."""
+
+    node: int
+    proc: int
+    start: float
+    finish: float
+
+
+@dataclass
+class Message:
+    """A scheduled inter-processor message for edge ``(src, dst)``.
+
+    ``hops`` lists ``(link, start, finish)`` reservations along the route,
+    in order; ``arrival`` is when the data is available at the receiving
+    processor.  For clique machines messages are implicit and never
+    recorded.
+    """
+
+    src: int
+    dst: int
+    route: Tuple[int, ...]
+    hops: List[Tuple[Tuple[int, int], float, float]] = field(default_factory=list)
+    arrival: float = 0.0
+
+
+class Schedule:
+    """A (possibly partial) schedule of a task graph.
+
+    Parameters
+    ----------
+    graph:
+        The task graph being scheduled.
+    num_procs:
+        Number of processor timelines to maintain.
+    """
+
+    def __init__(self, graph: TaskGraph, num_procs: int):
+        if num_procs < 1:
+            raise ScheduleError("schedule needs at least one processor")
+        self.graph = graph
+        self.num_procs = int(num_procs)
+        self._placements: Dict[int, Placement] = {}
+        # Per processor: parallel sorted lists of start times, finish
+        # times, and node ids.  bisect keeps slot search O(log k).
+        self._starts: List[List[float]] = [[] for _ in range(num_procs)]
+        self._finishes: List[List[float]] = [[] for _ in range(num_procs)]
+        self._nodes: List[List[int]] = [[] for _ in range(num_procs)]
+        self.messages: Dict[Tuple[int, int], Message] = {}
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def is_scheduled(self, node: int) -> bool:
+        return node in self._placements
+
+    def placement(self, node: int) -> Placement:
+        try:
+            return self._placements[node]
+        except KeyError:
+            raise ScheduleError(f"node {node} is not scheduled") from None
+
+    def proc_of(self, node: int) -> int:
+        return self.placement(node).proc
+
+    def start_of(self, node: int) -> float:
+        return self.placement(node).start
+
+    def finish_of(self, node: int) -> float:
+        return self.placement(node).finish
+
+    def tasks_on(self, proc: int) -> List[Placement]:
+        """Placements on ``proc`` in start-time order."""
+        return [self._placements[n] for n in self._nodes[proc]]
+
+    def proc_ready_time(self, proc: int) -> float:
+        """Finish time of the last task on ``proc`` (0 when idle)."""
+        fins = self._finishes[proc]
+        return fins[-1] if fins else 0.0
+
+    @property
+    def num_scheduled(self) -> int:
+        return len(self._placements)
+
+    def is_complete(self) -> bool:
+        return len(self._placements) == self.graph.num_nodes
+
+    @property
+    def length(self) -> float:
+        """Schedule length (makespan) over all processors."""
+        return max(
+            (f[-1] for f in self._finishes if f),
+            default=0.0,
+        )
+
+    def processors_used(self) -> int:
+        """Number of processors with at least one task."""
+        return sum(1 for s in self._starts if s)
+
+    def used_proc_ids(self) -> List[int]:
+        return [p for p in range(self.num_procs) if self._starts[p]]
+
+    # ------------------------------------------------------------------
+    # slot search
+    # ------------------------------------------------------------------
+    def earliest_slot(self, proc: int, est: float, duration: float,
+                      insertion: bool = True) -> float:
+        """Earliest start ``>= est`` for a task of ``duration`` on ``proc``.
+
+        With ``insertion=False`` the answer is simply
+        ``max(est, proc_ready_time)``.  With insertion the idle gaps
+        between consecutive tasks are also searched, matching the
+        insertion-based algorithms in the paper.
+        """
+        if duration < 0:
+            raise ScheduleError("negative task duration")
+        starts, fins = self._starts[proc], self._finishes[proc]
+        if not insertion or not starts:
+            return max(est, fins[-1] if fins else 0.0)
+        # Gap before the first task.
+        if est + duration <= starts[0] + _EPS:
+            return est
+        # Gaps between consecutive tasks.  Only gaps ending after est can
+        # host the task, so start scanning at the first task whose finish
+        # exceeds est.
+        i = bisect.bisect_right(fins, est)
+        if i > 0:
+            i -= 1
+        for k in range(i, len(starts) - 1):
+            gap_start = max(est, fins[k])
+            if gap_start + duration <= starts[k + 1] + _EPS:
+                return gap_start
+        return max(est, fins[-1])
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def place(self, node: int, proc: int, start: float) -> Placement:
+        """Place ``node`` on ``proc`` at ``start``; rejects overlaps."""
+        if node in self._placements:
+            raise ScheduleError(f"node {node} already scheduled")
+        if not (0 <= proc < self.num_procs):
+            raise ScheduleError(f"processor {proc} out of range")
+        if start < -_EPS:
+            raise ScheduleError(f"negative start time {start} for node {node}")
+        dur = self.graph.weight(node)
+        finish = start + dur
+        starts, fins, nodes = (
+            self._starts[proc],
+            self._finishes[proc],
+            self._nodes[proc],
+        )
+        i = bisect.bisect_left(starts, start)
+        if i > 0 and fins[i - 1] > start + _EPS:
+            raise ScheduleError(
+                f"node {node} overlaps node {nodes[i - 1]} on P{proc}"
+            )
+        if i < len(starts) and starts[i] < finish - _EPS:
+            raise ScheduleError(
+                f"node {node} overlaps node {nodes[i]} on P{proc}"
+            )
+        starts.insert(i, start)
+        fins.insert(i, finish)
+        nodes.insert(i, node)
+        pl = Placement(node, proc, start, finish)
+        self._placements[node] = pl
+        return pl
+
+    def unplace(self, node: int) -> Placement:
+        """Remove ``node`` from the schedule (used by migrating schedulers)."""
+        pl = self.placement(node)
+        idx = self._nodes[pl.proc].index(node)
+        del self._starts[pl.proc][idx]
+        del self._finishes[pl.proc][idx]
+        del self._nodes[pl.proc][idx]
+        del self._placements[node]
+        return pl
+
+    def record_message(self, msg: Message) -> None:
+        self.messages[(msg.src, msg.dst)] = msg
+
+    # ------------------------------------------------------------------
+    # data-ready helpers (clique model)
+    # ------------------------------------------------------------------
+    def data_ready_time(self, node: int, proc: int) -> float:
+        """Earliest time all of ``node``'s inputs are available on ``proc``.
+
+        Uses the clique communication model: a parent on another
+        processor contributes ``finish(parent) + c(parent, node)``, a
+        co-located parent just ``finish(parent)``.  All parents must be
+        scheduled.
+        """
+        t = 0.0
+        for p in self.graph.predecessors(node):
+            pl = self.placement(p)
+            arr = pl.finish
+            if pl.proc != proc:
+                arr += self.graph.comm_cost(p, node)
+            if arr > t:
+                t = arr
+        return t
+
+    # ------------------------------------------------------------------
+    # rendering
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[int, Tuple[int, float, float]]:
+        """``{node: (proc, start, finish)}`` snapshot (for tests/reports)."""
+        return {
+            n: (pl.proc, pl.start, pl.finish)
+            for n, pl in self._placements.items()
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Schedule(graph={self.graph.name!r}, scheduled="
+            f"{self.num_scheduled}/{self.graph.num_nodes}, "
+            f"length={self.length:.4g}, procs={self.processors_used()})"
+        )
+
+
+def validate(schedule: Schedule, *, network=None) -> None:
+    """Check a complete schedule against the model's invariants.
+
+    Raises :class:`ScheduleError` on the first violation.  Checks:
+
+    1. every task is scheduled exactly once, within processor range;
+    2. no two tasks overlap on a processor;
+    3. every precedence edge is honoured: a child starts no earlier than
+       the parent's finish plus the communication delay —
+       * clique model: ``c(u, v)`` when processors differ;
+       * network model (``network`` given): the recorded message's
+         arrival, which itself must traverse a valid route with
+         contention-free-per-channel, duration-correct hop reservations.
+    """
+    g = schedule.graph
+    if not schedule.is_complete():
+        missing = [n for n in g.nodes() if not schedule.is_scheduled(n)]
+        raise ScheduleError(f"schedule incomplete; missing nodes {missing[:8]}")
+
+    # Overlap and duration checks per processor.
+    for proc in range(schedule.num_procs):
+        prev_finish = 0.0
+        prev_node = None
+        for pl in schedule.tasks_on(proc):
+            if pl.start < -_EPS:
+                raise ScheduleError(f"node {pl.node} starts before time 0")
+            if abs((pl.finish - pl.start) - g.weight(pl.node)) > 1e-6:
+                raise ScheduleError(
+                    f"node {pl.node} duration does not match its weight"
+                )
+            if pl.start < prev_finish - _EPS:
+                raise ScheduleError(
+                    f"nodes {prev_node} and {pl.node} overlap on P{proc}"
+                )
+            prev_finish, prev_node = pl.finish, pl.node
+
+    # Precedence + communication checks.
+    for u, v, c in g.edges():
+        pu, pv = schedule.placement(u), schedule.placement(v)
+        if pu.proc == pv.proc:
+            ready = pu.finish
+        elif network is None or c <= 0:
+            # Zero-cost messages are instantaneous and occupy no channel
+            # even under the contention model.
+            ready = pu.finish + c
+        else:
+            msg = schedule.messages.get((u, v))
+            if msg is None:
+                raise ScheduleError(
+                    f"edge ({u}, {v}) crosses processors but has no message"
+                )
+            _check_message(msg, pu, pv, c, network)
+            ready = msg.arrival
+        if pv.start < ready - 1e-6:
+            raise ScheduleError(
+                f"node {v} starts at {pv.start} before its input from {u} "
+                f"is ready at {ready}"
+            )
+
+    if network is not None:
+        _check_channel_exclusivity(schedule)
+
+
+def _check_message(msg: Message, pu, pv, cost: float, network) -> None:
+    """Validate one message's route and hop reservations."""
+    route = msg.route
+    if route[0] != pu.proc or route[-1] != pv.proc:
+        raise ScheduleError(
+            f"message ({msg.src}, {msg.dst}) route endpoints do not match "
+            "the task placements"
+        )
+    for a, b in zip(route, route[1:]):
+        if not network.has_link(a, b):
+            raise ScheduleError(
+                f"message ({msg.src}, {msg.dst}) uses missing link ({a}, {b})"
+            )
+    if len(msg.hops) != len(route) - 1:
+        raise ScheduleError(
+            f"message ({msg.src}, {msg.dst}) has {len(msg.hops)} hop "
+            f"reservations for a {len(route) - 1}-hop route"
+        )
+    prev_free = pu.finish
+    for (link, start, finish) in msg.hops:
+        if start < prev_free - 1e-6:
+            raise ScheduleError(
+                f"message ({msg.src}, {msg.dst}) hop on {link} starts "
+                "before the data reaches the sending node"
+            )
+        if abs((finish - start) - cost) > 1e-6:
+            raise ScheduleError(
+                f"message ({msg.src}, {msg.dst}) hop on {link} does not "
+                "occupy the link for the edge cost"
+            )
+        prev_free = finish
+    if abs(msg.arrival - prev_free) > 1e-6:
+        raise ScheduleError(
+            f"message ({msg.src}, {msg.dst}) arrival differs from its "
+            "last hop finish"
+        )
+
+
+def _check_channel_exclusivity(schedule: Schedule) -> None:
+    """No two messages may overlap on the same directed channel."""
+    by_channel: Dict[Tuple[int, int], List[Tuple[float, float, Tuple[int, int]]]] = {}
+    for key, msg in schedule.messages.items():
+        for (link, start, finish) in msg.hops:
+            by_channel.setdefault(link, []).append((start, finish, key))
+    for link, ivs in by_channel.items():
+        ivs.sort()
+        for (s1, f1, k1), (s2, f2, k2) in zip(ivs, ivs[1:]):
+            if s2 < f1 - 1e-6:
+                raise ScheduleError(
+                    f"messages {k1} and {k2} overlap on channel {link}"
+                )

@@ -1,0 +1,23 @@
+"""Task-duplication-based (TDB) scheduling — library extension.
+
+The paper's taxonomy covers TDB algorithms (DSH, BTDH, CPFD, ...) but
+its benchmark excludes them; this package provides the representation
+(:class:`DuplicationSchedule`) and the classic DSH algorithm so the
+suite can still quantify what duplication buys (see
+``benchmarks/bench_ablation_duplication.py``).
+"""
+
+from .dsh import DSH, dsh_schedule
+from .schedule import (
+    CopyPlacement,
+    DuplicationSchedule,
+    validate_duplication,
+)
+
+__all__ = [
+    "DSH",
+    "dsh_schedule",
+    "DuplicationSchedule",
+    "CopyPlacement",
+    "validate_duplication",
+]

@@ -1,0 +1,138 @@
+"""DSH — Duplication Scheduling Heuristic (Kruatrachue & Lewis, 1988).
+
+The representative TDB algorithm (the class the paper describes in its
+taxonomy but excludes from the benchmark).  DSH is HLFET-shaped list
+scheduling — static-level priorities, min-EST processor choice — with
+one addition: before committing a node to a processor, the *duplication
+time slot* (the idle window between the processor's ready time and the
+node's data-constrained start) is filled with copies of the node's most
+critical parents, as long as each copy reduces the node's start time.
+
+With CCR >> 1 this collapses communication chains: a child no longer
+waits for a message if re-running its parent locally is cheaper — the
+behaviour the duplication ablation bench measures.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ..core.attributes import static_blevel
+from ..core.graph import TaskGraph
+from ..core.listsched import ReadyTracker
+from ..core.machine import Machine
+from .schedule import DuplicationSchedule
+
+__all__ = ["DSH", "dsh_schedule"]
+
+
+class DSH:
+    """Duplication Scheduling Heuristic.
+
+    Not registered in the 15-algorithm registry (the paper's benchmark
+    excludes TDB); exposed through :func:`dsh_schedule` and this class.
+    """
+
+    name = "DSH"
+    klass = "TDB"
+    cp_based = False
+    dynamic_priority = False
+    uses_insertion = True
+    complexity = "O(v^4)"
+
+    def schedule(self, graph: TaskGraph,
+                 machine: Machine) -> DuplicationSchedule:
+        sl = static_blevel(graph)
+        sched = DuplicationSchedule(graph, machine.num_procs)
+        ready = ReadyTracker(graph)
+        while not ready.all_scheduled():
+            node = max(ready.ready, key=lambda n: (sl[n], -n))
+            best: Optional[Tuple[float, int, list]] = None
+            for proc in range(machine.num_procs):
+                start, dup_plan = self._start_with_duplication(
+                    sched, node, proc
+                )
+                if best is None or (start, proc) < (best[0], best[1]):
+                    best = (start, proc, dup_plan)
+            start, proc, dup_plan = best
+            for (parent, p_start) in dup_plan:
+                sched.place_copy(parent, proc, p_start)
+            sched.place_copy(node, proc, start)
+            ready.mark_scheduled(node)
+        return sched
+
+    # ------------------------------------------------------------------
+    def _start_with_duplication(self, sched: DuplicationSchedule,
+                                node: int, proc: int):
+        """Best start of ``node`` on ``proc`` and the copy plan achieving it.
+
+        Copies are appended inside the duplication slot
+        ``[proc_ready, start)``; each accepted copy must strictly reduce
+        the node's start.
+        """
+        graph = sched.graph
+        slot_begin = sched.proc_ready_time(proc)
+        # Arrival of each parent's data given current copies + planned ones.
+        local_finish = {}  # parent -> finish of planned/extant local copy
+        for parent in graph.predecessors(node):
+            cp = sched.copy_on(parent, proc)
+            if cp is not None:
+                local_finish[parent] = cp.finish
+
+        def arrival(parent: int) -> float:
+            if parent in local_finish:
+                return local_finish[parent]
+            c = graph.comm_cost(parent, node)
+            return min(
+                p.finish + (0.0 if p.proc == proc else c)
+                for p in sched.copies_of(parent)
+            )
+
+        def current_start(begin: float) -> float:
+            drt = max(
+                (arrival(p) for p in graph.predecessors(node)),
+                default=0.0,
+            )
+            return max(begin, drt)
+
+        plan = []
+        cursor = slot_begin
+        start = current_start(cursor)
+        while True:
+            # Critical parent: the one whose message bounds the start.
+            parents = [
+                p for p in graph.predecessors(node)
+                if p not in local_finish
+            ]
+            if not parents:
+                break
+            crit = max(parents, key=lambda p: (arrival(p), p))
+            if arrival(crit) <= cursor + 1e-9:
+                break  # messages no longer the bottleneck
+            # A local copy of crit starts after its own inputs arrive
+            # here (using existing copies only — single-level lookahead).
+            copy_drt = 0.0
+            for q in graph.predecessors(crit):
+                cq = graph.comm_cost(q, crit)
+                arr = min(
+                    p.finish + (0.0 if p.proc == proc else cq)
+                    for p in sched.copies_of(q)
+                )
+                copy_drt = max(copy_drt, arr)
+            copy_start = max(cursor, copy_drt)
+            copy_finish = copy_start + graph.weight(crit)
+            local_finish[crit] = copy_finish
+            new_start = current_start(copy_finish)
+            if new_start < start - 1e-9:
+                plan.append((crit, copy_start))
+                cursor = copy_finish
+                start = new_start
+            else:
+                del local_finish[crit]
+                break
+        return start, plan
+
+
+def dsh_schedule(graph: TaskGraph, num_procs: int) -> DuplicationSchedule:
+    """Convenience wrapper: DSH on ``num_procs`` identical processors."""
+    return DSH().schedule(graph, Machine(num_procs))

@@ -1,0 +1,192 @@
+"""Schedules with task duplication (the TDB class).
+
+The paper's taxonomy includes *task-duplication-based* (TDB) scheduling:
+"the rationale behind the TDB scheduling algorithms is to reduce the
+communication overhead by redundantly allocating some nodes to multiple
+processors" (Section 4).  The paper excludes TDB from its benchmark to
+narrow scope; this package implements the class as a library extension.
+
+Duplication breaks the one-placement-per-task invariant of
+:class:`repro.core.schedule.Schedule`, so TDB gets its own
+representation: placements are (node, copy) pairs, and the precedence
+rule becomes *existential* — a copy of ``v`` is valid if **some** copy
+of each parent ``u`` delivers its data in time.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..core.exceptions import ScheduleError
+from ..core.graph import TaskGraph
+
+__all__ = ["CopyPlacement", "DuplicationSchedule", "validate_duplication"]
+
+_EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class CopyPlacement:
+    """One copy of a task: which processor, when."""
+
+    node: int
+    copy: int
+    proc: int
+    start: float
+    finish: float
+
+
+class DuplicationSchedule:
+    """A schedule in which a task may run on several processors."""
+
+    def __init__(self, graph: TaskGraph, num_procs: int):
+        if num_procs < 1:
+            raise ScheduleError("schedule needs at least one processor")
+        self.graph = graph
+        self.num_procs = int(num_procs)
+        self._copies: Dict[int, List[CopyPlacement]] = {
+            n: [] for n in graph.nodes()
+        }
+        self._starts: List[List[float]] = [[] for _ in range(num_procs)]
+        self._finishes: List[List[float]] = [[] for _ in range(num_procs)]
+        self._ids: List[List[Tuple[int, int]]] = [[] for _ in range(num_procs)]
+
+    # ------------------------------------------------------------------
+    def copies_of(self, node: int) -> List[CopyPlacement]:
+        return list(self._copies[node])
+
+    def has_copy(self, node: int) -> bool:
+        return bool(self._copies[node])
+
+    def copy_on(self, node: int, proc: int) -> Optional[CopyPlacement]:
+        for cp in self._copies[node]:
+            if cp.proc == proc:
+                return cp
+        return None
+
+    def proc_ready_time(self, proc: int) -> float:
+        fins = self._finishes[proc]
+        return fins[-1] if fins else 0.0
+
+    def tasks_on(self, proc: int) -> List[CopyPlacement]:
+        out = []
+        for (node, copy) in self._ids[proc]:
+            for cp in self._copies[node]:
+                if cp.copy == copy and cp.proc == proc:
+                    out.append(cp)
+                    break
+        return out
+
+    @property
+    def length(self) -> float:
+        """Makespan over all copies (a duplicate counts: it occupies its
+        processor even if logically redundant)."""
+        return max((f[-1] for f in self._finishes if f), default=0.0)
+
+    def processors_used(self) -> int:
+        return sum(1 for s in self._starts if s)
+
+    def is_complete(self) -> bool:
+        return all(self._copies[n] for n in self.graph.nodes())
+
+    # ------------------------------------------------------------------
+    def place_copy(self, node: int, proc: int, start: float) -> CopyPlacement:
+        """Place a (new) copy of ``node`` on ``proc`` at ``start``."""
+        if not (0 <= proc < self.num_procs):
+            raise ScheduleError(f"processor {proc} out of range")
+        if start < -_EPS:
+            raise ScheduleError(f"negative start for node {node}")
+        if self.copy_on(node, proc) is not None:
+            raise ScheduleError(
+                f"node {node} already has a copy on P{proc}"
+            )
+        dur = self.graph.weight(node)
+        finish = start + dur
+        starts, fins, ids = (
+            self._starts[proc], self._finishes[proc], self._ids[proc]
+        )
+        i = bisect.bisect_left(starts, start)
+        if i > 0 and fins[i - 1] > start + _EPS:
+            raise ScheduleError(f"copy of {node} overlaps on P{proc}")
+        if i < len(starts) and starts[i] < finish - _EPS:
+            raise ScheduleError(f"copy of {node} overlaps on P{proc}")
+        copy_idx = len(self._copies[node])
+        cp = CopyPlacement(node, copy_idx, proc, start, finish)
+        starts.insert(i, start)
+        fins.insert(i, finish)
+        ids.insert(i, (node, copy_idx))
+        self._copies[node].append(cp)
+        return cp
+
+    # ------------------------------------------------------------------
+    def data_ready_time(self, node: int, proc: int) -> float:
+        """Earliest all-inputs time on ``proc``, choosing for each parent
+        its best copy (local copy: no communication)."""
+        t = 0.0
+        for parent in self.graph.predecessors(node):
+            copies = self._copies[parent]
+            if not copies:
+                raise ScheduleError(
+                    f"parent {parent} of {node} has no copy yet"
+                )
+            c = self.graph.comm_cost(parent, node)
+            arr = min(
+                cp.finish + (0.0 if cp.proc == proc else c)
+                for cp in copies
+            )
+            if arr > t:
+                t = arr
+        return t
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        n_copies = sum(len(c) for c in self._copies.values())
+        return (
+            f"DuplicationSchedule(graph={self.graph.name!r}, "
+            f"copies={n_copies}, length={self.length:.4g})"
+        )
+
+
+def validate_duplication(schedule: DuplicationSchedule) -> None:
+    """Full invariant check for a duplication schedule.
+
+    1. every task has at least one copy; copies sit in processor range
+       with weight-consistent durations and no overlaps;
+    2. existential precedence: each copy of ``v`` starts no earlier than,
+       for every parent ``u``, the best over ``u``'s copies of
+       ``finish + (0 if co-located else c(u, v))``.
+    """
+    g = schedule.graph
+    for n in g.nodes():
+        if not schedule.has_copy(n):
+            raise ScheduleError(f"node {n} has no scheduled copy")
+    for proc in range(schedule.num_procs):
+        prev_finish = 0.0
+        prev = None
+        for cp in schedule.tasks_on(proc):
+            if cp.start < -_EPS:
+                raise ScheduleError(f"copy of {cp.node} starts before 0")
+            if abs((cp.finish - cp.start) - g.weight(cp.node)) > 1e-6:
+                raise ScheduleError(
+                    f"copy of {cp.node} has wrong duration"
+                )
+            if cp.start < prev_finish - _EPS:
+                raise ScheduleError(
+                    f"copies {prev} and {cp.node} overlap on P{proc}"
+                )
+            prev_finish, prev = cp.finish, cp.node
+    for v in g.nodes():
+        for cp in schedule.copies_of(v):
+            for u in g.predecessors(v):
+                c = g.comm_cost(u, v)
+                best = min(
+                    up.finish + (0.0 if up.proc == cp.proc else c)
+                    for up in schedule.copies_of(u)
+                )
+                if cp.start < best - 1e-6:
+                    raise ScheduleError(
+                        f"copy of {v} on P{cp.proc} starts at {cp.start} "
+                        f"before any copy of parent {u} can deliver "
+                        f"(earliest {best})"
+                    )

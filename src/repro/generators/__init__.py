@@ -1,0 +1,29 @@
+"""Benchmark task-graph generators: the paper's five suites.
+
+* :mod:`.psg` — peer set graphs (small documented examples);
+* :mod:`.random_graphs` — RGBOS / RGNOS random constructions;
+* :mod:`.rgpos` — random graphs with pre-determined optimal schedules;
+* :mod:`.traced` — numerical-application graphs (Cholesky and friends).
+"""
+
+from .psg import peer_set_graphs
+from .random_graphs import rgbos_graph, rgnos_graph
+from .rgpos import RGPOSInstance, rgpos_instance
+from .traced import (
+    cholesky_graph,
+    fft_graph,
+    gaussian_elimination_graph,
+    laplace_graph,
+)
+
+__all__ = [
+    "peer_set_graphs",
+    "rgbos_graph",
+    "rgnos_graph",
+    "rgpos_instance",
+    "RGPOSInstance",
+    "cholesky_graph",
+    "gaussian_elimination_graph",
+    "fft_graph",
+    "laplace_graph",
+]

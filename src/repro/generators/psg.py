@@ -1,0 +1,199 @@
+"""PSG — Peer Set Graphs (paper Section 5.1).
+
+Small example task graphs "used by various researchers and documented in
+publications"; their value is traceability — a schedule on ten nodes can
+be inspected by hand.  Table 1 of the paper runs every UNC and BNP
+algorithm over this set and observes that schedule lengths vary
+considerably despite the tiny sizes.
+
+Fidelity note: the 1998 paper does not print the peer graphs themselves.
+The Kwok–Ahmad 9-node graph is reproduced exactly from the authors'
+companion survey, where it is fully specified.  The remaining entries
+are constructed in the documented *style* of the cited works (the
+structures each paper's heuristic was designed around: linear clusters,
+fork–join, out/in-trees, diamonds, small numerical kernels); exact
+historical node weights are not recoverable from the text.  Table 1's
+finding — substantial cross-algorithm variance on small graphs — is a
+property of the structures, not of particular weight values.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from ..core.graph import TaskGraph
+from .traced import cholesky_graph, fft_graph, gaussian_elimination_graph
+
+__all__ = [
+    "kwok_ahmad_9",
+    "dsc_style_7",
+    "fork_join_13",
+    "out_tree_15",
+    "in_tree_15",
+    "diamond_14",
+    "stencil_9",
+    "irregular_16",
+    "ge_style_14",
+    "fft_style_12",
+    "peer_set_graphs",
+]
+
+
+def kwok_ahmad_9() -> TaskGraph:
+    """The 9-node example of Kwok & Ahmad (used across their papers).
+
+    Node weights n1..n9 = (2, 3, 3, 4, 5, 4, 4, 4, 1); the single entry
+    fans out to five nodes, three join stages lead into the exit.
+    """
+    weights = [2, 3, 3, 4, 5, 4, 4, 4, 1]
+    edges = {
+        (0, 1): 4, (0, 2): 1, (0, 3): 1, (0, 4): 1, (0, 5): 10,
+        (1, 6): 1, (2, 6): 1,
+        (3, 7): 1, (4, 7): 1,
+        (5, 8): 5, (6, 8): 5, (7, 8): 10,
+    }
+    return TaskGraph(weights, edges, name="psg-kwok-ahmad-9")
+
+
+def dsc_style_7() -> TaskGraph:
+    """Seven-node join-heavy example in the style of Yang & Gerasoulis's
+    DSC paper: two chains merging into a common exit, with one expensive
+    cross edge that rewards clustering the dominant sequence."""
+    weights = [2, 3, 3, 4, 5, 4, 1]
+    edges = {
+        (0, 1): 6, (0, 2): 1,
+        (1, 3): 2, (2, 3): 4,
+        (1, 4): 1, (2, 5): 8,
+        (3, 6): 3, (4, 6): 5, (5, 6): 1,
+    }
+    return TaskGraph(weights, edges, name="psg-dsc-style-7")
+
+
+def fork_join_13(width: int = 5) -> TaskGraph:
+    """Fork–join: one source fans out to ``width`` two-task chains that
+    join at a sink — the shape motivating duplication and clustering
+    heuristics (Kruatrachue & Lewis; Chung & Ranka)."""
+    weights: List[float] = [3.0]
+    edges: Dict[tuple, float] = {}
+    for i in range(width):
+        a = len(weights)
+        weights.append(4.0 + (i % 3))
+        b = len(weights)
+        weights.append(2.0 + (i % 2))
+        edges[(0, a)] = 8.0 - i
+        edges[(a, b)] = 2.0
+    sink = len(weights)
+    weights.append(1.0)
+    for i in range(width):
+        edges[(2 + 2 * i, sink)] = 3.0 + (i % 4)
+    return TaskGraph(weights, edges, name=f"psg-forkjoin-{len(weights)}")
+
+
+def out_tree_15(depth: int = 3) -> TaskGraph:
+    """Complete binary out-tree (Hu's scheduling model)."""
+    count = (1 << (depth + 1)) - 1
+    weights = [float(2 + (i % 4)) for i in range(count)]
+    edges = {}
+    for i in range(count):
+        for child in (2 * i + 1, 2 * i + 2):
+            if child < count:
+                edges[(i, child)] = float(1 + (child % 5))
+    return TaskGraph(weights, edges, name=f"psg-outtree-{count}")
+
+
+def in_tree_15(depth: int = 3) -> TaskGraph:
+    """Complete binary in-tree (reduction), the mirror of Hu's model."""
+    count = (1 << (depth + 1)) - 1
+    weights = [float(2 + (i % 4)) for i in range(count)]
+    edges = {}
+    for i in range(count):
+        for child in (2 * i + 1, 2 * i + 2):
+            if child < count:
+                edges[(child, i)] = float(1 + (child % 5))
+    return TaskGraph(weights, edges, name=f"psg-intree-{count}")
+
+
+def diamond_14() -> TaskGraph:
+    """Layered diamond (expand then contract) with asymmetric edge costs,
+    the macro-pipeline shape of the MCP/MD examples."""
+    # Layers: 1 / 3 / 4 / 3 / 2 / 1 nodes.
+    sizes = [1, 3, 4, 3, 2, 1]
+    weights: List[float] = []
+    layer_nodes: List[List[int]] = []
+    for li, size in enumerate(sizes):
+        ids = []
+        for i in range(size):
+            ids.append(len(weights))
+            weights.append(float(2 + ((li + i) % 5)))
+        layer_nodes.append(ids)
+    edges: Dict[tuple, float] = {}
+    for upper, lower in zip(layer_nodes, layer_nodes[1:]):
+        for i, u in enumerate(upper):
+            for j, v in enumerate(lower):
+                if abs(i - j) <= 1:
+                    edges[(u, v)] = float(1 + ((i + 2 * j) % 6))
+    return TaskGraph(weights, edges, name="psg-diamond-14")
+
+
+def stencil_9() -> TaskGraph:
+    """3x3 wavefront grid (Laplace sweep), unit-ish weights."""
+    weights = [float(2 + (i % 3)) for i in range(9)]
+    edges = {}
+    for i in range(3):
+        for j in range(3):
+            node = 3 * i + j
+            if i + 1 < 3:
+                edges[(node, node + 3)] = float(2 + j)
+            if j + 1 < 3:
+                edges[(node, node + 1)] = float(1 + i)
+    return TaskGraph(weights, edges, name="psg-stencil-9")
+
+
+def irregular_16() -> TaskGraph:
+    """Irregular multi-entry/multi-exit graph in the style of the MH and
+    LAST papers' examples: uneven fan-in/fan-out, mixed edge costs."""
+    weights = [3, 2, 5, 4, 3, 6, 2, 4, 5, 3, 2, 4, 6, 3, 2, 5]
+    edges = {
+        (0, 3): 2, (0, 4): 7, (1, 4): 3, (1, 5): 1, (2, 5): 9, (2, 6): 2,
+        (3, 7): 4, (4, 7): 1, (4, 8): 6, (5, 8): 2, (5, 9): 5, (6, 9): 3,
+        (7, 10): 2, (7, 11): 8, (8, 11): 1, (8, 12): 4, (9, 12): 7,
+        (10, 13): 3, (11, 13): 2, (11, 14): 5, (12, 14): 1,
+        (13, 15): 6, (14, 15): 2,
+    }
+    return TaskGraph([float(w) for w in weights], edges,
+                     name="psg-irregular-16")
+
+
+def ge_style_14() -> TaskGraph:
+    """Gaussian-elimination kernel for N=5 (14 tasks) — the shape of the
+    Wu–Gajski (Hypertool) running example."""
+    return gaussian_elimination_graph(5, ccr=1.0).relabeled("psg-ge-14")
+
+
+def fft_style_12() -> TaskGraph:
+    """Four-point FFT butterfly (3 ranks of 4); CCR 2 so that the
+    communication structure actually differentiates the algorithms."""
+    return fft_graph(2, ccr=2.0).relabeled("psg-fft-12")
+
+
+def cholesky_style_10() -> TaskGraph:
+    """Cholesky kernel for N=4 (10 tasks)."""
+    return cholesky_graph(4, ccr=1.0).relabeled("psg-cholesky-10")
+
+
+def peer_set_graphs() -> List[TaskGraph]:
+    """The PSG suite, deterministic order (rows of Table 1)."""
+    builders: List[Callable[[], TaskGraph]] = [
+        kwok_ahmad_9,
+        dsc_style_7,
+        fork_join_13,
+        out_tree_15,
+        in_tree_15,
+        diamond_14,
+        stencil_9,
+        irregular_16,
+        ge_style_14,
+        fft_style_12,
+        cholesky_style_10,
+    ]
+    return [b() for b in builders]

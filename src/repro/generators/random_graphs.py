@@ -1,0 +1,157 @@
+"""Random task-graph generators: the RGBOS and RGNOS construction.
+
+Section 5.2 of the paper describes the random-graph recipe shared by the
+RGBOS ("random graphs with branch-and-bound optimal solutions") and
+RGNOS ("random graphs with no known optimal solutions") suites:
+
+* computation costs drawn uniformly with mean 40 (range 2..78);
+* each node, in index order, receives a number of children drawn
+  uniformly with mean ``v/10``, connected to higher-indexed nodes;
+* communication costs drawn uniformly with mean ``40 * CCR``.
+
+RGNOS additionally controls *parallelism*: a parameter ``1..5`` setting
+the average graph width to ``parallelism * sqrt(v)``; we realise it by
+layering the nodes (layer sizes jittered around the target width) and
+drawing children only from strictly later layers, with the immediately
+following layer guaranteed reachable so the width target is tight.
+
+All draws use ``numpy.random.default_rng`` with explicit seeds — every
+graph in every suite is reproducible bit for bit.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..core.exceptions import GeneratorError
+from ..core.graph import TaskGraph
+
+__all__ = ["rgbos_graph", "rgnos_graph", "uniform_weights"]
+
+_MEAN_WEIGHT = 40
+_WEIGHT_LOW, _WEIGHT_HIGH = 2, 78  # inclusive; mean 40 as in the paper
+
+
+def uniform_weights(rng: np.random.Generator, count: int) -> np.ndarray:
+    """Computation costs: integer uniform on [2, 78], mean 40."""
+    return rng.integers(_WEIGHT_LOW, _WEIGHT_HIGH + 1, size=count)
+
+
+def _comm_cost(rng: np.random.Generator, ccr: float) -> int:
+    """Communication cost: integer uniform with mean ``40 * ccr``, >= 1."""
+    mean = _MEAN_WEIGHT * ccr
+    high = max(1, int(round(2 * mean)) - 1)
+    return int(rng.integers(1, high + 1))
+
+
+def rgbos_graph(v: int, ccr: float, seed: int = 0,
+                name: str | None = None) -> TaskGraph:
+    """One RGBOS-style random graph (paper Section 5.2).
+
+    Parameters
+    ----------
+    v:
+        Number of nodes (the paper uses 10..32 in steps of 2).
+    ccr:
+        Target communication-to-computation ratio (0.1, 1.0 or 10.0 in
+        the paper).
+    seed:
+        RNG seed; graphs are deterministic in (v, ccr, seed).
+    """
+    if v < 2:
+        raise GeneratorError("need at least two nodes")
+    if ccr <= 0:
+        raise GeneratorError("ccr must be positive")
+    rng = np.random.default_rng(seed)
+    weights = uniform_weights(rng, v)
+    mean_children = max(1.0, v / 10.0)
+    edges: Dict[Tuple[int, int], float] = {}
+    for u in range(v - 1):
+        n_children = int(rng.integers(0, int(round(2 * mean_children)) + 1))
+        n_children = min(n_children, v - 1 - u)
+        if n_children == 0:
+            continue
+        children = rng.choice(
+            np.arange(u + 1, v), size=n_children, replace=False
+        )
+        for child in sorted(int(c) for c in children):
+            edges[(u, child)] = _comm_cost(rng, ccr)
+    # Keep the graph weakly useful for scheduling studies: ensure no node
+    # besides node 0 is fully isolated (isolated nodes are trivially
+    # schedulable and dilute the benchmark).
+    for node in range(1, v):
+        has_any = any((p, node) in edges for p in range(node)) or any(
+            (node, s) in edges for s in range(node + 1, v)
+        )
+        if not has_any:
+            parent = int(rng.integers(0, node))
+            edges[(parent, node)] = _comm_cost(rng, ccr)
+    return TaskGraph(
+        weights, edges,
+        name=name or f"rgbos-v{v}-ccr{ccr:g}-s{seed}",
+    )
+
+
+def _layer_sizes(rng: np.random.Generator, v: int, width: float) -> List[int]:
+    """Layer sizes jittered around ``width`` summing exactly to ``v``."""
+    sizes: List[int] = []
+    remaining = v
+    while remaining > 0:
+        size = int(round(rng.normal(width, max(0.5, width / 4))))
+        size = max(1, min(size, remaining))
+        sizes.append(size)
+        remaining -= size
+    return sizes
+
+
+def rgnos_graph(v: int, ccr: float, parallelism: int, seed: int = 0,
+                name: str | None = None) -> TaskGraph:
+    """One RGNOS-style random graph (paper Section 5.4).
+
+    ``parallelism`` of ``k`` targets an average width of ``k * sqrt(v)``
+    (the paper uses 1..5).
+    """
+    if v < 2:
+        raise GeneratorError("need at least two nodes")
+    if ccr <= 0 or parallelism < 1:
+        raise GeneratorError("ccr must be positive, parallelism >= 1")
+    rng = np.random.default_rng(seed)
+    width = min(float(v), parallelism * math.sqrt(v))
+    sizes = _layer_sizes(rng, v, width)
+    layer_of: List[int] = []
+    for layer, size in enumerate(sizes):
+        layer_of.extend([layer] * size)
+    starts = np.cumsum([0] + sizes)  # first node id of each layer
+
+    weights = uniform_weights(rng, v)
+    edges: Dict[Tuple[int, int], float] = {}
+    mean_children = max(1.0, v / 10.0)
+    num_layers = len(sizes)
+    for u in range(v):
+        lu = layer_of[u]
+        if lu == num_layers - 1:
+            continue
+        pool = np.arange(starts[lu + 1], v)
+        n_children = int(rng.integers(0, int(round(2 * mean_children)) + 1))
+        n_children = min(n_children, pool.size)
+        if n_children:
+            for child in rng.choice(pool, size=n_children, replace=False):
+                edges[(u, int(child))] = _comm_cost(rng, ccr)
+    # Guarantee the layer structure is real: every node below the top has
+    # at least one parent in the previous layer, so the width of the
+    # level decomposition matches the requested parallelism.
+    for node in range(v):
+        ln = layer_of[node]
+        if ln == 0:
+            continue
+        if not any((p, node) in edges
+                   for p in range(starts[ln - 1], starts[ln])):
+            parent = int(rng.integers(starts[ln - 1], starts[ln]))
+            edges[(parent, node)] = _comm_cost(rng, ccr)
+    return TaskGraph(
+        weights, edges,
+        name=name or f"rgnos-v{v}-ccr{ccr:g}-par{parallelism}-s{seed}",
+    )

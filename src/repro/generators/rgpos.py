@@ -1,0 +1,169 @@
+"""RGPOS: random graphs with pre-determined optimal schedules.
+
+Section 5.3 of the paper inverts the usual generator: build the optimal
+schedule *first*, then derive a task graph for which that schedule is
+feasible.  Given a target length ``L_opt`` and processor count ``p``:
+
+1. each processor's ``[0, L_opt]`` interval is randomly partitioned into
+   task execution spans with **no idle time** — so the reference
+   schedule's length equals ``total work / p``, which no ``p``-processor
+   schedule can beat;
+2. edges are drawn between random task pairs ``(a, b)`` with
+   ``FT(a) <= ST(b)``; a cross-processor edge's weight is capped by the
+   receiver's slack ``ST(b) - FT(a)`` so it cannot delay ``b``; a
+   same-processor edge's weight is arbitrary (it is never paid);
+3. (our strengthening, on by default) consecutive tasks on each
+   processor are chained with an edge, which makes each processor's task
+   sequence a dependency chain of total computation ``L_opt``.  The
+   computation-only critical path then equals ``L_opt``, so the
+   reference schedule is optimal over *any* number of processors — the
+   paper's construction only guarantees optimality for exactly ``p``.
+
+:class:`RGPOSInstance` carries the graph, the reference schedule, and
+the provable optimum.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..core.exceptions import GeneratorError
+from ..core.graph import TaskGraph
+from ..core.schedule import Schedule
+
+__all__ = ["RGPOSInstance", "rgpos_instance"]
+
+_MEAN_WEIGHT = 40
+
+
+@dataclass(frozen=True)
+class RGPOSInstance:
+    """An RGPOS benchmark case: graph + known-optimal reference schedule."""
+
+    graph: TaskGraph
+    optimal_length: float
+    num_procs: int
+    reference: Dict[int, Tuple[int, float]]  # node -> (proc, start)
+
+    def reference_schedule(self) -> Schedule:
+        """Materialise the generating schedule (useful for tests)."""
+        sched = Schedule(self.graph, self.num_procs)
+        for node in sorted(self.reference,
+                           key=lambda n: self.reference[n][1]):
+            proc, start = self.reference[node]
+            sched.place(node, proc, start)
+        return sched
+
+
+def rgpos_instance(v: int, ccr: float, num_procs: int = 8, seed: int = 0,
+                   ensure_chains: bool = True,
+                   extra_edge_factor: float = 1.5,
+                   chain_processors: int | None = None,
+                   name: str | None = None) -> RGPOSInstance:
+    """Generate one RGPOS case (paper Section 5.3).
+
+    Parameters
+    ----------
+    v:
+        Total number of tasks (the paper sweeps 50..500).
+    ccr:
+        Drives the edge-weight distribution (0.1, 1.0, 10.0 in the paper).
+    num_procs:
+        Processors in the reference schedule (``p``).
+    ensure_chains:
+        Add same-processor chain edges on **all** processors, making
+        ``L_opt`` a critical-path lower bound (provable optimality on any
+        machine size) at the cost of leaking the reference order to list
+        schedulers.  Shorthand for ``chain_processors=num_procs``.
+    extra_edge_factor:
+        Random cross edges attempted, as a multiple of ``v``.
+    chain_processors:
+        Chain only the first ``k`` processors' sequences.  ``1`` is the
+        benchmark sweet spot: the single chain pins the computation-only
+        critical path to exactly ``L_opt`` (machine-independent
+        optimality certificate) while the other processors' packing
+        stays hard.  Overrides ``ensure_chains`` when given.
+    """
+    if v < num_procs:
+        raise GeneratorError("need at least one task per processor")
+    if ccr <= 0:
+        raise GeneratorError("ccr must be positive")
+    rng = np.random.default_rng(seed)
+
+    # Spread tasks over processors: mean v/p each, at least 1.
+    counts = rng.multinomial(v - num_procs, [1.0 / num_procs] * num_procs)
+    counts = [int(c) + 1 for c in counts]
+
+    l_opt = int(round(_MEAN_WEIGHT * (v / num_procs)))
+    # Partition [0, l_opt] into counts[i] integer spans of length >= 1.
+    starts_of: List[List[int]] = []
+    for c in counts:
+        if c > l_opt:
+            raise GeneratorError(
+                f"cannot fit {c} unit tasks into optimal length {l_opt}"
+            )
+        cuts = rng.choice(np.arange(1, l_opt), size=c - 1, replace=False)
+        starts_of.append([0] + sorted(int(x) for x in cuts))
+
+    # Node ids in (start, proc) order keep the graph naturally topological.
+    tasks: List[Tuple[int, int, int]] = []  # (start, proc, finish)
+    for proc, starts in enumerate(starts_of):
+        spans = starts + [l_opt]
+        for i in range(len(starts)):
+            tasks.append((starts[i], proc, spans[i + 1]))
+    tasks.sort(key=lambda t: (t[0], t[1]))
+    weights = [finish - start for (start, _proc, finish) in tasks]
+    reference = {
+        node: (proc, float(start))
+        for node, (start, proc, _f) in enumerate(tasks)
+    }
+    finish_time = [float(f) for (_s, _p, f) in tasks]
+    start_time = [float(s) for (s, _p, _f) in tasks]
+    proc_of = [p for (_s, p, _f) in tasks]
+
+    edges: Dict[Tuple[int, int], float] = {}
+    mean_c = _MEAN_WEIGHT * ccr
+
+    def comm_draw(cap: float | None) -> float:
+        """Weight with mean ~ mean_c, optionally capped by the slack."""
+        hi = max(1, int(round(2 * mean_c)) - 1)
+        w = float(rng.integers(1, hi + 1))
+        if cap is not None:
+            w = min(w, cap)
+        return max(1.0, w)
+
+    if chain_processors is None:
+        chain_processors = num_procs if ensure_chains else 0
+    if chain_processors:
+        by_proc: Dict[int, List[int]] = {}
+        for node in range(v):
+            by_proc.setdefault(proc_of[node], []).append(node)
+        for proc in range(min(chain_processors, num_procs)):
+            nodes = sorted(by_proc.get(proc, []),
+                           key=lambda n: start_time[n])
+            for a, b in zip(nodes, nodes[1:]):
+                edges[(a, b)] = comm_draw(None)  # never paid: same proc
+
+    attempts = int(extra_edge_factor * v)
+    for _ in range(attempts):
+        a, b = int(rng.integers(0, v)), int(rng.integers(0, v))
+        if a == b or (a, b) in edges:
+            continue
+        if finish_time[a] > start_time[b]:
+            continue
+        if proc_of[a] == proc_of[b]:
+            edges[(a, b)] = comm_draw(None)
+        else:
+            slack = start_time[b] - finish_time[a]
+            if slack < 1.0:
+                continue
+            edges[(a, b)] = comm_draw(slack)
+
+    graph = TaskGraph(
+        weights, edges,
+        name=name or f"rgpos-v{v}-ccr{ccr:g}-p{num_procs}-s{seed}",
+    )
+    return RGPOSInstance(graph, float(l_opt), num_procs, reference)

@@ -1,0 +1,14 @@
+"""Interchange and rendering: STG text format, DOT export, ASCII Gantt."""
+
+from .dot import to_dot
+from .gantt import gantt
+from .stg import dump_stg, dumps_stg, load_stg, loads_stg
+
+__all__ = [
+    "dump_stg",
+    "dumps_stg",
+    "load_stg",
+    "loads_stg",
+    "to_dot",
+    "gantt",
+]

@@ -1,0 +1,39 @@
+"""Graphviz DOT export for task graphs and schedules."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.graph import TaskGraph
+from ..core.schedule import Schedule
+
+__all__ = ["to_dot"]
+
+_PALETTE = (
+    "lightblue", "lightgreen", "lightsalmon", "plum", "khaki",
+    "lightcyan", "mistyrose", "palegreen", "wheat", "lavender",
+)
+
+
+def to_dot(graph: TaskGraph, schedule: Optional[Schedule] = None) -> str:
+    """Render ``graph`` (optionally coloured by processor) as DOT text.
+
+    With a ``schedule``, each node is annotated with its processor and
+    start time and tinted per processor — handy for eyeballing how a
+    clustering algorithm carved the graph up.
+    """
+    lines = [f'digraph "{graph.name}" {{', "  rankdir=TB;",
+             '  node [shape=ellipse, style=filled, fillcolor=white];']
+    for node in graph.nodes():
+        label = f"n{node}\\nw={graph.weight(node):g}"
+        attrs = ""
+        if schedule is not None and schedule.is_scheduled(node):
+            pl = schedule.placement(node)
+            color = _PALETTE[pl.proc % len(_PALETTE)]
+            label += f"\\nP{pl.proc}@{pl.start:g}"
+            attrs = f', fillcolor="{color}"'
+        lines.append(f'  {node} [label="{label}"{attrs}];')
+    for u, v, c in graph.edges():
+        lines.append(f'  {u} -> {v} [label="{c:g}"];')
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,68 @@
+"""ASCII Gantt charts for schedules.
+
+Renders per-processor timelines with proportional bars::
+
+    P0 |==0===|--------|====3====|
+    P1 |--|=1=|===2===|
+
+Used by the examples and handy when tracing an algorithm's behaviour on
+a peer-set graph (the stated purpose of the PSG suite).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..core.schedule import Schedule
+
+__all__ = ["gantt"]
+
+
+def gantt(schedule: Schedule, width: int = 72,
+          show_messages: bool = False) -> str:
+    """Render ``schedule`` as an ASCII Gantt chart.
+
+    ``width`` is the number of character cells the makespan is scaled
+    into.  With ``show_messages`` each recorded network message appears
+    on its own line under the task rows.
+    """
+    length = schedule.length
+    if length <= 0:
+        return "(empty schedule)"
+    scale = width / length
+
+    def span(a: float, b: float) -> tuple:
+        lo = int(round(a * scale))
+        hi = max(lo + 1, int(round(b * scale)))
+        return lo, hi
+
+    lines: List[str] = [
+        f"schedule of {schedule.graph.name}: length={length:g}, "
+        f"procs={schedule.processors_used()}"
+    ]
+    for proc in range(schedule.num_procs):
+        tasks = schedule.tasks_on(proc)
+        if not tasks:
+            continue
+        row = [" "] * (width + 1)
+        for pl in tasks:
+            lo, hi = span(pl.start, pl.finish)
+            hi = min(hi, len(row))
+            for i in range(lo, hi):
+                row[i] = "="
+            label = str(pl.node)
+            mid = lo + max(0, (hi - lo - len(label)) // 2)
+            for i, ch in enumerate(label):
+                if mid + i < len(row):
+                    row[mid + i] = ch
+        lines.append(f"P{proc:<3}|" + "".join(row) + "|")
+    if show_messages and schedule.messages:
+        lines.append("messages:")
+        for (u, v), msg in sorted(schedule.messages.items()):
+            if not msg.hops:
+                continue
+            hops = ", ".join(
+                f"{a}->{b}@[{s:g},{f:g})" for ((a, b), s, f) in msg.hops
+            )
+            lines.append(f"  ({u}->{v}) via {hops} arr={msg.arrival:g}")
+    return "\n".join(lines)

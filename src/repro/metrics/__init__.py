@@ -1,0 +1,14 @@
+"""Performance measures and ranking utilities (paper Section 6)."""
+
+from .measures import RunResult, degradation_pct, efficiency, nsl, speedup
+from .ranking import average_ranks, summarize_by_algorithm
+
+__all__ = [
+    "nsl",
+    "degradation_pct",
+    "speedup",
+    "efficiency",
+    "RunResult",
+    "average_ranks",
+    "summarize_by_algorithm",
+]

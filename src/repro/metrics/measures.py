@@ -1,0 +1,85 @@
+"""Performance measures (paper Section 6).
+
+The six measures the paper compares on:
+
+* **schedule length** (makespan);
+* **NSL** — normalized schedule length, ``L / sum(w(n) for n on CP)``
+  (the denominator is the computation-only critical path, a lower bound
+  on any clique-model schedule, so NSL >= 1);
+* **percentage degradation from optimal** — ``100 (L - L_opt) / L_opt``;
+* **number of processors used**;
+* **algorithm running time** (captured by the bench runner);
+* **speedup / efficiency** (derived, for the scalability discussion).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..core.attributes import cp_computation_cost
+from ..core.graph import TaskGraph
+from ..core.schedule import Schedule
+
+__all__ = [
+    "nsl",
+    "degradation_pct",
+    "speedup",
+    "efficiency",
+    "RunResult",
+]
+
+
+def nsl(schedule: Schedule, graph: Optional[TaskGraph] = None) -> float:
+    """Normalized schedule length of a complete schedule."""
+    g = graph if graph is not None else schedule.graph
+    denom = cp_computation_cost(g)
+    if denom <= 0:
+        raise ValueError("graph has no computation on its critical path")
+    return schedule.length / denom
+
+
+def degradation_pct(length: float, optimal: float) -> float:
+    """Percentage above the optimal length (0 == optimal found)."""
+    if optimal <= 0:
+        raise ValueError("optimal length must be positive")
+    return 100.0 * (length - optimal) / optimal
+
+
+def speedup(schedule: Schedule) -> float:
+    """Serial time over schedule length."""
+    return schedule.graph.total_computation / schedule.length
+
+
+def efficiency(schedule: Schedule) -> float:
+    """Speedup per processor actually used."""
+    procs = schedule.processors_used()
+    return speedup(schedule) / procs if procs else 0.0
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """One (algorithm, graph) benchmark cell."""
+
+    algorithm: str
+    klass: str
+    graph: str
+    num_nodes: int
+    length: float
+    nsl: float
+    procs_used: int
+    runtime_s: float
+    optimal: Optional[float] = None
+
+    @property
+    def degradation(self) -> Optional[float]:
+        if self.optimal is None:
+            return None
+        return degradation_pct(self.length, self.optimal)
+
+    @property
+    def is_optimal(self) -> bool:
+        return (
+            self.optimal is not None
+            and self.length <= self.optimal + 1e-9
+        )

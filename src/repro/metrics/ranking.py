@@ -1,0 +1,74 @@
+"""Ranking algorithms within their class (paper Section 6 commentary).
+
+The paper ranks algorithms per class both by schedule quality and by
+running time ("the BNP algorithms can be ranked in the order: MCP, ISH,
+HLFET, LAST, and (DLS, ETF)").  These helpers compute the same style of
+average-rank summaries from a collection of :class:`RunResult` rows.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, List, Tuple
+
+from .measures import RunResult
+
+__all__ = ["average_ranks", "summarize_by_algorithm"]
+
+
+def average_ranks(results: Iterable[RunResult],
+                  key: str = "length") -> List[Tuple[str, float]]:
+    """Average per-graph rank of each algorithm (1 = best), sorted.
+
+    Algorithms tied on a graph share the averaged rank (competition
+    ranking would exaggerate differences the paper treats as ties).
+    """
+    by_graph: Dict[str, List[RunResult]] = defaultdict(list)
+    for r in results:
+        by_graph[r.graph].append(r)
+    totals: Dict[str, float] = defaultdict(float)
+    counts: Dict[str, int] = defaultdict(int)
+    for rows in by_graph.values():
+        rows = sorted(rows, key=lambda r: getattr(r, key))
+        i = 0
+        while i < len(rows):
+            j = i
+            while (j + 1 < len(rows)
+                   and abs(getattr(rows[j + 1], key)
+                           - getattr(rows[i], key)) < 1e-9):
+                j += 1
+            shared = (i + j) / 2 + 1  # average of ranks i+1 .. j+1
+            for k in range(i, j + 1):
+                totals[rows[k].algorithm] += shared
+                counts[rows[k].algorithm] += 1
+            i = j + 1
+    return sorted(
+        ((alg, totals[alg] / counts[alg]) for alg in totals),
+        key=lambda t: t[1],
+    )
+
+
+def summarize_by_algorithm(results: Iterable[RunResult]) -> Dict[str, Dict[str, float]]:
+    """Mean NSL / length / processors / runtime per algorithm."""
+    acc: Dict[str, Dict[str, float]] = defaultdict(
+        lambda: {"n": 0, "nsl": 0.0, "length": 0.0, "procs": 0.0,
+                 "runtime_s": 0.0}
+    )
+    for r in results:
+        a = acc[r.algorithm]
+        a["n"] += 1
+        a["nsl"] += r.nsl
+        a["length"] += r.length
+        a["procs"] += r.procs_used
+        a["runtime_s"] += r.runtime_s
+    out: Dict[str, Dict[str, float]] = {}
+    for alg, a in acc.items():
+        n = a["n"]
+        out[alg] = {
+            "count": n,
+            "mean_nsl": a["nsl"] / n,
+            "mean_length": a["length"] / n,
+            "mean_procs": a["procs"] / n,
+            "mean_runtime_s": a["runtime_s"] / n,
+        }
+    return out

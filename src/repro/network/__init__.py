@@ -1,0 +1,6 @@
+"""Processor-network substrate for the APN algorithm class."""
+
+from .contention import LinkSchedule
+from .topology import Topology
+
+__all__ = ["Topology", "LinkSchedule"]

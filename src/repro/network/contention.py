@@ -1,0 +1,140 @@
+"""Link contention: scheduling messages on network channels.
+
+The APN model (Section 4 of the paper) requires algorithms to "also
+schedule messages on the network communication links".  We implement the
+store-and-forward model used by MH and BSA:
+
+* a message for edge ``(u, v)`` with communication cost ``c`` occupies
+  each directed channel along its route for ``c`` time units, one hop
+  after another;
+* a directed channel carries one message at a time;
+* hop reservations may be inserted into idle windows of a channel
+  (insertion discipline, mirroring task insertion on processors).
+
+:class:`LinkSchedule` owns the channel timelines and supports tentative
+queries (``probe_arrival``) so schedulers can compare candidate
+processors before committing.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, List, Tuple
+
+from ..core.exceptions import ScheduleError
+from ..core.schedule import Message
+from .topology import Topology
+
+__all__ = ["LinkSchedule"]
+
+_EPS = 1e-9
+
+Channel = Tuple[int, int]
+Hop = Tuple[Channel, float, float]
+
+
+class _ChannelTimeline:
+    """Busy intervals of one directed channel, kept sorted."""
+
+    __slots__ = ("starts", "finishes")
+
+    def __init__(self):
+        self.starts: List[float] = []
+        self.finishes: List[float] = []
+
+    def earliest(self, est: float, duration: float) -> float:
+        """Earliest start >= est of a busy window of ``duration``."""
+        starts, fins = self.starts, self.finishes
+        if not starts:
+            return est
+        if est + duration <= starts[0] + _EPS:
+            return est
+        i = bisect.bisect_right(fins, est)
+        if i > 0:
+            i -= 1
+        for k in range(i, len(starts) - 1):
+            gap = max(est, fins[k])
+            if gap + duration <= starts[k + 1] + _EPS:
+                return gap
+        return max(est, fins[-1])
+
+    def reserve(self, start: float, duration: float) -> None:
+        finish = start + duration
+        i = bisect.bisect_left(self.starts, start)
+        if i > 0 and self.finishes[i - 1] > start + _EPS:
+            raise ScheduleError("channel reservation overlaps existing message")
+        if i < len(self.starts) and self.starts[i] < finish - _EPS:
+            raise ScheduleError("channel reservation overlaps existing message")
+        self.starts.insert(i, start)
+        self.finishes.insert(i, finish)
+
+    def release(self, start: float) -> None:
+        i = bisect.bisect_left(self.starts, start)
+        if i == len(self.starts) or abs(self.starts[i] - start) > _EPS:
+            raise ScheduleError("no reservation at the given start time")
+        del self.starts[i]
+        del self.finishes[i]
+
+
+class LinkSchedule:
+    """Message reservations over every directed channel of a topology."""
+
+    def __init__(self, topology: Topology):
+        self.topology = topology
+        self._timelines: Dict[Channel, _ChannelTimeline] = {
+            ch: _ChannelTimeline() for ch in topology.channels()
+        }
+
+    # ------------------------------------------------------------------
+    def _plan_hops(self, route: Tuple[int, ...], ready: float,
+                   cost: float) -> Tuple[List[Hop], float]:
+        """Plan per-hop reservations without committing them."""
+        hops: List[Hop] = []
+        avail = ready
+        for a, b in zip(route, route[1:]):
+            tl = self._timelines[(a, b)]
+            start = tl.earliest(avail, cost)
+            hops.append(((a, b), start, start + cost))
+            avail = start + cost
+        return hops, avail
+
+    def probe_arrival(self, src: int, dst: int, ready: float,
+                      cost: float) -> float:
+        """Arrival time if a message left ``src`` at ``ready`` — no commit.
+
+        Zero-cost or same-processor messages arrive instantly.
+        """
+        if src == dst or cost <= 0:
+            return ready
+        route = self.topology.route(src, dst)
+        _, arrival = self._plan_hops(route, ready, cost)
+        return arrival
+
+    def commit(self, edge_src_node: int, edge_dst_node: int, src: int,
+               dst: int, ready: float, cost: float) -> Message:
+        """Reserve channels for the message of edge ``(u, v)``.
+
+        Returns the :class:`~repro.core.schedule.Message` record to attach
+        to the task schedule.  Same-processor or zero-cost messages yield
+        a hop-less record arriving at ``ready``.
+        """
+        if src == dst or cost <= 0:
+            return Message(edge_src_node, edge_dst_node, (src,) if src == dst
+                           else self.topology.route(src, dst), [], ready)
+        route = self.topology.route(src, dst)
+        hops, arrival = self._plan_hops(route, ready, cost)
+        for (ch, start, _finish) in hops:
+            self._timelines[ch].reserve(start, cost)
+        return Message(edge_src_node, edge_dst_node, route, hops, arrival)
+
+    def release(self, msg: Message) -> None:
+        """Undo a committed message (used by migrating schedulers)."""
+        for (ch, start, finish) in msg.hops:
+            self._timelines[ch].release(start)
+
+    def busy_time(self) -> float:
+        """Total reserved channel time (a network-load metric)."""
+        total = 0.0
+        for tl in self._timelines.values():
+            total += sum(f - s for s, f in zip(tl.starts, tl.finishes))
+        return total

@@ -1,0 +1,13 @@
+"""Optimal scheduling: admissible bounds and branch-and-bound search."""
+
+from .bnb import BranchAndBoundScheduler, OptimalResult, solve_optimal
+from .bounds import lb_combined, lb_critical_path, lb_workload
+
+__all__ = [
+    "BranchAndBoundScheduler",
+    "OptimalResult",
+    "solve_optimal",
+    "lb_critical_path",
+    "lb_workload",
+    "lb_combined",
+]

@@ -1,0 +1,268 @@
+"""Branch-and-bound optimal DAG scheduler (the RGBOS calibrator).
+
+The paper obtained optimal solutions for its RGBOS suite with a parallel
+A* [23]; this is the serial equivalent: a depth-first branch-and-bound
+over *placement sequences* with the same admissible bound structure.
+
+Search space
+------------
+A state is a partial schedule.  Expansion places one ready node onto one
+processor at its earliest start there (append-only).  This is complete:
+for any feasible schedule, placing its tasks in start-time order at
+greedy ESTs reproduces an assignment/per-processor-order with
+componentwise earlier starts, so some leaf of the tree is at least as
+good as any feasible schedule.
+
+Prunings (all optimality-preserving)
+------------------------------------
+* **f-bound** — at every state a lower bound is computed from (a) the
+  partial makespan, (b) remaining workload over the processors, and
+  (c) per-node earliest-start floors: ready nodes take the *minimum over
+  processors* of their true earliest start there (arrival times of
+  scheduled parents are fixed; processor ready times only grow, so the
+  minimum is admissible), deeper nodes take computation-only
+  propagation; each floor is extended by the node's computation-only
+  b-level.
+* **Processor symmetry** — empty processors are interchangeable: only
+  the lowest-indexed empty processor is branched on.
+* **Sibling order** — two consecutive placements that commute (different
+  processors, no dependency between the two nodes) are explored in one
+  canonical order only.
+* **Transposition table** — states reached by different placement orders
+  but with identical (processor, start) content are expanded once.
+* **UB seeding** — the incumbent starts at the best result of the fast
+  heuristics (MCP, DCP, DLS, ETF), so the DFS opens with a tight bound.
+
+A node-expansion ``budget`` caps runtime; when exceeded the best
+incumbent is returned with ``proved=False`` (the paper's own RGBOS
+generation notes the same exponential wall).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..core.attributes import static_blevel
+from ..core.graph import TaskGraph
+from ..core.machine import Machine
+from ..core.schedule import Schedule
+from .bounds import lb_combined
+
+__all__ = ["OptimalResult", "BranchAndBoundScheduler", "solve_optimal"]
+
+
+@dataclass
+class OptimalResult:
+    """Outcome of an optimal search."""
+
+    schedule: Schedule
+    length: float
+    proved: bool
+    expanded: int
+    lower_bound: float
+    elapsed_s: float
+
+    @property
+    def gap(self) -> float:
+        """Relative gap between incumbent and proven lower bound."""
+        if self.length <= 0:
+            return 0.0
+        return (self.length - self.lower_bound) / self.length
+
+
+class BranchAndBoundScheduler:
+    """Depth-first B&B over ready-node placements.
+
+    Parameters
+    ----------
+    budget:
+        Maximum number of state expansions before giving up the proof.
+    seed_heuristics:
+        Scheduler names used to initialise the upper bound.
+    """
+
+    def __init__(self, budget: int = 200_000,
+                 seed_heuristics: Tuple[str, ...] = ("MCP", "DCP", "DLS",
+                                                     "ETF")):
+        self.budget = int(budget)
+        self.seed_heuristics = seed_heuristics
+
+    # ------------------------------------------------------------------
+    def solve(self, graph: TaskGraph, num_procs: int) -> OptimalResult:
+        t0 = time.perf_counter()
+        n = graph.num_nodes
+        sl = static_blevel(graph)
+        lb = lb_combined(graph, num_procs)
+        topo = graph.topological_order
+        preds = [graph.predecessors(i) for i in range(n)]
+        succs = [graph.successors(i) for i in range(n)]
+        weight = [graph.weight(i) for i in range(n)]
+
+        best_sched, best_len = self._seed(graph, num_procs)
+        if best_len <= lb + 1e-9:
+            return OptimalResult(best_sched, best_len, True, 0, lb,
+                                 time.perf_counter() - t0)
+
+        proc_of = [-1] * n
+        start = [0.0] * n
+        finish = [0.0] * n
+        proc_ready = [0.0] * num_procs
+        unscheduled_parents = [graph.in_degree(i) for i in range(n)]
+        ready: Set[int] = set(graph.entry_nodes)
+        self._expanded = 0
+        self._proved = True
+        self._best_len = best_len
+        self._best_assign: Optional[List[Tuple[int, int, float]]] = None
+        seen: Set[Tuple] = set()
+
+        def est(node: int, proc: int) -> float:
+            t = proc_ready[proc]
+            for p in preds[node]:
+                arr = finish[p]
+                if proc_of[p] != proc:
+                    arr += graph.comm_cost(p, node)
+                if arr > t:
+                    t = arr
+            return t
+
+        def strong_lb(makespan: float, work_left: float,
+                      proc_limit: int) -> float:
+            busy = sum(proc_ready)
+            f = max(makespan, (busy + work_left) / num_procs)
+            t_lb = [0.0] * n
+            for u in topo:
+                if proc_of[u] >= 0:
+                    t_lb[u] = start[u]
+                    continue
+                if u in ready:
+                    t_lb[u] = min(est(u, p) for p in range(proc_limit))
+                else:
+                    t = 0.0
+                    for p in preds[u]:
+                        cand = t_lb[p] + weight[p]
+                        if cand > t:
+                            t = cand
+                    t_lb[u] = t
+                cand = t_lb[u] + sl[u]
+                if cand > f:
+                    f = cand
+            return f
+
+        def state_key() -> Tuple:
+            groups: Dict[int, List[Tuple[float, int]]] = {}
+            for i in range(n):
+                if proc_of[i] >= 0:
+                    groups.setdefault(proc_of[i], []).append((start[i], i))
+            return tuple(sorted(tuple(sorted(g)) for g in groups.values()))
+
+        def dfs(depth: int, makespan: float, work_left: float,
+                prev_start: float, prev_proc: int, prev_node: int) -> None:
+            if self._expanded >= self.budget:
+                self._proved = False
+                return
+            if depth == n:
+                if makespan < self._best_len - 1e-9:
+                    self._best_len = makespan
+                    self._best_assign = [
+                        (i, proc_of[i], start[i]) for i in range(n)
+                    ]
+                return
+            used = sum(1 for p in range(num_procs) if proc_ready[p] > 0)
+            proc_limit = min(num_procs, used + 1)
+            if strong_lb(makespan, work_left, proc_limit) >= self._best_len - 1e-9:
+                return
+            key = state_key()
+            if key in seen:
+                return
+            seen.add(key)
+            self._expanded += 1
+
+            candidates: List[Tuple[float, float, int, int]] = []
+            for node in ready:
+                for proc in range(proc_limit):
+                    s = est(node, proc)
+                    if s + sl[node] >= self._best_len - 1e-9:
+                        continue
+                    if prev_node >= 0 and proc != prev_proc:
+                        if (s, proc, node) < (prev_start, prev_proc,
+                                              prev_node) and not graph.has_edge(
+                                                  prev_node, node):
+                            continue
+                    candidates.append((s + sl[node], s, node, proc))
+            candidates.sort()
+            for _, s, node, proc in candidates:
+                f_node = s + weight[node]
+                new_mk = max(makespan, f_node)
+                if new_mk >= self._best_len - 1e-9:
+                    continue
+                # --- apply ----------------------------------------------
+                proc_of[node] = proc
+                start[node] = s
+                finish[node] = f_node
+                saved_ready_time = proc_ready[proc]
+                proc_ready[proc] = f_node
+                ready.discard(node)
+                released = []
+                for child in succs[node]:
+                    unscheduled_parents[child] -= 1
+                    if unscheduled_parents[child] == 0:
+                        released.append(child)
+                        ready.add(child)
+                dfs(depth + 1, new_mk, work_left - weight[node],
+                    s, proc, node)
+                # --- undo -----------------------------------------------
+                for child in released:
+                    ready.discard(child)
+                for child in succs[node]:
+                    unscheduled_parents[child] += 1
+                ready.add(node)
+                proc_ready[proc] = saved_ready_time
+                proc_of[node] = -1
+                if self._expanded >= self.budget:
+                    self._proved = False
+                    return
+
+        dfs(0, 0.0, graph.total_computation, -1.0, -1, -1)
+
+        if self._best_assign is not None:
+            sched = Schedule(graph, num_procs)
+            for node, proc, s in sorted(self._best_assign,
+                                        key=lambda t: t[2]):
+                sched.place(node, proc, s)
+            best_sched, best_len = sched, sched.length
+        proved = self._proved or best_len <= lb + 1e-9
+        return OptimalResult(best_sched, best_len, proved, self._expanded,
+                             best_len if proved else max(lb, 0.0),
+                             time.perf_counter() - t0)
+
+    # ------------------------------------------------------------------
+    def _seed(self, graph: TaskGraph, num_procs: int) -> Tuple[Schedule, float]:
+        """Best heuristic schedule as the initial incumbent."""
+        from ..algorithms import get_scheduler
+
+        machine = Machine(num_procs)
+        best: Optional[Schedule] = None
+        for name in self.seed_heuristics:
+            try:
+                sched = get_scheduler(name).schedule(graph, machine)
+            except Exception:  # pragma: no cover - heuristics are total
+                continue
+            if best is None or sched.length < best.length:
+                best = sched
+        assert best is not None
+        return best, best.length
+
+
+def solve_optimal(graph: TaskGraph, num_procs: Optional[int] = None,
+                  budget: int = 200_000) -> OptimalResult:
+    """Convenience wrapper: pick a processor count and run the B&B.
+
+    When ``num_procs`` is omitted we use ``min(8, width(graph))`` — no
+    schedule can keep more processors busy than the graph's width, and
+    eight matches the machine scale of the paper's experiments.
+    """
+    if num_procs is None:
+        num_procs = max(1, min(8, graph.width()))
+    return BranchAndBoundScheduler(budget=budget).solve(graph, num_procs)

@@ -1,0 +1,37 @@
+"""Admissible lower bounds on schedule length.
+
+Used both to seed/prune the branch-and-bound solver and as reporting
+floors in the benchmark tables when an optimum could not be proven
+within budget (mirroring the paper's remark that generating optimal
+solutions for arbitrary graphs takes exponential time).
+
+All bounds here assume the clique (contention-free) machine model, in
+which communication can always be avoided by co-location — so only
+computation-based quantities are admissible.
+"""
+
+from __future__ import annotations
+
+from ..core.attributes import static_blevel
+from ..core.graph import TaskGraph
+
+__all__ = [
+    "lb_critical_path",
+    "lb_workload",
+    "lb_combined",
+]
+
+
+def lb_critical_path(graph: TaskGraph) -> float:
+    """Computation-only critical path: a chain can never run in parallel."""
+    return max(static_blevel(graph))
+
+
+def lb_workload(graph: TaskGraph, num_procs: int) -> float:
+    """Total work divided by processor count."""
+    return graph.total_computation / num_procs
+
+
+def lb_combined(graph: TaskGraph, num_procs: int) -> float:
+    """Best of the admissible bounds."""
+    return max(lb_critical_path(graph), lb_workload(graph, num_procs))

@@ -1,0 +1,101 @@
+"""Shared fixtures and hypothesis strategies for the test suite."""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import pytest
+from hypothesis import strategies as st
+
+from repro import Machine, NetworkMachine, TaskGraph, Topology
+
+
+# ----------------------------------------------------------------------
+# Deterministic example graphs
+# ----------------------------------------------------------------------
+@pytest.fixture
+def chain4() -> TaskGraph:
+    """0 -> 1 -> 2 -> 3 with mixed costs."""
+    return TaskGraph(
+        [2.0, 3.0, 1.0, 4.0],
+        {(0, 1): 5.0, (1, 2): 1.0, (2, 3): 2.0},
+        name="chain4",
+    )
+
+
+@pytest.fixture
+def fork3() -> TaskGraph:
+    """0 fans out to 1 and 2."""
+    return TaskGraph(
+        [1.0, 2.0, 3.0],
+        {(0, 1): 4.0, (0, 2): 1.0},
+        name="fork3",
+    )
+
+
+@pytest.fixture
+def join3() -> TaskGraph:
+    """1 and 2 join into 0... inverted: 0,1 -> 2."""
+    return TaskGraph(
+        [2.0, 3.0, 1.0],
+        {(0, 2): 4.0, (1, 2): 1.0},
+        name="join3",
+    )
+
+
+@pytest.fixture
+def diamond4() -> TaskGraph:
+    """0 -> {1, 2} -> 3."""
+    return TaskGraph(
+        [1.0, 2.0, 4.0, 1.0],
+        {(0, 1): 3.0, (0, 2): 1.0, (1, 3): 2.0, (2, 3): 5.0},
+        name="diamond4",
+    )
+
+
+@pytest.fixture
+def kwok9() -> TaskGraph:
+    from repro.generators.psg import kwok_ahmad_9
+
+    return kwok_ahmad_9()
+
+
+@pytest.fixture
+def machine2() -> Machine:
+    return Machine(2)
+
+
+@pytest.fixture
+def machine4() -> Machine:
+    return Machine(4)
+
+
+@pytest.fixture
+def net_ring4() -> NetworkMachine:
+    return NetworkMachine(Topology.ring(4))
+
+
+@pytest.fixture
+def net_cube8() -> NetworkMachine:
+    return NetworkMachine(Topology.hypercube(3))
+
+
+# ----------------------------------------------------------------------
+# Hypothesis strategy: random weighted DAGs
+# ----------------------------------------------------------------------
+@st.composite
+def task_graphs(draw, min_nodes: int = 2, max_nodes: int = 14,
+                max_weight: int = 20, max_comm: int = 40,
+                edge_prob: float = 0.35) -> TaskGraph:
+    """Random DAG: edges only from lower to higher ids (always acyclic)."""
+    n = draw(st.integers(min_nodes, max_nodes))
+    weights = [
+        draw(st.integers(1, max_weight)) for _ in range(n)
+    ]
+    edges: Dict[Tuple[int, int], float] = {}
+    for u in range(n):
+        for v in range(u + 1, n):
+            if draw(st.booleans() if edge_prob >= 0.5 else
+                    st.sampled_from([True] + [False] * int(1 / edge_prob))):
+                edges[(u, v)] = float(draw(st.integers(0, max_comm)))
+    return TaskGraph([float(w) for w in weights], edges, name=f"hyp-{n}")

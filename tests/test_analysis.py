@@ -1,0 +1,106 @@
+"""Tests for the design-decision analysis (paper Section 7 automation)."""
+
+import pytest
+
+from repro.bench.analysis import (
+    DecisionReport,
+    design_decision_report,
+    render_report,
+)
+from repro.metrics.measures import RunResult
+
+
+def _row(alg, klass, graph, nsl):
+    return RunResult(alg, klass, graph, 10, nsl * 100, nsl, 2, 0.0)
+
+
+class TestDecisionReport:
+    def test_advantage_sign(self):
+        r = DecisionReport("x", "yes", "no", 1.0, 1.5, ["A"], ["B"])
+        assert r.advantage == pytest.approx(0.5)
+
+    def test_report_from_results(self):
+        rows = [
+            _row("MCP", "BNP", "g1", 1.2),    # cp_based, insertion
+            _row("HLFET", "BNP", "g1", 1.5),  # neither
+            _row("DCP", "UNC", "g1", 1.1),    # everything
+            _row("LAST", "BNP", "g1", 1.9),
+        ]
+        reports = design_decision_report(rows)
+        flags = {r.flag for r in reports}
+        assert "cp_based" in flags
+        assert "uses_insertion" in flags
+        cp = next(r for r in reports if r.flag == "cp_based")
+        assert set(cp.yes_algorithms) == {"MCP", "DCP"}
+        assert cp.yes_mean_nsl < cp.no_mean_nsl  # CP-based wins here
+
+    def test_apn_rows_excluded(self):
+        rows = [
+            _row("MCP", "BNP", "g1", 1.2),
+            _row("HLFET", "BNP", "g1", 1.4),
+            _row("BSA", "APN", "g1", 9.9),
+        ]
+        reports = design_decision_report(rows)
+        for r in reports:
+            assert "BSA" not in r.yes_algorithms + r.no_algorithms
+
+    def test_render(self):
+        rows = [
+            _row("MCP", "BNP", "g1", 1.2),
+            _row("HLFET", "BNP", "g1", 1.5),
+        ]
+        text = render_report(design_decision_report(rows))
+        assert "winner" in text
+        assert "MCP" in text
+
+    def test_empty_side_skipped(self):
+        rows = [_row("MCP", "BNP", "g1", 1.2)]
+        reports = design_decision_report(rows)
+        # Every flag has only one side populated -> nothing to compare.
+        assert reports == []
+
+
+class TestMatchedPairs:
+    def test_pair_report_fields(self):
+        from repro.bench.analysis import matched_pair_report
+
+        rows = [
+            _row("ISH", "BNP", "g1", 1.2), _row("HLFET", "BNP", "g1", 1.4),
+            _row("ISH", "BNP", "g2", 1.3), _row("HLFET", "BNP", "g2", 1.3),
+        ]
+        pairs = matched_pair_report(rows)
+        ish = next(p for p in pairs if p.favoured == "ISH")
+        assert ish.wins == 1 and ish.losses == 0
+        assert ish.advantage == pytest.approx(0.1)
+
+    def test_render_pairs(self):
+        from repro.bench.analysis import matched_pair_report, render_pairs
+
+        rows = [
+            _row("ISH", "BNP", "g1", 1.2), _row("HLFET", "BNP", "g1", 1.4),
+        ]
+        text = render_pairs(matched_pair_report(rows))
+        assert "confirms" in text
+
+
+class TestPaperConclusions:
+    def test_conclusions_on_seeded_suite(self):
+        """Regenerate Section 7's findings on a seeded RGNOS slice via
+        the matched pairs (group means confound: see analysis module)."""
+        from repro.bench.analysis import matched_pair_report
+        from repro.bench.runner import run_grid
+        from repro.generators.random_graphs import rgnos_graph
+
+        graphs = [rgnos_graph(60, ccr, 3, seed=s)
+                  for ccr in (0.5, 2.0) for s in (0, 1, 2)]
+        rows = run_grid(
+            ["HLFET", "ISH", "MCP", "ETF", "DLS", "LAST", "DSC", "DCP",
+             "LC", "EZ", "MD"],
+            graphs,
+        )
+        pairs = {p.favoured: p for p in matched_pair_report(rows)}
+        # Insertion (ISH over HLFET) and CP-based priorities (MCP over
+        # HLFET) must not lose on aggregate.
+        assert pairs["ISH"].advantage > -0.02
+        assert pairs["MCP"].advantage > -0.02
+        assert pairs["DCP"].advantage > -0.05

@@ -1,0 +1,56 @@
+"""Unit tests for bench figure/table internals on synthetic results."""
+
+import math
+
+import pytest
+
+from repro.bench.figures import _nsl_panel
+from repro.bench.tables import _ccr_of_name
+from repro.metrics.measures import RunResult
+
+
+def _row(alg, graph, v, nsl):
+    return RunResult(alg, "BNP", graph, v, nsl * 100, nsl, 2, 0.0)
+
+
+class TestNslPanel:
+    def test_averages_per_size(self):
+        rows = [
+            _row("MCP", "g1", 50, 1.0), _row("MCP", "g2", 50, 2.0),
+            _row("MCP", "g3", 100, 3.0),
+        ]
+        fig = _nsl_panel("F", "t", ["MCP"], rows, [50, 100])
+        assert fig.series["MCP"] == [pytest.approx(1.5), pytest.approx(3.0)]
+
+    def test_missing_size_is_nan(self):
+        rows = [_row("MCP", "g1", 50, 1.0)]
+        fig = _nsl_panel("F", "t", ["MCP"], rows, [50, 100])
+        assert math.isnan(fig.series["MCP"][1])
+
+    def test_other_algorithms_ignored(self):
+        rows = [_row("MCP", "g1", 50, 1.0), _row("ETF", "g1", 50, 9.0)]
+        fig = _nsl_panel("F", "t", ["MCP"], rows, [50])
+        assert fig.series["MCP"] == [pytest.approx(1.0)]
+        assert "ETF" not in fig.series
+
+
+class TestCcrOfName:
+    def test_extracts(self):
+        assert _ccr_of_name("rgbos-v20-ccr0.1-s5") == pytest.approx(0.1)
+        assert _ccr_of_name("rgpos-v50-ccr10-p8-s1") == pytest.approx(10.0)
+
+    def test_missing_tag_raises(self):
+        with pytest.raises(ValueError):
+            _ccr_of_name("plain-graph-name")
+
+
+class TestKwok9Optimal:
+    def test_bnb_confirms_best_known(self, kwok9):
+        """Lock the optimal schedule length of the canonical 9-node
+        example: the B&B proves 15 — strictly below every heuristic in
+        Table 1 (LAST's greedy 16 is the closest)."""
+        from repro.optimal import solve_optimal
+
+        res = solve_optimal(kwok9, budget=200_000)
+        assert res.proved
+        assert res.length == pytest.approx(15.0)

@@ -1,0 +1,191 @@
+"""Behavioural tests for the six BNP algorithms."""
+
+import pytest
+
+from repro import Machine, TaskGraph, get_scheduler, validate
+from repro.bench.runner import BNP_ALGORITHMS
+
+ALL_BNP = list(BNP_ALGORITHMS)
+
+
+@pytest.mark.parametrize("name", ALL_BNP)
+class TestCommonBNP:
+    def test_valid_on_kwok9(self, name, kwok9, machine4):
+        sched = get_scheduler(name).schedule(kwok9, machine4)
+        validate(sched)
+        assert sched.length > 0
+
+    def test_deterministic(self, name, kwok9, machine4):
+        s1 = get_scheduler(name).schedule(kwok9, machine4)
+        s2 = get_scheduler(name).schedule(kwok9, machine4)
+        assert s1.to_dict() == s2.to_dict()
+
+    def test_single_proc_serialises(self, name, kwok9):
+        sched = get_scheduler(name).schedule(kwok9, Machine(1))
+        validate(sched)
+        assert sched.length == pytest.approx(kwok9.total_computation)
+
+    def test_single_node(self, name):
+        g = TaskGraph([5.0], {})
+        sched = get_scheduler(name).schedule(g, Machine(2))
+        assert sched.length == 5.0
+        assert sched.start_of(0) == 0.0
+
+    def test_independent_tasks_spread(self, name):
+        g = TaskGraph([4.0, 4.0, 4.0, 4.0], {})
+        sched = get_scheduler(name).schedule(g, Machine(4))
+        validate(sched)
+        assert sched.length == 4.0  # all run in parallel
+
+    def test_respects_proc_bound(self, name, kwok9):
+        sched = get_scheduler(name).schedule(kwok9, Machine(2))
+        validate(sched)
+        assert sched.processors_used() <= 2
+
+    def test_metadata(self, name):
+        s = get_scheduler(name)
+        assert s.klass == "BNP"
+        assert s.name in (name, name.upper())
+
+
+class TestHLFET:
+    def test_priority_is_static_level(self):
+        # Node 1 (SL=6) must be scheduled before node 2 (SL=2) even
+        # though node 2 has the cheaper edge.
+        g = TaskGraph(
+            [1.0, 2.0, 2.0, 4.0],
+            {(0, 1): 1.0, (0, 2): 100.0, (1, 3): 1.0},
+            name="prio",
+        )
+        sched = get_scheduler("HLFET").schedule(g, Machine(1))
+        assert sched.start_of(1) < sched.start_of(2)
+
+    def test_no_insertion(self):
+        # A hole forms on P0 while waiting for comm; HLFET cannot fill it.
+        g = TaskGraph(
+            [1.0, 8.0, 1.0, 1.0],
+            {(0, 1): 0.0, (0, 2): 6.0, (2, 3): 0.0},
+            name="hole",
+        )
+        sched = get_scheduler("HLFET").schedule(g, Machine(2))
+        validate(sched)
+
+
+class TestISH:
+    def test_hole_filling_improves_on_hlfet(self):
+        """The signature ISH behaviour: a ready node is slotted into the
+        idle gap the communication delay opens up."""
+        g = TaskGraph(
+            [2.0, 2.0, 3.0, 9.0],
+            {(0, 1): 8.0, (0, 3): 8.0, (1, 2): 1.0},
+            name="ish-gap",
+        )
+        hl = get_scheduler("HLFET").schedule(g, Machine(2)).length
+        ish = get_scheduler("ISH").schedule(g, Machine(2)).length
+        assert ish <= hl
+
+    def test_hole_filling_happens(self):
+        # Node 0 on P0 finishes at 2; node 3 (high SL, needs comm 8)
+        # waits; independent node 1... construct explicit scenario.
+        g = TaskGraph(
+            [2.0, 1.0, 5.0],
+            {(0, 2): 10.0},
+            name="ish-fill",
+        )
+        sched = get_scheduler("ISH").schedule(g, Machine(1))
+        validate(sched)
+        assert sched.length == pytest.approx(8.0)
+
+
+class TestMCP:
+    def test_uses_insertion(self):
+        g = TaskGraph(
+            [2.0, 2.0, 3.0, 9.0],
+            {(0, 1): 8.0, (0, 3): 8.0, (1, 2): 1.0},
+            name="mcp-gap",
+        )
+        sched = get_scheduler("MCP").schedule(g, Machine(2))
+        validate(sched)
+
+    def test_alap_order_topological(self, kwok9, machine4):
+        # MCP's lexicographic ALAP-list order must schedule parents
+        # before children; validation would explode otherwise, but make
+        # the check explicit via start times along each edge.
+        sched = get_scheduler("MCP").schedule(kwok9, machine4)
+        for u, v, _c in kwok9.edges():
+            assert sched.start_of(u) < sched.start_of(v) + 1e-9
+
+    def test_cp_node_first(self, kwok9, machine4):
+        # The entry node of the CP has ALAP 0 and is scheduled at t=0.
+        sched = get_scheduler("MCP").schedule(kwok9, machine4)
+        assert sched.start_of(0) == 0.0
+
+
+class TestETF:
+    def test_picks_globally_earliest_pair(self):
+        # Two ready nodes: node 1 can start at 1 on P0; node 2 must wait
+        # for comm. ETF places node 1 first even with lower SL.
+        g = TaskGraph(
+            [1.0, 1.0, 10.0],
+            {(0, 1): 0.0, (0, 2): 50.0},
+            name="etf",
+        )
+        sched = get_scheduler("ETF").schedule(g, Machine(2))
+        validate(sched)
+        # Node 2 (heavy SL) is co-located with 0 to avoid the giant comm.
+        assert sched.proc_of(2) == sched.proc_of(0)
+
+    def test_matches_paper_class(self):
+        s = get_scheduler("ETF")
+        assert s.dynamic_priority and not s.uses_insertion
+
+
+class TestDLS:
+    def test_dynamic_level_tradeoff(self, kwok9, machine4):
+        sched = get_scheduler("DLS").schedule(kwok9, machine4)
+        validate(sched)
+
+    def test_prefers_high_static_level_at_t0(self):
+        # At step 0 all ESTs are 0, so DL reduces to SL: the heavy chain
+        # head must be placed first.
+        g = TaskGraph(
+            [1.0, 1.0, 20.0, 1.0],
+            {(1, 2): 0.0, (2, 3): 0.0},
+            name="dls",
+        )
+        sched = get_scheduler("DLS").schedule(g, Machine(1))
+        assert sched.start_of(1) == 0.0
+
+
+class TestLAST:
+    def test_d_node_priority(self):
+        """After scheduling node 0, LAST prefers the child with the
+        dominant settled-edge fraction (node 1: its only edge touches the
+        scheduled region) over node 2 (big unsettled out-edge)."""
+        g = TaskGraph(
+            [1.0, 1.0, 1.0, 9.0],
+            {(0, 1): 5.0, (0, 2): 5.0, (2, 3): 50.0},
+            name="last",
+        )
+        sched = get_scheduler("LAST").schedule(g, Machine(1))
+        validate(sched)
+        assert sched.start_of(1) < sched.start_of(2)
+
+    def test_often_worst_on_join_graphs(self, kwok9):
+        """Not a theorem, but the paper's central LAST finding on a
+        structured suite: level-blind scheduling loses to MCP on graphs
+        whose CP matters.  Locks the qualitative relation on a seeded
+        set so regressions surface."""
+        from repro.generators.random_graphs import rgnos_graph
+
+        machine = Machine(8)
+        worse = 0
+        total = 0
+        for seed in range(6):
+            g = rgnos_graph(60, 1.0, 2, seed=seed)
+            last = get_scheduler("LAST").schedule(g, machine).length
+            mcp = get_scheduler("MCP").schedule(g, machine).length
+            total += 1
+            if last >= mcp - 1e-9:
+                worse += 1
+        assert worse >= total - 1  # LAST no better than MCP almost always

@@ -1,0 +1,32 @@
+"""Tests for the repro-bench CLI."""
+
+import os
+
+import pytest
+
+from repro.bench.cli import main
+
+
+class TestCLI:
+    def test_table1_to_stdout(self, capsys):
+        assert main(["--artifact", "table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "MCP" in out
+
+    def test_output_files(self, tmp_path, capsys):
+        out_dir = tmp_path / "results"
+        assert main(["--artifact", "table1", "--out", str(out_dir)]) == 0
+        assert (out_dir / "table1.txt").exists()
+
+    def test_figure_csv_written(self, tmp_path, capsys):
+        out_dir = tmp_path / "results"
+        assert main(["--artifact", "fig4", "--out", str(out_dir)]) == 0
+        assert (out_dir / "fig4_unc.csv").exists()
+        assert (out_dir / "fig4_bnp.txt").exists()
+        csv = (out_dir / "fig4_apn.csv").read_text()
+        assert csv.splitlines()[0].startswith("N,")
+
+    def test_bad_artifact_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["--artifact", "nope"])

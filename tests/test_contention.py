@@ -1,0 +1,93 @@
+"""Unit tests for link contention (LinkSchedule)."""
+
+import pytest
+
+from repro import LinkSchedule, ScheduleError, Topology
+
+
+@pytest.fixture
+def chain3():
+    return LinkSchedule(Topology.chain(3))
+
+
+class TestProbe:
+    def test_same_proc_instant(self, chain3):
+        assert chain3.probe_arrival(1, 1, 5.0, 10.0) == 5.0
+
+    def test_zero_cost_instant(self, chain3):
+        assert chain3.probe_arrival(0, 2, 5.0, 0.0) == 5.0
+
+    def test_single_hop(self, chain3):
+        assert chain3.probe_arrival(0, 1, 2.0, 3.0) == 5.0
+
+    def test_multi_hop_store_and_forward(self, chain3):
+        # 0 -> 1 -> 2, cost 3 per hop: 2 + 3 + 3.
+        assert chain3.probe_arrival(0, 2, 2.0, 3.0) == 8.0
+
+    def test_probe_does_not_commit(self, chain3):
+        a1 = chain3.probe_arrival(0, 1, 0.0, 4.0)
+        a2 = chain3.probe_arrival(0, 1, 0.0, 4.0)
+        assert a1 == a2 == 4.0
+
+
+class TestCommit:
+    def test_commit_reserves(self, chain3):
+        m1 = chain3.commit(10, 11, 0, 1, 0.0, 4.0)
+        assert m1.arrival == 4.0
+        # Second message on the same channel must wait.
+        m2 = chain3.commit(12, 13, 0, 1, 0.0, 4.0)
+        assert m2.arrival == 8.0
+
+    def test_opposite_channels_independent(self, chain3):
+        chain3.commit(1, 2, 0, 1, 0.0, 4.0)
+        m = chain3.commit(3, 4, 1, 0, 0.0, 4.0)
+        assert m.arrival == 4.0  # full duplex
+
+    def test_insertion_into_gap(self, chain3):
+        chain3.commit(1, 2, 0, 1, 10.0, 4.0)  # [10, 14)
+        m = chain3.commit(3, 4, 0, 1, 0.0, 4.0)
+        assert m.arrival == 4.0  # fits before
+
+    def test_message_record_fields(self, chain3):
+        m = chain3.commit(7, 8, 0, 2, 1.0, 2.0)
+        assert m.src == 7 and m.dst == 8
+        assert m.route == (0, 1, 2)
+        assert len(m.hops) == 2
+        assert m.hops[0][0] == (0, 1)
+        assert m.hops[1][0] == (1, 2)
+
+    def test_same_proc_no_hops(self, chain3):
+        m = chain3.commit(7, 8, 1, 1, 3.0, 5.0)
+        assert m.hops == []
+        assert m.arrival == 3.0
+
+    def test_release_frees_channel(self, chain3):
+        m = chain3.commit(1, 2, 0, 1, 0.0, 4.0)
+        chain3.release(m)
+        m2 = chain3.commit(3, 4, 0, 1, 0.0, 4.0)
+        assert m2.arrival == 4.0
+
+    def test_release_unknown_fails(self, chain3):
+        m = chain3.commit(1, 2, 0, 1, 0.0, 4.0)
+        chain3.release(m)
+        with pytest.raises(ScheduleError):
+            chain3.release(m)
+
+    def test_busy_time(self, chain3):
+        assert chain3.busy_time() == 0.0
+        chain3.commit(1, 2, 0, 2, 0.0, 3.0)  # 2 hops x 3
+        assert chain3.busy_time() == 6.0
+
+
+class TestContentionEffects:
+    def test_contention_serialises(self):
+        links = LinkSchedule(Topology.chain(2))
+        arrivals = [links.commit(i, 100 + i, 0, 1, 0.0, 5.0).arrival
+                    for i in range(4)]
+        assert arrivals == [5.0, 10.0, 15.0, 20.0]
+
+    def test_hop_pipeline_ordering(self):
+        links = LinkSchedule(Topology.chain(3))
+        m = links.commit(1, 2, 0, 2, 0.0, 5.0)
+        (l1, s1, f1), (l2, s2, f2) = m.hops
+        assert f1 <= s2  # store and forward: second hop after first

@@ -1,0 +1,104 @@
+"""Documentation and example hygiene checks.
+
+Cheap guarantees that the repo's promises stay true: examples are
+runnable scripts, every public module carries a docstring, the README's
+quickstart snippet actually executes, and the artifact inventory in
+DESIGN.md matches the bench directory.
+"""
+
+import ast
+import importlib
+import os
+import pkgutil
+import subprocess
+import sys
+
+import pytest
+
+import repro
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def _walk_modules():
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        if info.name.endswith("__main__"):
+            continue  # importing __main__ would execute the CLI
+        yield info.name
+
+
+class TestDocstrings:
+    def test_every_module_has_docstring(self):
+        missing = []
+        for name in _walk_modules():
+            mod = importlib.import_module(name)
+            if not (mod.__doc__ or "").strip():
+                missing.append(name)
+        assert not missing, f"modules without docstrings: {missing}"
+
+    def test_public_api_documented(self):
+        undocumented = []
+        for sym in repro.__all__:
+            obj = getattr(repro, sym, None)
+            if obj is None or isinstance(obj, str):
+                continue
+            if callable(obj) and not (obj.__doc__ or "").strip():
+                undocumented.append(sym)
+        assert not undocumented
+
+    def test_scheduler_docstrings(self):
+        from repro import get_scheduler, list_schedulers
+
+        for name in list_schedulers():
+            cls = type(get_scheduler(name))
+            module = importlib.import_module(cls.__module__)
+            assert (module.__doc__ or "").strip(), cls.__module__
+
+
+class TestExamples:
+    def test_examples_exist(self):
+        examples = os.listdir(os.path.join(REPO, "examples"))
+        assert "quickstart.py" in examples
+        assert len([e for e in examples if e.endswith(".py")]) >= 3
+
+    def test_examples_parse(self):
+        ex_dir = os.path.join(REPO, "examples")
+        for fname in os.listdir(ex_dir):
+            if fname.endswith(".py"):
+                with open(os.path.join(ex_dir, fname)) as fh:
+                    ast.parse(fh.read(), filename=fname)
+
+    def test_quickstart_runs(self):
+        result = subprocess.run(
+            [sys.executable, os.path.join(REPO, "examples", "quickstart.py")],
+            capture_output=True, text=True, timeout=120,
+        )
+        assert result.returncode == 0, result.stderr
+        assert "schedule length" in result.stdout
+
+
+class TestDocsInventory:
+    def test_readme_quickstart_code_runs(self):
+        """Extract and execute the first python block of the README."""
+        with open(os.path.join(REPO, "README.md")) as fh:
+            text = fh.read()
+        start = text.index("```python") + len("```python")
+        end = text.index("```", start)
+        code = text[start:end]
+        namespace: dict = {}
+        exec(compile(code, "<readme>", "exec"), namespace)  # noqa: S102
+
+    def test_design_lists_every_bench(self):
+        with open(os.path.join(REPO, "DESIGN.md")) as fh:
+            design = fh.read()
+        bench_dir = os.path.join(REPO, "benchmarks")
+        for fname in os.listdir(bench_dir):
+            if fname.startswith("bench_") and fname.endswith(".py"):
+                assert fname in design, f"DESIGN.md does not map {fname}"
+
+    def test_experiments_covers_all_artifacts(self):
+        with open(os.path.join(REPO, "EXPERIMENTS.md")) as fh:
+            exp = fh.read()
+        for artifact in ("Table 1", "Table 2", "Table 4", "Table 6",
+                         "Figure 2", "Figure 3", "Figure 4"):
+            assert artifact in exp

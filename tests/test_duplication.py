@@ -1,0 +1,140 @@
+"""Tests for the TDB extension: DuplicationSchedule and DSH."""
+
+import pytest
+
+from repro import Machine, ScheduleError, TaskGraph
+from repro.duplication import (
+    DSH,
+    DuplicationSchedule,
+    dsh_schedule,
+    validate_duplication,
+)
+from repro.generators.random_graphs import rgbos_graph
+
+
+@pytest.fixture
+def fork():
+    """One root, two children, expensive messages: the duplication
+    poster child."""
+    return TaskGraph(
+        [2.0, 3.0, 3.0],
+        {(0, 1): 50.0, (0, 2): 50.0},
+        name="fork-heavy",
+    )
+
+
+class TestDuplicationSchedule:
+    def test_place_and_query(self, fork):
+        s = DuplicationSchedule(fork, 2)
+        cp = s.place_copy(0, 0, 0.0)
+        assert cp.copy == 0
+        assert s.has_copy(0)
+        assert s.copy_on(0, 0) is cp
+        assert s.copy_on(0, 1) is None
+
+    def test_second_copy_other_proc(self, fork):
+        s = DuplicationSchedule(fork, 2)
+        s.place_copy(0, 0, 0.0)
+        cp2 = s.place_copy(0, 1, 0.0)
+        assert cp2.copy == 1
+        assert len(s.copies_of(0)) == 2
+
+    def test_duplicate_on_same_proc_rejected(self, fork):
+        s = DuplicationSchedule(fork, 2)
+        s.place_copy(0, 0, 0.0)
+        with pytest.raises(ScheduleError):
+            s.place_copy(0, 0, 5.0)
+
+    def test_overlap_rejected(self, fork):
+        s = DuplicationSchedule(fork, 1)
+        s.place_copy(0, 0, 0.0)
+        with pytest.raises(ScheduleError):
+            s.place_copy(1, 0, 1.0)
+
+    def test_drt_uses_best_copy(self, fork):
+        s = DuplicationSchedule(fork, 2)
+        s.place_copy(0, 0, 0.0)
+        s.place_copy(0, 1, 4.0)  # later copy, but local to P1
+        # On P1 the local copy (finish 6) beats remote 2 + 50.
+        assert s.data_ready_time(1, 1) == pytest.approx(6.0)
+        assert s.data_ready_time(1, 0) == pytest.approx(2.0)
+
+    def test_length_counts_all_copies(self, fork):
+        s = DuplicationSchedule(fork, 2)
+        s.place_copy(0, 0, 0.0)
+        s.place_copy(0, 1, 10.0)
+        assert s.length == 12.0
+
+
+class TestValidation:
+    def test_valid_duplication_accepted(self, fork):
+        s = DuplicationSchedule(fork, 2)
+        s.place_copy(0, 0, 0.0)
+        s.place_copy(1, 0, 2.0)
+        s.place_copy(0, 1, 0.0)  # duplicate root on P1
+        s.place_copy(2, 1, 2.0)  # child fed by the local copy
+        validate_duplication(s)
+
+    def test_missing_copy_fails(self, fork):
+        s = DuplicationSchedule(fork, 2)
+        s.place_copy(0, 0, 0.0)
+        with pytest.raises(ScheduleError, match="no scheduled copy"):
+            validate_duplication(s)
+
+    def test_early_start_fails(self, fork):
+        s = DuplicationSchedule(fork, 2)
+        s.place_copy(0, 0, 0.0)
+        s.place_copy(1, 0, 2.0)
+        s.place_copy(2, 1, 2.0)  # no local copy: needs 2 + 50
+        with pytest.raises(ScheduleError, match="before any copy"):
+            validate_duplication(s)
+
+
+class TestDSH:
+    def test_duplicates_root_for_heavy_fork(self, fork):
+        sched = dsh_schedule(fork, 2)
+        validate_duplication(sched)
+        # Without duplication: 2 + 3 + 3 serial = 8 (messages too dear).
+        # With a root copy on each processor: both children at 2 -> 5.
+        assert sched.length == pytest.approx(5.0)
+        assert len(sched.copies_of(0)) == 2
+
+    def test_no_duplication_when_comm_free(self):
+        g = TaskGraph([2.0, 3.0, 3.0], {(0, 1): 0.0, (0, 2): 0.0})
+        sched = dsh_schedule(g, 2)
+        validate_duplication(sched)
+        assert len(sched.copies_of(0)) == 1
+        assert sched.length == pytest.approx(5.0)
+
+    def test_beats_or_matches_hlfet_on_high_ccr(self):
+        """Duplication's raison d'etre: at CCR 10 DSH should beat the
+        identical algorithm without duplication on most instances."""
+        from repro import get_scheduler
+
+        wins = 0
+        total = 6
+        for seed in range(total):
+            g = rgbos_graph(18, 10.0, seed=seed)
+            dsh = dsh_schedule(g, 4).length
+            hlfet = get_scheduler("HLFET").schedule(g, Machine(4)).length
+            if dsh <= hlfet + 1e-9:
+                wins += 1
+        assert wins >= total - 1
+
+    def test_valid_on_random_graphs(self):
+        for seed in range(4):
+            g = rgbos_graph(20, 2.0, seed=seed)
+            sched = dsh_schedule(g, 3)
+            validate_duplication(sched)
+
+    def test_chain_no_duplicates(self):
+        g = TaskGraph([1.0, 1.0, 1.0],
+                      {(0, 1): 5.0, (1, 2): 5.0}, name="chain")
+        sched = dsh_schedule(g, 3)
+        validate_duplication(sched)
+        # A chain gains nothing from duplication.
+        assert all(len(sched.copies_of(n)) == 1 for n in g.nodes())
+        assert sched.length == pytest.approx(3.0)
+
+    def test_metadata(self):
+        assert DSH.klass == "TDB"

@@ -1,0 +1,66 @@
+"""Tests for the figure artifacts."""
+
+import math
+
+import pytest
+
+from repro.bench.figures import FigureSeries, fig4, render_figure
+from repro.bench.runner import APN_ALGORITHMS, BNP_ALGORITHMS, UNC_ALGORITHMS
+
+
+class TestFigureSeries:
+    def test_csv(self):
+        f = FigureSeries("F", "t", "x", "y", [1.0, 2.0],
+                         {"A": [0.5, 0.7], "B": [0.6, 0.8]})
+        csv = f.as_csv()
+        lines = csv.splitlines()
+        assert lines[0] == "x,A,B"
+        assert lines[1].startswith("1,")
+        assert len(lines) == 3
+
+    def test_render(self):
+        f = FigureSeries("F", "t", "x", "y", [1.0],
+                         {"A": [2.0], "B": [1.0]})
+        text = render_figure(f)
+        assert "F: t" in text
+        assert "#" in text  # bar chart section
+
+
+class TestFig4:
+    """fig4 on the reduced traced suite is cheap enough to run in tests;
+    fig2/fig3 are covered by the benchmarks."""
+
+    @pytest.fixture(scope="class")
+    def panels(self):
+        return fig4(full=False)
+
+    def test_three_panels(self, panels):
+        assert set(panels) == {"UNC", "BNP", "APN"}
+
+    def test_series_complete(self, panels):
+        assert set(panels["UNC"].series) == set(UNC_ALGORITHMS)
+        assert set(panels["BNP"].series) == set(BNP_ALGORITHMS)
+        assert set(panels["APN"].series) == set(APN_ALGORITHMS)
+
+    def test_x_axis_is_matrix_dims(self, panels):
+        from repro.bench.suites import traced_dimensions
+
+        assert panels["BNP"].x == [float(d) for d in traced_dimensions(False)]
+
+    def test_nsl_at_least_one(self, panels):
+        for panel in panels.values():
+            for series in panel.series.values():
+                for y in series:
+                    assert y >= 1.0 - 1e-9 and not math.isnan(y)
+
+    def test_paper_shape_bnp_clustered_except_last(self, panels):
+        """Figure 4(b): BNP algorithms perform similarly with LAST the
+        outlier — check LAST is never the unique best and is worst
+        somewhere."""
+        bnp = panels["BNP"]
+        worst_counts = 0
+        for i in range(len(bnp.x)):
+            col = {a: bnp.series[a][i] for a in bnp.series}
+            if max(col, key=col.get) == "LAST":
+                worst_counts += 1
+        assert worst_counts >= 1

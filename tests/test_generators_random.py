@@ -1,0 +1,107 @@
+"""Tests for the RGBOS / RGNOS random-graph generators."""
+
+import math
+
+import pytest
+
+from repro import GeneratorError
+from repro.generators.random_graphs import rgbos_graph, rgnos_graph
+
+
+class TestRGBOS:
+    def test_deterministic(self):
+        a = rgbos_graph(20, 1.0, seed=5)
+        b = rgbos_graph(20, 1.0, seed=5)
+        assert a.edges() == b.edges()
+        assert a.weights.tolist() == b.weights.tolist()
+
+    def test_different_seeds_differ(self):
+        a = rgbos_graph(20, 1.0, seed=5)
+        b = rgbos_graph(20, 1.0, seed=6)
+        assert a.edges() != b.edges()
+
+    def test_node_count(self):
+        for v in (10, 16, 32):
+            assert rgbos_graph(v, 0.1, seed=0).num_nodes == v
+
+    def test_weights_in_paper_range(self):
+        g = rgbos_graph(32, 1.0, seed=1)
+        assert g.weights.min() >= 2
+        assert g.weights.max() <= 78
+
+    def test_ccr_tracks_parameter(self):
+        """Average generated CCR across seeds must approximate the target
+        (each CCR decade apart is clearly separated)."""
+        for target in (0.1, 1.0, 10.0):
+            vals = [rgbos_graph(30, target, seed=s).ccr for s in range(10)]
+            mean = sum(vals) / len(vals)
+            assert target / 2 <= mean <= target * 2
+
+    def test_no_isolated_nodes(self):
+        g = rgbos_graph(30, 1.0, seed=3)
+        for n in range(1, 30):
+            assert g.in_degree(n) + g.out_degree(n) > 0
+
+    def test_acyclic_by_construction(self):
+        # Construction would raise CycleError otherwise; check edge
+        # direction explicitly.
+        g = rgbos_graph(24, 1.0, seed=9)
+        assert all(u < v for u, v, _ in g.edges())
+
+    def test_bad_params(self):
+        with pytest.raises(GeneratorError):
+            rgbos_graph(1, 1.0)
+        with pytest.raises(GeneratorError):
+            rgbos_graph(10, 0.0)
+
+
+class TestRGNOS:
+    def test_deterministic(self):
+        a = rgnos_graph(60, 1.0, 3, seed=2)
+        b = rgnos_graph(60, 1.0, 3, seed=2)
+        assert a.edges() == b.edges()
+
+    def test_node_count(self):
+        for v in (50, 120):
+            assert rgnos_graph(v, 1.0, 2, seed=0).num_nodes == v
+
+    def test_width_scales_with_parallelism(self):
+        """Average width must increase with the parallelism knob and sit
+        near k*sqrt(v) (the paper's definition)."""
+        v = 100
+        widths = {}
+        for par in (1, 3, 5):
+            ws = [rgnos_graph(v, 1.0, par, seed=s).width() for s in range(5)]
+            widths[par] = sum(ws) / len(ws)
+        assert widths[1] < widths[3] < widths[5]
+        for par in (1, 3, 5):
+            target = par * math.sqrt(v)
+            assert 0.5 * target <= widths[par] <= 1.8 * target
+
+    def test_every_nonroot_layer_connected(self):
+        g = rgnos_graph(80, 1.0, 2, seed=4)
+        for n in range(g.num_nodes):
+            if g.in_degree(n) == 0:
+                # Entry nodes must all be in the first layer: they have
+                # no parents, so nothing forced an edge to them.
+                pass  # structural guarantee checked via width above
+        # All nodes reachable have at least one parent except layer 0.
+        entries = set(g.entry_nodes)
+        level = [0] * g.num_nodes
+        for u in g.topological_order:
+            for s in g.successors(u):
+                level[s] = max(level[s], level[u] + 1)
+        for n in entries:
+            assert level[n] == 0
+
+    def test_ccr_tracks_parameter(self):
+        for target in (0.1, 1.0, 10.0):
+            vals = [rgnos_graph(60, target, 3, seed=s).ccr for s in range(6)]
+            mean = sum(vals) / len(vals)
+            assert target / 2 <= mean <= target * 2
+
+    def test_bad_params(self):
+        with pytest.raises(GeneratorError):
+            rgnos_graph(50, 1.0, 0)
+        with pytest.raises(GeneratorError):
+            rgnos_graph(50, -1.0, 2)

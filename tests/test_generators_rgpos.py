@@ -1,0 +1,90 @@
+"""Tests for the RGPOS generator: the optimality guarantees must hold."""
+
+import pytest
+
+from repro import GeneratorError, Machine, get_scheduler, validate
+from repro.core.attributes import cp_computation_cost
+from repro.generators.rgpos import rgpos_instance
+from repro.optimal.bounds import lb_critical_path, lb_workload
+
+
+class TestConstruction:
+    def test_deterministic(self):
+        a = rgpos_instance(60, 1.0, 8, seed=1)
+        b = rgpos_instance(60, 1.0, 8, seed=1)
+        assert a.graph.edges() == b.graph.edges()
+        assert a.optimal_length == b.optimal_length
+
+    def test_node_count(self):
+        inst = rgpos_instance(100, 1.0, 8, seed=0)
+        assert inst.graph.num_nodes == 100
+
+    def test_bad_params(self):
+        with pytest.raises(GeneratorError):
+            rgpos_instance(4, 1.0, 8)
+        with pytest.raises(GeneratorError):
+            rgpos_instance(50, 0.0, 8)
+
+
+class TestOptimalityInvariants:
+    @pytest.mark.parametrize("seed", range(4))
+    @pytest.mark.parametrize("ccr", [0.1, 1.0, 10.0])
+    def test_reference_schedule_feasible_and_tight(self, seed, ccr):
+        inst = rgpos_instance(60, ccr, 6, seed=seed)
+        ref = inst.reference_schedule()
+        validate(ref)  # feasibility: every edge honoured
+        assert ref.length == pytest.approx(inst.optimal_length)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_reference_has_no_idle(self, seed):
+        inst = rgpos_instance(48, 1.0, 6, seed=seed)
+        ref = inst.reference_schedule()
+        for p in range(inst.num_procs):
+            tasks = ref.tasks_on(p)
+            assert tasks, "every processor carries work"
+            assert tasks[0].start == 0.0
+            for a, b in zip(tasks, tasks[1:]):
+                assert b.start == pytest.approx(a.finish)
+            assert tasks[-1].finish == pytest.approx(inst.optimal_length)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_chain_strengthening_makes_cp_bound_tight(self, seed):
+        """With ensure_chains, the computation-only critical path equals
+        L_opt: the optimum is provable for ANY processor count."""
+        inst = rgpos_instance(60, 1.0, 6, seed=seed)
+        assert cp_computation_cost(inst.graph) == pytest.approx(
+            inst.optimal_length
+        )
+
+    def test_workload_bound_tight(self):
+        inst = rgpos_instance(60, 1.0, 6, seed=0)
+        assert lb_workload(inst.graph, 6) == pytest.approx(
+            inst.optimal_length
+        )
+
+    @pytest.mark.parametrize("name", ["MCP", "DCP", "DSC", "HLFET"])
+    def test_no_heuristic_beats_optimal(self, name):
+        """The whole point: L_opt is a true floor."""
+        inst = rgpos_instance(60, 1.0, 6, seed=3)
+        machine = Machine.unbounded(inst.graph)
+        sched = get_scheduler(name).schedule(inst.graph, machine)
+        assert sched.length >= inst.optimal_length - 1e-9
+
+    def test_without_chains_p_bound_only(self):
+        inst = rgpos_instance(60, 1.0, 6, seed=2, ensure_chains=False)
+        ref = inst.reference_schedule()
+        validate(ref)
+        assert ref.length == pytest.approx(inst.optimal_length)
+        # The CP bound may now be loose; only the p-processor workload
+        # bound certifies optimality (as in the paper's construction).
+        assert lb_critical_path(inst.graph) <= inst.optimal_length + 1e-9
+
+    def test_cross_edges_fit_in_slack(self):
+        """Cross-processor edge weights never exceed the receiver's
+        slack, so they cannot delay the reference schedule."""
+        inst = rgpos_instance(80, 10.0, 8, seed=5)
+        ref = inst.reference_schedule()
+        for u, v, c in inst.graph.edges():
+            pu, pv = ref.placement(u), ref.placement(v)
+            if pu.proc != pv.proc:
+                assert pu.finish + c <= pv.start + 1e-9

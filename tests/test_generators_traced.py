@@ -1,0 +1,120 @@
+"""Tests for the traced application graphs."""
+
+import pytest
+
+from repro import GeneratorError
+from repro.core.attributes import critical_path
+from repro.generators.traced import (
+    cholesky_graph,
+    fft_graph,
+    gaussian_elimination_graph,
+    laplace_graph,
+)
+
+
+class TestCholesky:
+    @pytest.mark.parametrize("n", [1, 2, 4, 8, 12])
+    def test_node_count_quadratic(self, n):
+        g = cholesky_graph(n)
+        assert g.num_nodes == n * (n + 1) // 2
+
+    def test_single_column(self):
+        g = cholesky_graph(1)
+        assert g.num_nodes == 1
+        assert g.num_edges == 0
+
+    def test_dependency_structure(self):
+        g = cholesky_graph(3)
+        # Tasks in creation order: cdiv0, cmod(1,0), cmod(2,0), cdiv1,
+        # cmod(2,1), cdiv2.
+        assert g.num_nodes == 6
+        assert g.has_edge(0, 1)  # cdiv0 -> cmod(1,0)
+        assert g.has_edge(0, 2)  # cdiv0 -> cmod(2,0)
+        assert g.has_edge(1, 3)  # cmod(1,0) -> cdiv1
+        assert g.has_edge(3, 4)  # cdiv1 -> cmod(2,1)
+        assert g.has_edge(2, 4)  # serial chain on column 2
+        assert g.has_edge(4, 5)  # cmod(2,1) -> cdiv2
+
+    def test_ccr_scaled(self):
+        for target in (0.2, 1.0, 5.0):
+            g = cholesky_graph(8, ccr=target)
+            assert g.ccr == pytest.approx(target, rel=1e-6)
+
+    def test_weights_decrease_with_column(self):
+        g = cholesky_graph(6)
+        # cdiv(0) handles the longest column -> the largest cdiv weight.
+        assert g.weight(0) == 6.0
+
+    def test_bad_dim(self):
+        with pytest.raises(GeneratorError):
+            cholesky_graph(0)
+
+
+class TestGaussianElimination:
+    @pytest.mark.parametrize("n", [2, 3, 5, 8])
+    def test_node_count(self, n):
+        g = gaussian_elimination_graph(n)
+        # (n-1) pivots + sum_{k} (n-k-1) updates.
+        expected = (n - 1) + sum(n - k - 1 for k in range(n - 1))
+        assert g.num_nodes == expected
+
+    def test_pivot_chain(self):
+        g = gaussian_elimination_graph(3)
+        # pivot0 -> update(0,1) -> pivot1 -> update(1,2).
+        assert g.has_edge(0, 1)
+        assert g.has_edge(1, 3)
+
+    def test_single_entry_single_exit(self):
+        g = gaussian_elimination_graph(5)
+        assert len(g.entry_nodes) == 1
+
+    def test_bad_dim(self):
+        with pytest.raises(GeneratorError):
+            gaussian_elimination_graph(1)
+
+
+class TestFFT:
+    @pytest.mark.parametrize("m", [1, 2, 4])
+    def test_node_count(self, m):
+        g = fft_graph(m)
+        assert g.num_nodes == (1 << m) * (m + 1)
+
+    def test_butterfly_parents(self):
+        g = fft_graph(2)
+        # Stage-1 node (1, 0) has parents (0, 0) and (0, 1).
+        assert g.predecessors(4) == [0, 1]
+        # Stage-2 node (2, 0) has parents (1, 0) and (1, 2).
+        assert g.predecessors(8) == [4, 6]
+
+    def test_uniform_weights(self):
+        g = fft_graph(3)
+        assert set(g.weights.tolist()) == {1.0}
+
+    def test_entries_are_inputs(self):
+        g = fft_graph(2)
+        assert len(g.entry_nodes) == 4
+        assert len(g.exit_nodes) == 4
+
+    def test_bad_m(self):
+        with pytest.raises(GeneratorError):
+            fft_graph(0)
+
+
+class TestLaplace:
+    def test_node_count(self):
+        assert laplace_graph(4).num_nodes == 16
+        assert laplace_graph(3, 5).num_nodes == 15
+
+    def test_wavefront_cp(self):
+        g = laplace_graph(3)
+        # CP walks the full anti-diagonal sweep: 2*3 - 1 nodes.
+        assert len(critical_path(g)) == 5
+
+    def test_corner_dependencies(self):
+        g = laplace_graph(3)
+        assert g.predecessors(4) == [1, 3]  # centre needs north + west
+        assert g.predecessors(0) == []
+
+    def test_bad_dims(self):
+        with pytest.raises(GeneratorError):
+            laplace_graph(0)

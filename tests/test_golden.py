@@ -1,0 +1,92 @@
+"""Golden regression tests: fixed-seed schedule lengths for all 15
+algorithms.
+
+These lock the exact behaviour of every scheduler on three seeded
+graphs.  A failing golden test does not necessarily mean a bug — an
+intentional algorithm change shifts lengths — but it must never fail
+*silently*: regenerate the constants (the command is in each table's
+comment) and review the diff consciously.
+"""
+
+import pytest
+
+from repro import Machine, NetworkMachine, Topology, get_scheduler
+from repro.generators.psg import kwok_ahmad_9
+from repro.generators.random_graphs import rgbos_graph, rgnos_graph
+
+ALL15 = [
+    "HLFET", "ISH", "MCP", "ETF", "DLS", "LAST",
+    "EZ", "LC", "DSC", "MD", "DCP",
+    "MH", "DLS-APN", "BU", "BSA",
+]
+
+
+def _run(name, graph):
+    s = get_scheduler(name)
+    if s.klass == "APN":
+        machine = NetworkMachine(Topology.hypercube(2))
+    else:
+        machine = Machine.unbounded(graph)
+    return s.schedule(graph, machine).length
+
+
+# Regenerate any table with:
+#   python -c "import tests.test_golden as t; t.regen()"
+GOLDEN_KWOK9 = {
+    "HLFET": 19.0, "ISH": 19.0, "MCP": 19.0, "ETF": 19.0, "DLS": 19.0,
+    "LAST": 16.0,
+    "EZ": 20.0, "LC": 22.0, "DSC": 19.0, "MD": 20.0, "DCP": 19.0,
+    "MH": 19.0, "DLS-APN": 23.0, "BU": 24.0, "BSA": 23.0,
+}
+
+GOLDEN_RGBOS20 = {
+    "HLFET": 192.0, "ISH": 192.0, "MCP": 258.0, "ETF": 239.0,
+    "DLS": 192.0, "LAST": 258.0,
+    "EZ": 254.0, "LC": 192.0, "DSC": 258.0, "MD": 293.0, "DCP": 192.0,
+    "MH": 231.0, "DLS-APN": 246.0, "BU": 372.0, "BSA": 268.0,
+}
+
+GOLDEN_RGNOS50 = {
+    "HLFET": 359.0, "ISH": 359.0, "MCP": 354.0, "ETF": 356.0,
+    "DLS": 361.0, "LAST": 356.0,
+    "EZ": 355.0, "LC": 353.0, "DSC": 359.0, "MD": 490.0, "DCP": 353.0,
+    "MH": 1315.0, "DLS-APN": 1122.0, "BU": 1458.0, "BSA": 1147.0,
+}
+
+
+@pytest.fixture(scope="module")
+def rgbos20():
+    return rgbos_graph(20, 1.0, seed=2024)
+
+
+@pytest.fixture(scope="module")
+def rgnos50():
+    return rgnos_graph(50, 1.0, 2, seed=2024)
+
+
+@pytest.mark.parametrize("name", ALL15)
+def test_kwok9_lengths(name):
+    assert _run(name, kwok_ahmad_9()) == pytest.approx(GOLDEN_KWOK9[name])
+
+
+@pytest.mark.parametrize("name", ALL15)
+def test_rgbos20_lengths(name, rgbos20):
+    assert _run(name, rgbos20) == pytest.approx(GOLDEN_RGBOS20[name])
+
+
+@pytest.mark.parametrize("name", ALL15)
+def test_rgnos50_lengths(name, rgnos50):
+    assert _run(name, rgnos50) == pytest.approx(GOLDEN_RGNOS50[name])
+
+
+def regen():  # pragma: no cover - developer tool
+    """Print fresh golden tables after an intentional algorithm change."""
+    for label, graph in (
+        ("GOLDEN_KWOK9", kwok_ahmad_9()),
+        ("GOLDEN_RGBOS20", rgbos_graph(20, 1.0, seed=2024)),
+        ("GOLDEN_RGNOS50", rgnos_graph(50, 1.0, 2, seed=2024)),
+    ):
+        print(f"{label} = {{")
+        for name in ALL15:
+            print(f"    {name!r}: {_run(name, graph)!r},")
+        print("}")

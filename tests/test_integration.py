@@ -1,0 +1,142 @@
+"""Cross-module integration tests.
+
+Every algorithm x every generator family must produce a schedule that
+passes full validation; class-level conventions (UNC unbounded, APN with
+messages) are exercised through the public API end to end.
+"""
+
+import pytest
+
+from repro import (
+    Machine,
+    NetworkMachine,
+    Topology,
+    get_scheduler,
+    list_schedulers,
+    validate,
+)
+from repro.core.attributes import cp_computation_cost
+from repro.generators import (
+    cholesky_graph,
+    fft_graph,
+    gaussian_elimination_graph,
+    laplace_graph,
+    peer_set_graphs,
+    rgbos_graph,
+    rgnos_graph,
+    rgpos_instance,
+)
+
+ALL_NAMES = list_schedulers()
+CLIQUE_NAMES = [n for n in ALL_NAMES
+                if get_scheduler(n).klass in ("BNP", "UNC")]
+APN_NAMES = [n for n in ALL_NAMES if get_scheduler(n).klass == "APN"]
+
+FAMILY_GRAPHS = [
+    ("rgbos", rgbos_graph(16, 1.0, seed=42)),
+    ("rgbos-high-ccr", rgbos_graph(16, 10.0, seed=42)),
+    ("rgnos", rgnos_graph(50, 1.0, 3, seed=42)),
+    ("rgpos", rgpos_instance(40, 1.0, 4, seed=42).graph),
+    ("cholesky", cholesky_graph(6)),
+    ("gauss", gaussian_elimination_graph(5)),
+    ("fft", fft_graph(3)),
+    ("laplace", laplace_graph(4)),
+    ("psg", peer_set_graphs()[0]),
+]
+
+
+@pytest.mark.parametrize("name", CLIQUE_NAMES)
+@pytest.mark.parametrize("family,graph", FAMILY_GRAPHS,
+                         ids=[f for f, _ in FAMILY_GRAPHS])
+class TestCliqueAlgorithmsOnAllFamilies:
+    def test_valid_schedule(self, name, family, graph):
+        sched = get_scheduler(name).schedule(graph, Machine.unbounded(graph))
+        validate(sched)
+        assert sched.length >= cp_computation_cost(graph) - 1e-6
+
+
+@pytest.mark.parametrize("name", APN_NAMES)
+@pytest.mark.parametrize("family,graph", FAMILY_GRAPHS[:6],
+                         ids=[f for f, _ in FAMILY_GRAPHS[:6]])
+class TestAPNAlgorithmsOnFamilies:
+    def test_valid_schedule_with_messages(self, name, family, graph):
+        topo = Topology.hypercube(2)
+        sched = get_scheduler(name).schedule(graph, NetworkMachine(topo))
+        validate(sched, network=topo)
+
+
+class TestModelConsistency:
+    def test_apn_on_clique_close_to_bnp_model(self):
+        """On a clique topology every route is one hop, so an APN
+        schedule is a valid clique schedule as well; its length can
+        still differ (channel contention), but never below the CP
+        computation floor."""
+        g = rgbos_graph(16, 1.0, seed=3)
+        topo = Topology.clique(4)
+        sched = get_scheduler("MH").schedule(g, NetworkMachine(topo))
+        validate(sched, network=topo)
+        assert sched.length >= cp_computation_cost(g) - 1e-6
+
+    def test_zero_ccr_limit_matches_no_comm(self):
+        """With all-zero communication the clique and network models
+        coincide; MCP and MH then solve the same problem instance."""
+        g = rgbos_graph(14, 1.0, seed=5)
+        g0 = type(g)(
+            g.weights, {(u, v): 0.0 for u, v, _ in g.edges()},
+            name="zero-comm",
+        )
+        mcp = get_scheduler("MCP").schedule(g0, Machine(4)).length
+        topo = Topology.clique(4)
+        mh = get_scheduler("MH").schedule(g0, NetworkMachine(topo)).length
+        assert mh == pytest.approx(mcp, rel=0.25)
+
+    def test_unbounded_never_beats_cp_floor(self):
+        g = rgnos_graph(60, 0.1, 5, seed=8)
+        floor = cp_computation_cost(g)
+        for name in CLIQUE_NAMES:
+            sched = get_scheduler(name).schedule(g, Machine.unbounded(g))
+            assert sched.length >= floor - 1e-6
+
+    def test_more_procs_never_hurt_greedy_bnp(self):
+        """For the greedy min-EST algorithms, doubling the processor
+        supply cannot lengthen the schedule on these instances (sanity
+        of the machine-size conventions; not a general theorem, hence a
+        fixed seeded instance)."""
+        g = rgnos_graph(40, 0.5, 3, seed=1)
+        for name in ("HLFET", "MCP", "ETF"):
+            s2 = get_scheduler(name).schedule(g, Machine(2)).length
+            s8 = get_scheduler(name).schedule(g, Machine(8)).length
+            assert s8 <= s2 + 1e-9
+
+
+class TestPublicAPI:
+    def test_list_schedulers_complete(self):
+        assert len(ALL_NAMES) == 15
+        assert len([n for n in ALL_NAMES
+                    if get_scheduler(n).klass == "BNP"]) == 6
+        assert len([n for n in ALL_NAMES
+                    if get_scheduler(n).klass == "UNC"]) == 5
+        assert len(APN_NAMES) == 4
+
+    def test_list_schedulers_filter(self):
+        from repro import list_schedulers as ls
+
+        assert set(ls("BNP")) == {"HLFET", "ISH", "MCP", "ETF", "DLS",
+                                  "LAST"}
+        assert ls("unc") == sorted(["EZ", "LC", "DSC", "MD", "DCP"])
+
+    def test_unknown_scheduler(self):
+        with pytest.raises(KeyError):
+            get_scheduler("NOPE")
+
+    def test_top_level_import_surface(self):
+        import repro
+
+        for sym in ("TaskGraph", "Machine", "Schedule", "Topology",
+                    "validate", "get_scheduler", "blevel", "tlevel"):
+            assert hasattr(repro, sym)
+
+    def test_version(self):
+        import repro
+
+        assert repro.__version__

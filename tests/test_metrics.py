@@ -1,0 +1,112 @@
+"""Tests for performance measures and rankings."""
+
+import pytest
+
+from repro import Machine, Schedule, TaskGraph, get_scheduler
+from repro.metrics import (
+    RunResult,
+    average_ranks,
+    degradation_pct,
+    efficiency,
+    nsl,
+    speedup,
+    summarize_by_algorithm,
+)
+
+
+@pytest.fixture
+def sched2(chain4):
+    s = Schedule(chain4, 2)
+    s.place(0, 0, 0.0)
+    s.place(1, 0, 2.0)
+    s.place(2, 0, 5.0)
+    s.place(3, 0, 6.0)
+    return s
+
+
+class TestMeasures:
+    def test_nsl_serial_chain_is_one(self, chain4, sched2):
+        # Chain: CP computation = total = 10; serial schedule length 10.
+        assert nsl(sched2) == pytest.approx(1.0)
+
+    def test_nsl_above_one_with_delay(self, chain4):
+        s = Schedule(chain4, 2)
+        s.place(0, 0, 0.0)
+        s.place(1, 1, 7.0)   # pays comm 5
+        s.place(2, 1, 10.0)
+        s.place(3, 1, 11.0)
+        assert nsl(s) == pytest.approx(1.5)
+
+    def test_degradation(self):
+        assert degradation_pct(110.0, 100.0) == pytest.approx(10.0)
+        assert degradation_pct(100.0, 100.0) == 0.0
+
+    def test_degradation_bad_optimal(self):
+        with pytest.raises(ValueError):
+            degradation_pct(10.0, 0.0)
+
+    def test_speedup_and_efficiency(self, sched2):
+        assert speedup(sched2) == pytest.approx(1.0)
+        assert efficiency(sched2) == pytest.approx(1.0)
+
+    def test_efficiency_splits_over_procs(self, chain4):
+        g = TaskGraph([4.0, 4.0], {})
+        s = Schedule(g, 2)
+        s.place(0, 0, 0.0)
+        s.place(1, 1, 0.0)
+        assert speedup(s) == pytest.approx(2.0)
+        assert efficiency(s) == pytest.approx(1.0)
+
+
+class TestRunResult:
+    def test_degradation_property(self):
+        r = RunResult("MCP", "BNP", "g", 10, 110.0, 1.1, 3, 0.01,
+                      optimal=100.0)
+        assert r.degradation == pytest.approx(10.0)
+        assert not r.is_optimal
+
+    def test_optimal_flag(self):
+        r = RunResult("MCP", "BNP", "g", 10, 100.0, 1.0, 3, 0.01,
+                      optimal=100.0)
+        assert r.is_optimal
+
+    def test_missing_optimal(self):
+        r = RunResult("MCP", "BNP", "g", 10, 100.0, 1.0, 3, 0.01)
+        assert r.degradation is None
+        assert not r.is_optimal
+
+
+def _mk(alg, graph, length):
+    return RunResult(alg, "BNP", graph, 10, length, length / 100.0, 2, 0.0)
+
+
+class TestRanking:
+    def test_simple_order(self):
+        rows = [
+            _mk("A", "g1", 100), _mk("B", "g1", 110),
+            _mk("A", "g2", 90), _mk("B", "g2", 120),
+        ]
+        ranks = average_ranks(rows)
+        assert ranks[0] == ("A", 1.0)
+        assert ranks[1] == ("B", 2.0)
+
+    def test_ties_share_rank(self):
+        rows = [_mk("A", "g1", 100), _mk("B", "g1", 100)]
+        ranks = dict(average_ranks(rows))
+        assert ranks["A"] == ranks["B"] == 1.5
+
+    def test_mixed(self):
+        rows = [
+            _mk("A", "g1", 100), _mk("B", "g1", 100), _mk("C", "g1", 120),
+            _mk("A", "g2", 80), _mk("B", "g2", 90), _mk("C", "g2", 70),
+        ]
+        ranks = dict(average_ranks(rows))
+        assert ranks["C"] == pytest.approx(2.0)   # (3 + 1) / 2
+        assert ranks["A"] == pytest.approx(1.75)  # (1.5 + 2) / 2
+
+    def test_summarize(self):
+        rows = [_mk("A", "g1", 100), _mk("A", "g2", 200)]
+        summary = summarize_by_algorithm(rows)
+        assert summary["A"]["count"] == 2
+        assert summary["A"]["mean_length"] == 150.0
+        assert summary["A"]["mean_nsl"] == pytest.approx(1.5)

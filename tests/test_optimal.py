@@ -1,0 +1,151 @@
+"""Tests for bounds and the branch-and-bound optimal scheduler."""
+
+import itertools
+
+import pytest
+
+from repro import Machine, TaskGraph, get_scheduler, validate
+from repro.generators.random_graphs import rgbos_graph
+from repro.optimal import (
+    BranchAndBoundScheduler,
+    lb_combined,
+    lb_critical_path,
+    lb_workload,
+    solve_optimal,
+)
+
+
+def brute_force_optimal(graph: TaskGraph, num_procs: int) -> float:
+    """Independent reference: enumerate all topological orders x all
+    processor assignments with greedy EST timing.  Exponential — tiny
+    graphs only."""
+    n = graph.num_nodes
+    best = float("inf")
+
+    def orders(prefix, remaining, indeg):
+        if not remaining:
+            yield list(prefix)
+            return
+        for node in sorted(remaining):
+            if indeg[node] == 0:
+                indeg2 = dict(indeg)
+                for s in graph.successors(node):
+                    indeg2[s] -= 1
+                yield from orders(prefix + [node],
+                                  remaining - {node}, indeg2)
+
+    indeg0 = {i: graph.in_degree(i) for i in range(n)}
+    all_orders = list(orders([], set(range(n)), indeg0))
+    for order in all_orders:
+        for assign in itertools.product(range(num_procs), repeat=n):
+            finish = {}
+            proc_ready = [0.0] * num_procs
+            for node in order:
+                p = assign[node]
+                est = proc_ready[p]
+                for q in graph.predecessors(node):
+                    arr = finish[q]
+                    if assign[q] != p:
+                        arr += graph.comm_cost(q, node)
+                    est = max(est, arr)
+                finish[node] = est + graph.weight(node)
+                proc_ready[p] = finish[node]
+            best = min(best, max(finish.values()))
+    return best
+
+
+class TestBounds:
+    def test_cp_bound_chain(self, chain4):
+        assert lb_critical_path(chain4) == 10.0
+
+    def test_workload_bound(self, chain4):
+        assert lb_workload(chain4, 2) == 5.0
+        assert lb_workload(chain4, 1) == 10.0
+
+    def test_combined_is_max(self, chain4):
+        assert lb_combined(chain4, 1) == 10.0
+        assert lb_combined(chain4, 2) == 10.0  # chain: CP dominates
+
+    def test_bounds_admissible_on_suite(self):
+        for seed in range(3):
+            g = rgbos_graph(12, 1.0, seed=seed)
+            res = solve_optimal(g, num_procs=4, budget=50_000)
+            assert res.length >= lb_combined(g, 4) - 1e-9
+
+
+class TestBranchAndBound:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_brute_force_p2(self, seed):
+        g = rgbos_graph(6, 1.0, seed=seed)
+        bf = brute_force_optimal(g, 2)
+        res = BranchAndBoundScheduler(budget=100_000).solve(g, 2)
+        assert res.proved
+        assert res.length == pytest.approx(bf)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_matches_brute_force_p3_high_ccr(self, seed):
+        g = rgbos_graph(5, 10.0, seed=seed)
+        bf = brute_force_optimal(g, 3)
+        res = BranchAndBoundScheduler(budget=100_000).solve(g, 3)
+        assert res.proved
+        assert res.length == pytest.approx(bf)
+
+    def test_schedule_is_valid(self):
+        g = rgbos_graph(12, 1.0, seed=4)
+        res = solve_optimal(g, num_procs=4, budget=50_000)
+        validate(res.schedule)
+        assert res.schedule.length == pytest.approx(res.length)
+
+    def test_never_worse_than_heuristics(self):
+        for ccr in (0.1, 10.0):
+            g = rgbos_graph(14, ccr, seed=7)
+            res = solve_optimal(g, num_procs=4, budget=30_000)
+            for name in ("MCP", "DLS", "ETF"):
+                h = get_scheduler(name).schedule(g, Machine(4)).length
+                assert res.length <= h + 1e-9
+
+    def test_budget_exhaustion_flags_unproved(self):
+        g = rgbos_graph(24, 1.0, seed=11)
+        res = BranchAndBoundScheduler(budget=50).solve(g, 4)
+        # With a 50-expansion budget a 24-node proof is impossible unless
+        # the seed already hit the lower bound.
+        assert res.proved in (False, True)
+        if not res.proved:
+            assert res.lower_bound <= res.length + 1e-9
+
+    def test_chain_trivially_proved(self, chain4):
+        res = BranchAndBoundScheduler(budget=1_000).solve(chain4, 2)
+        assert res.proved
+        assert res.length == 10.0
+
+    def test_parallel_tasks_use_both_procs(self):
+        g = TaskGraph([4.0, 4.0], {})
+        res = BranchAndBoundScheduler(budget=1_000).solve(g, 2)
+        assert res.proved
+        assert res.length == 4.0
+
+    def test_comm_vs_parallel_tradeoff(self):
+        """Optimal must pick serial when comm dominates, parallel when
+        it is free."""
+        heavy = TaskGraph([2.0, 3.0, 3.0], {(0, 1): 50.0, (0, 2): 50.0})
+        res = BranchAndBoundScheduler(budget=10_000).solve(heavy, 2)
+        assert res.proved and res.length == pytest.approx(8.0)
+        free = TaskGraph([2.0, 3.0, 3.0], {(0, 1): 0.0, (0, 2): 0.0})
+        res = BranchAndBoundScheduler(budget=10_000).solve(free, 2)
+        assert res.proved and res.length == pytest.approx(5.0)
+
+    def test_solve_optimal_default_procs(self):
+        g = rgbos_graph(10, 1.0, seed=0)
+        res = solve_optimal(g, budget=20_000)
+        assert res.schedule.num_procs == max(1, min(8, g.width()))
+
+    def test_gap_property(self):
+        g = rgbos_graph(10, 10.0, seed=1)
+        res = solve_optimal(g, budget=20_000)
+        assert 0.0 <= res.gap <= 1.0
+
+    def test_expanded_counted(self):
+        g = rgbos_graph(10, 10.0, seed=2)
+        res = solve_optimal(g, budget=20_000)
+        assert res.expanded >= 0
+        assert res.elapsed_s >= 0.0

@@ -1,0 +1,182 @@
+"""Property-based tests (hypothesis) on core invariants.
+
+These cover the guarantees every downstream component leans on: schedule
+validity for all 15 algorithms on arbitrary DAGs, level/ALAP algebra,
+slot-search correctness, serialization round-trips, and the optimal
+solver's relation to heuristics and lower bounds.
+"""
+
+import math
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    Machine,
+    NetworkMachine,
+    Schedule,
+    TaskGraph,
+    Topology,
+    get_scheduler,
+    validate,
+)
+from repro.core.attributes import (
+    alap,
+    blevel,
+    cp_computation_cost,
+    cp_length,
+    critical_path,
+    static_blevel,
+    tlevel,
+)
+from repro.io import dumps_stg, loads_stg
+from repro.optimal import lb_combined, solve_optimal
+
+from conftest import task_graphs
+
+FAST = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+SLOW = settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+class TestAttributeProperties:
+    @given(g=task_graphs())
+    @FAST
+    def test_tlevel_blevel_cp_consistency(self, g):
+        t, b = tlevel(g), blevel(g)
+        cp = cp_length(g)
+        assert max(b) == pytest.approx(cp)
+        for n in g.nodes():
+            assert t[n] + b[n] <= cp + 1e-6
+        assert any(abs(t[n] + b[n] - cp) < 1e-6 for n in g.nodes())
+
+    @given(g=task_graphs())
+    @FAST
+    def test_alap_in_range(self, g):
+        al = alap(g)
+        cp = cp_length(g)
+        for n in g.nodes():
+            assert -1e-9 <= al[n] <= cp - g.weight(n) + 1e-6
+
+    @given(g=task_graphs())
+    @FAST
+    def test_static_blevel_monotone_along_edges(self, g):
+        sb = static_blevel(g)
+        for u, v, _c in g.edges():
+            assert sb[u] >= sb[v] + g.weight(u) - 1e-9
+
+    @given(g=task_graphs())
+    @FAST
+    def test_critical_path_edges_exist(self, g):
+        path = critical_path(g)
+        for u, v in zip(path, path[1:]):
+            assert g.has_edge(u, v)
+
+    @given(g=task_graphs())
+    @FAST
+    def test_cp_computation_cost_bounds(self, g):
+        c = cp_computation_cost(g)
+        assert c <= g.total_computation + 1e-9
+        assert c >= max(g.weights) - 1e-9
+
+
+BNP_NAMES = ["HLFET", "ISH", "MCP", "ETF", "DLS", "LAST"]
+UNC_NAMES = ["EZ", "LC", "DSC", "MD", "DCP"]
+APN_NAMES = ["MH", "DLS-APN", "BU", "BSA"]
+
+
+class TestSchedulerValidity:
+    @given(g=task_graphs(max_nodes=12), procs=st.integers(1, 4))
+    @SLOW
+    def test_bnp_always_valid(self, g, procs):
+        for name in BNP_NAMES:
+            sched = get_scheduler(name).schedule(g, Machine(procs))
+            validate(sched)
+            assert sched.processors_used() <= procs
+
+    @given(g=task_graphs(max_nodes=12))
+    @SLOW
+    def test_unc_always_valid(self, g):
+        for name in UNC_NAMES:
+            sched = get_scheduler(name).schedule(g, Machine.unbounded(g))
+            validate(sched)
+
+    @given(g=task_graphs(max_nodes=10))
+    @SLOW
+    def test_apn_always_valid_with_contention(self, g):
+        topo = Topology.ring(3)
+        for name in APN_NAMES:
+            sched = get_scheduler(name).schedule(g, NetworkMachine(topo))
+            validate(sched, network=topo)
+
+    @given(g=task_graphs(max_nodes=12))
+    @SLOW
+    def test_length_at_least_cp_computation(self, g):
+        """No clique schedule can beat the computation-only CP bound."""
+        floor = cp_computation_cost(g)
+        for name in ("MCP", "DCP", "DSC"):
+            machine = Machine.unbounded(g)
+            sched = get_scheduler(name).schedule(g, machine)
+            assert sched.length >= floor - 1e-6
+
+    @given(g=task_graphs(max_nodes=12))
+    @SLOW
+    def test_length_at_most_serial(self, g):
+        """List schedulers with greedy placement never exceed serial
+        execution on one processor... but clustering penalties can; only
+        assert for the BNP class, which owns this guarantee on 1 proc."""
+        serial = g.total_computation
+        for name in BNP_NAMES:
+            sched = get_scheduler(name).schedule(g, Machine(1))
+            assert sched.length == pytest.approx(serial)
+
+
+class TestSlotProperties:
+    @given(
+        g=task_graphs(min_nodes=4, max_nodes=10),
+        est=st.floats(0, 50),
+        dur=st.floats(0.5, 10),
+    )
+    @FAST
+    def test_earliest_slot_fits(self, g, est, dur):
+        s = Schedule(g, 2)
+        # Fill processor 0 with the first few nodes back to back.
+        t = 0.0
+        for n in list(g.topological_order)[:3]:
+            s.place(n, 0, t)
+            t += g.weight(n)
+        slot = s.earliest_slot(0, est, dur, insertion=True)
+        assert slot >= est - 1e-9
+        # The returned window must not overlap any placed task.
+        for pl in s.tasks_on(0):
+            assert slot + dur <= pl.start + 1e-6 or slot >= pl.finish - 1e-6
+
+
+class TestSerialization:
+    @given(g=task_graphs())
+    @FAST
+    def test_stg_round_trip(self, g):
+        back = loads_stg(dumps_stg(g), name=g.name)
+        assert back.num_nodes == g.num_nodes
+        assert back.edges() == g.edges()
+        assert back.weights.tolist() == g.weights.tolist()
+
+
+class TestOptimalProperties:
+    @given(g=task_graphs(min_nodes=3, max_nodes=8))
+    @SLOW
+    def test_optimal_bounded_by_heuristics_and_lb(self, g):
+        res = solve_optimal(g, num_procs=3, budget=30_000)
+        assert res.length >= lb_combined(g, 3) - 1e-6
+        for name in ("MCP", "ETF"):
+            h = get_scheduler(name).schedule(g, Machine(3)).length
+            assert res.length <= h + 1e-6
+        validate(res.schedule)

@@ -1,0 +1,66 @@
+"""Property-based tests for the extension packages (TDB, UNC+CS)."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import Machine, get_scheduler, validate
+from repro.algorithms.cs import (
+    cluster_schedule,
+    clusters_from_schedule,
+    rcp_assignment,
+    sarkar_assignment,
+)
+from repro.core.attributes import cp_computation_cost
+from repro.duplication import dsh_schedule, validate_duplication
+
+from conftest import task_graphs
+
+SLOW = settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+class TestDuplicationProperties:
+    @given(g=task_graphs(max_nodes=12), procs=st.integers(1, 4))
+    @SLOW
+    def test_dsh_always_valid(self, g, procs):
+        sched = dsh_schedule(g, procs)
+        validate_duplication(sched)
+
+    @given(g=task_graphs(max_nodes=12), procs=st.integers(2, 4))
+    @SLOW
+    def test_dsh_never_beats_cp_computation(self, g, procs):
+        """Duplication can kill communication but not computation: the
+        computation-only critical path still lower-bounds the makespan."""
+        sched = dsh_schedule(g, procs)
+        assert sched.length >= cp_computation_cost(g) - 1e-6
+
+    @given(g=task_graphs(max_nodes=10))
+    @SLOW
+    def test_dsh_no_worse_than_serial(self, g):
+        sched = dsh_schedule(g, 2)
+        assert sched.length <= g.total_computation + 1e-6
+
+
+class TestClusterSchedulingProperties:
+    @given(g=task_graphs(min_nodes=4, max_nodes=12),
+           procs=st.integers(1, 3))
+    @SLOW
+    def test_pipeline_valid_and_bounded(self, g, procs):
+        for method in ("sarkar", "rcp"):
+            sched = cluster_schedule(g, procs, unc="DSC", method=method)
+            validate(sched)
+            assert sched.processors_used() <= procs
+
+    @given(g=task_graphs(min_nodes=4, max_nodes=12))
+    @SLOW
+    def test_clusters_atomic_under_both_assignments(self, g):
+        unc = get_scheduler("DSC").schedule(g, Machine.unbounded(g))
+        clusters = clusters_from_schedule(unc)
+        for assign in (sarkar_assignment, rcp_assignment):
+            proc_of = assign(g, clusters, 2)
+            for cluster in clusters:
+                assert len({proc_of[n] for n in cluster}) == 1

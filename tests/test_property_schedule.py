@@ -1,0 +1,67 @@
+"""Property tests for Schedule mutation invariants and metrics algebra."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import Machine, Schedule, get_scheduler
+from repro.metrics import efficiency, nsl, speedup
+
+from conftest import task_graphs
+
+FAST = settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+class TestUnplaceInvariants:
+    @given(g=task_graphs(min_nodes=4, max_nodes=12))
+    @FAST
+    def test_unplace_restores_state(self, g):
+        """Placing then unplacing a node leaves the schedule exactly as
+        it was (the invariant BSA-style migration relies on)."""
+        sched = get_scheduler("MCP").schedule(g, Machine(3))
+        before = sched.to_dict()
+        length_before = sched.length
+        victim = max(g.nodes(), key=lambda n: sched.start_of(n))
+        pl = sched.unplace(victim)
+        assert not sched.is_scheduled(victim)
+        sched.place(victim, pl.proc, pl.start)
+        assert sched.to_dict() == before
+        assert sched.length == pytest.approx(length_before)
+
+    @given(g=task_graphs(min_nodes=4, max_nodes=12))
+    @FAST
+    def test_length_monotone_in_placements(self, g):
+        """Makespan never decreases as placements accumulate."""
+        order = list(g.topological_order)
+        sched = Schedule(g, 2)
+        prev = 0.0
+        for node in order:
+            drt = sched.data_ready_time(node, 0)
+            start = max(sched.proc_ready_time(0), drt)
+            sched.place(node, 0, start)
+            assert sched.length >= prev - 1e-12
+            prev = sched.length
+
+
+class TestMetricsAlgebra:
+    @given(g=task_graphs(min_nodes=3, max_nodes=12),
+           procs=st.integers(1, 4))
+    @FAST
+    def test_speedup_efficiency_relations(self, g, procs):
+        sched = get_scheduler("MCP").schedule(g, Machine(procs))
+        s = speedup(sched)
+        e = efficiency(sched)
+        used = sched.processors_used()
+        assert 0 < s <= used + 1e-9   # can't beat the used parallelism
+        assert e == pytest.approx(s / used)
+        assert e <= 1.0 + 1e-9
+
+    @given(g=task_graphs(min_nodes=3, max_nodes=12))
+    @FAST
+    def test_nsl_at_least_one(self, g):
+        sched = get_scheduler("MCP").schedule(g, Machine(2))
+        assert nsl(sched) >= 1.0 - 1e-9

@@ -1,0 +1,69 @@
+"""Tests for the peer set graph suite."""
+
+import pytest
+
+from repro.generators.psg import (
+    dsc_style_7,
+    fork_join_13,
+    kwok_ahmad_9,
+    peer_set_graphs,
+)
+
+
+class TestKwokAhmad9:
+    def test_exact_structure(self):
+        g = kwok_ahmad_9()
+        assert g.num_nodes == 9
+        assert g.num_edges == 12
+        assert g.weights.tolist() == [2, 3, 3, 4, 5, 4, 4, 4, 1]
+        assert g.comm_cost(0, 5) == 10.0
+        assert g.comm_cost(7, 8) == 10.0
+        assert g.entry_nodes == (0,)
+        assert g.exit_nodes == (8,)
+
+
+class TestSuite:
+    def test_count(self):
+        assert len(peer_set_graphs()) >= 10
+
+    def test_names_unique(self):
+        names = [g.name for g in peer_set_graphs()]
+        assert len(names) == len(set(names))
+
+    def test_all_small(self):
+        for g in peer_set_graphs():
+            assert 5 <= g.num_nodes <= 20, g.name
+
+    def test_all_have_edges(self):
+        for g in peer_set_graphs():
+            assert g.num_edges > 0, g.name
+
+    def test_deterministic(self):
+        a = [g.edges() for g in peer_set_graphs()]
+        b = [g.edges() for g in peer_set_graphs()]
+        assert a == b
+
+    def test_structural_diversity(self):
+        """The paper demands diverse structures: the suite must span
+        single-chain-like and wide graphs, trees and non-trees."""
+        graphs = peer_set_graphs()
+        widths = [g.width() for g in graphs]
+        depths = [g.depth() for g in graphs]
+        assert max(widths) >= 4
+        assert max(depths) >= 4
+        multi_entry = sum(1 for g in graphs if len(g.entry_nodes) > 1)
+        single_entry = sum(1 for g in graphs if len(g.entry_nodes) == 1)
+        assert multi_entry >= 1 and single_entry >= 1
+
+
+class TestIndividualShapes:
+    def test_dsc_style(self):
+        g = dsc_style_7()
+        assert g.num_nodes == 7
+        assert g.exit_nodes == (6,)
+
+    def test_fork_join(self):
+        g = fork_join_13()
+        assert len(g.entry_nodes) == 1
+        assert len(g.exit_nodes) == 1
+        assert g.width() >= 5

@@ -1,0 +1,150 @@
+"""Tests for the bench runner and suite construction."""
+
+import pytest
+
+from repro import Machine, NetworkMachine
+from repro.bench.runner import (
+    APN_ALGORITHMS,
+    BNP_ALGORITHMS,
+    UNC_ALGORITHMS,
+    BenchConfig,
+    run_grid,
+    run_one,
+)
+from repro.bench.suites import (
+    default_apn_topology,
+    is_full_scale,
+    psg_suite,
+    rgbos_suite,
+    rgnos_sizes,
+    rgnos_suite,
+    rgpos_suite,
+    traced_suite,
+)
+from repro.generators.psg import kwok_ahmad_9
+
+
+class TestBenchConfig:
+    def test_unc_always_unbounded(self):
+        cfg = BenchConfig(bnp_procs=4)
+        g = kwok_ahmad_9()
+        m = cfg.machine_for("DCP", g)
+        assert m.num_procs == g.num_nodes
+
+    def test_bnp_bounded_when_asked(self):
+        cfg = BenchConfig(bnp_procs=4)
+        m = cfg.machine_for("MCP", kwok_ahmad_9())
+        assert m.num_procs == 4
+
+    def test_bnp_virtually_unlimited_default(self):
+        cfg = BenchConfig()
+        g = kwok_ahmad_9()
+        assert cfg.machine_for("MCP", g).num_procs == g.num_nodes
+
+    def test_apn_gets_network(self):
+        cfg = BenchConfig()
+        m = cfg.machine_for("BSA", kwok_ahmad_9())
+        assert isinstance(m, NetworkMachine)
+        assert m.num_procs == 8
+
+
+class TestRunOne:
+    def test_result_fields(self):
+        g = kwok_ahmad_9()
+        r = run_one("MCP", g)
+        assert r.algorithm == "MCP"
+        assert r.klass == "BNP"
+        assert r.graph == g.name
+        assert r.num_nodes == 9
+        assert r.length > 0
+        assert r.nsl >= 1.0
+        assert r.procs_used >= 1
+        assert r.runtime_s >= 0.0
+
+    def test_optimal_threading(self):
+        g = kwok_ahmad_9()
+        r = run_one("MCP", g, optimal=10.0)
+        assert r.degradation is not None
+
+    def test_explicit_machine(self):
+        g = kwok_ahmad_9()
+        r = run_one("MCP", g, machine=Machine(2))
+        assert r.procs_used <= 2
+
+
+class TestRunGrid:
+    def test_full_cartesian(self):
+        graphs = [kwok_ahmad_9()]
+        rows = run_grid(["MCP", "DCP"], graphs)
+        assert len(rows) == 2
+        assert {r.algorithm for r in rows} == {"MCP", "DCP"}
+
+    def test_optima_lookup(self):
+        g = kwok_ahmad_9()
+        rows = run_grid(["MCP"], [g], optima={g.name: 16.0})
+        assert rows[0].optimal == 16.0
+
+
+class TestSuites:
+    def test_scale_flag(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FULL", raising=False)
+        assert not is_full_scale(None)
+        assert is_full_scale(True)
+        monkeypatch.setenv("REPRO_FULL", "1")
+        assert is_full_scale(None)
+        assert not is_full_scale(False)
+
+    def test_psg(self):
+        assert len(psg_suite()) >= 10
+
+    def test_rgbos_reduced(self):
+        graphs = rgbos_suite(full=False)
+        sizes = sorted({g.num_nodes for g in graphs})
+        assert sizes == list(range(10, 25, 2))
+        assert len(graphs) == 3 * len(sizes)
+
+    def test_rgbos_full(self):
+        graphs = rgbos_suite(full=True)
+        assert max(g.num_nodes for g in graphs) == 32
+
+    def test_rgpos_reduced(self):
+        insts = rgpos_suite(full=False)
+        assert len(insts) == 3 * 3
+        assert all(i.num_procs == 8 for i in insts)
+
+    def test_rgpos_suite_certified(self):
+        from repro.core.attributes import cp_computation_cost
+
+        insts = rgpos_suite(full=False)
+        certified = sum(
+            1 for i in insts
+            if cp_computation_cost(i.graph) >= i.optimal_length - 1e-6
+        )
+        # Dense construction: the computation CP certifies (nearly) all.
+        assert certified >= len(insts) - 2
+
+    def test_rgnos_counts(self):
+        assert len(rgnos_suite(full=False)) == 27
+        assert rgnos_sizes(full=True) == list(range(50, 501, 50))
+
+    def test_rgnos_full_paper_count(self):
+        # The paper's 250-graph suite: only check the arithmetic, not
+        # the construction (that would be slow).
+        assert 10 * 5 * 5 == 250
+
+    def test_traced(self):
+        graphs = traced_suite(full=False)
+        assert all(g.name.startswith("cholesky") for g in graphs)
+
+    def test_apn_topology_default(self):
+        t = default_apn_topology()
+        assert t.num_procs == 8
+        t4 = default_apn_topology(4)
+        assert t4.num_procs == 4
+        t6 = default_apn_topology(6)
+        assert t6.num_procs == 6
+
+    def test_suites_deterministic(self):
+        a = [g.name for g in rgnos_suite(full=False)]
+        b = [g.name for g in rgnos_suite(full=False)]
+        assert a == b

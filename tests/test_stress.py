@@ -1,0 +1,133 @@
+"""Stress and extreme-shape tests: degenerate graphs every scheduler
+must survive.
+
+The paper stresses that algorithm performance "tends to bias towards the
+problem graph structure"; these tests feed the structures most likely to
+break bookkeeping — long chains, wide fans, dense layers, zero and huge
+communication — through every algorithm class.
+"""
+
+import pytest
+
+from repro import (
+    Machine,
+    NetworkMachine,
+    TaskGraph,
+    Topology,
+    get_scheduler,
+    validate,
+)
+from repro.bench.runner import APN_ALGORITHMS, BNP_ALGORITHMS, UNC_ALGORITHMS
+
+CLIQUE = list(BNP_ALGORITHMS) + list(UNC_ALGORITHMS)
+
+
+def chain(n, comm=1.0):
+    return TaskGraph([1.0] * n, {(i, i + 1): comm for i in range(n - 1)},
+                     name=f"chain{n}")
+
+
+def fan(n, comm=1.0):
+    return TaskGraph([1.0] * (n + 1), {(0, i): comm for i in range(1, n + 1)},
+                     name=f"fan{n}")
+
+
+def antichain(n):
+    return TaskGraph([1.0] * n, {}, name=f"anti{n}")
+
+
+def bipartite(a, b, comm=1.0):
+    edges = {(i, a + j): comm for i in range(a) for j in range(b)}
+    return TaskGraph([1.0] * (a + b), edges, name=f"bip{a}x{b}")
+
+
+EXTREMES = [
+    chain(60),
+    chain(30, comm=0.0),
+    chain(30, comm=1000.0),
+    fan(40),
+    fan(25, comm=0.0),
+    antichain(50),
+    bipartite(8, 8),
+    bipartite(12, 3, comm=100.0),
+]
+
+
+@pytest.mark.parametrize("name", CLIQUE)
+@pytest.mark.parametrize("graph", EXTREMES, ids=[g.name for g in EXTREMES])
+def test_clique_algorithms_on_extremes(name, graph):
+    machine = Machine.unbounded(graph)
+    sched = get_scheduler(name).schedule(graph, machine)
+    validate(sched)
+
+
+@pytest.mark.parametrize("name", APN_ALGORITHMS)
+@pytest.mark.parametrize("graph", EXTREMES[:6],
+                         ids=[g.name for g in EXTREMES[:6]])
+def test_apn_algorithms_on_extremes(name, graph):
+    topo = Topology.mesh2d(2, 2)
+    sched = get_scheduler(name).schedule(graph, NetworkMachine(topo))
+    validate(sched, network=topo)
+
+
+class TestKnownOptimaOnStructures:
+    def test_chain_zero_comm_serial(self):
+        g = chain(20, comm=0.0)
+        for name in CLIQUE:
+            sched = get_scheduler(name).schedule(g, Machine.unbounded(g))
+            assert sched.length == pytest.approx(20.0), name
+
+    def test_antichain_fully_parallel(self):
+        g = antichain(30)
+        for name in CLIQUE:
+            sched = get_scheduler(name).schedule(g, Machine.unbounded(g))
+            assert sched.length == pytest.approx(1.0), name
+
+    def test_huge_comm_chain_collapses(self):
+        g = chain(15, comm=1e6)
+        for name in CLIQUE:
+            sched = get_scheduler(name).schedule(g, Machine.unbounded(g))
+            assert sched.length == pytest.approx(15.0), name
+
+    def test_zero_comm_fan_spreads(self):
+        g = fan(16, comm=0.0)
+        for name in ("HLFET", "MCP", "ETF", "DLS", "DSC", "DCP"):
+            sched = get_scheduler(name).schedule(g, Machine.unbounded(g))
+            assert sched.length == pytest.approx(2.0), name
+
+
+class TestSingleProcessorDegeneracy:
+    @pytest.mark.parametrize("name", list(BNP_ALGORITHMS))
+    def test_every_structure_serialises(self, name):
+        for g in EXTREMES[:5]:
+            sched = get_scheduler(name).schedule(g, Machine(1))
+            validate(sched)
+            assert sched.length == pytest.approx(g.total_computation)
+
+
+class TestFloatRobustness:
+    def test_fractional_weights(self):
+        g = TaskGraph(
+            [0.1, 0.2, 0.3, 0.7],
+            {(0, 1): 0.05, (0, 2): 0.15, (1, 3): 0.25, (2, 3): 0.35},
+            name="frac",
+        )
+        for name in CLIQUE:
+            sched = get_scheduler(name).schedule(g, Machine.unbounded(g))
+            validate(sched)
+
+    def test_tiny_weights(self):
+        g = TaskGraph([1e-6] * 8, {(i, i + 1): 1e-7 for i in range(7)})
+        for name in ("MCP", "DSC", "DCP"):
+            sched = get_scheduler(name).schedule(g, Machine.unbounded(g))
+            validate(sched)
+
+    def test_mixed_magnitudes(self):
+        g = TaskGraph(
+            [1e-3, 1e3, 1.0, 50.0],
+            {(0, 1): 1e4, (0, 2): 1e-4, (1, 3): 1.0, (2, 3): 2.0},
+            name="mixed",
+        )
+        for name in CLIQUE:
+            sched = get_scheduler(name).schedule(g, Machine.unbounded(g))
+            validate(sched)

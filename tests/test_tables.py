@@ -1,0 +1,97 @@
+"""Tests for the table artifacts (structure, not exact values)."""
+
+import pytest
+
+from repro.bench.runner import BNP_ALGORITHMS, UNC_ALGORITHMS
+from repro.bench.tables import Table, render, table1
+
+
+class TestRender:
+    def test_basic_rendering(self):
+        t = Table("T", "demo", ["a", "bb"], [["1", "2"], ["33", "4"]],
+                  notes=["a note"])
+        text = render(t)
+        assert "T: demo" in text
+        assert "a note" in text
+        lines = text.splitlines()
+        assert len(lines) == 1 + 1 + 1 + 2 + 1  # title, head, sep, rows, note
+
+    def test_alignment(self):
+        t = Table("T", "demo", ["col"], [["123456"]])
+        text = render(t)
+        assert "123456" in text
+
+
+class TestTable1:
+    @pytest.fixture(scope="class")
+    def t1(self):
+        return table1()
+
+    def test_columns(self, t1):
+        assert t1.columns[:2] == ["graph", "v"]
+        for a in list(UNC_ALGORITHMS) + list(BNP_ALGORITHMS):
+            assert a in t1.columns
+
+    def test_row_per_psg(self, t1):
+        from repro.bench.suites import psg_suite
+
+        assert len(t1.rows) == len(psg_suite())
+
+    def test_lengths_positive(self, t1):
+        for row in t1.rows:
+            for cell in row[2:]:
+                assert float(cell) > 0
+
+    def test_lengths_vary_across_algorithms(self, t1):
+        """The paper's Table 1 finding: schedule lengths vary
+        considerably despite small graph sizes."""
+        varying_rows = sum(
+            1 for row in t1.rows if len({c for c in row[2:]}) > 1
+        )
+        assert varying_rows >= len(t1.rows) // 2
+
+    def test_apn_excluded(self, t1):
+        assert "BSA" not in t1.columns
+        assert "MH" not in t1.columns
+
+
+class TestDegradationTables:
+    """Structure checks on a tiny custom RGBOS grid (full tables are
+    exercised by the benchmarks)."""
+
+    @pytest.fixture(scope="class")
+    def tiny(self):
+        from repro.bench import tables as T
+        from repro.generators.random_graphs import rgbos_graph
+
+        graphs = [
+            rgbos_graph(v, ccr, seed=v)
+            for ccr in (0.1, 1.0, 10.0)
+            for v in (8, 10)
+        ]
+        optima = T.rgbos_optima(graphs, budget=20_000)
+        return T._degradation_table(
+            "T", "tiny", ("MCP", "DCP"), graphs, optima, (0.1, 1.0, 10.0)
+        )
+
+    def test_columns(self, tiny):
+        assert tiny.columns[0] == "v"
+        assert "MCP@0.1" in tiny.columns
+        assert "DCP@10" in tiny.columns
+
+    def test_summary_rows(self, tiny):
+        labels = [row[0] for row in tiny.rows]
+        assert "#opt" in labels
+        assert "avg deg" in labels
+
+    def test_degradations_nonnegative_when_proved(self, tiny):
+        for row in tiny.rows:
+            if row[0] in ("#opt", "avg deg"):
+                continue
+            for cell in row[1:]:
+                if cell.endswith("*") or cell == "-":
+                    continue
+                assert float(cell) >= 0.0
+
+    def test_notes_mention_proof_rate(self, tiny):
+        assert any("proved" in n for n in tiny.notes)

@@ -1,0 +1,116 @@
+"""Unit tests for network topologies and routing."""
+
+import pytest
+
+from repro import MachineError, RoutingError, Topology
+
+
+class TestFamilies:
+    def test_clique(self):
+        t = Topology.clique(5)
+        assert t.num_procs == 5
+        assert t.num_links == 10
+        assert t.diameter == 1
+
+    def test_ring(self):
+        t = Topology.ring(6)
+        assert t.num_links == 6
+        assert t.diameter == 3
+        assert t.degree(0) == 2
+
+    def test_ring_small(self):
+        assert Topology.ring(2).num_links == 1
+        assert Topology.ring(1).num_procs == 1
+
+    def test_chain(self):
+        t = Topology.chain(5)
+        assert t.num_links == 4
+        assert t.diameter == 4
+
+    def test_star(self):
+        t = Topology.star(5)
+        assert t.degree(0) == 4
+        assert t.diameter == 2
+
+    def test_mesh(self):
+        t = Topology.mesh2d(3, 4)
+        assert t.num_procs == 12
+        assert t.num_links == 3 * 3 + 2 * 4  # vertical + horizontal
+        assert t.diameter == (3 - 1) + (4 - 1)
+
+    def test_hypercube(self):
+        t = Topology.hypercube(3)
+        assert t.num_procs == 8
+        assert t.num_links == 12
+        assert t.diameter == 3
+        for p in range(8):
+            assert t.degree(p) == 3
+
+    def test_hypercube_zero(self):
+        assert Topology.hypercube(0).num_procs == 1
+
+    def test_random_connected(self):
+        t = Topology.random_connected(10, extra_links=5, seed=3)
+        assert t.num_procs == 10
+        assert t.num_links == 9 + 5
+        # connectivity is checked in the constructor; reaching here passes
+
+    def test_random_deterministic(self):
+        a = Topology.random_connected(8, 3, seed=1)
+        b = Topology.random_connected(8, 3, seed=1)
+        assert a.links == b.links
+
+
+class TestValidation:
+    def test_disconnected_rejected(self):
+        with pytest.raises(MachineError, match="not connected"):
+            Topology(4, [(0, 1), (2, 3)])
+
+    def test_self_link_rejected(self):
+        with pytest.raises(MachineError):
+            Topology(2, [(0, 0)])
+
+    def test_unknown_proc_rejected(self):
+        with pytest.raises(MachineError):
+            Topology(2, [(0, 5)])
+
+    def test_zero_procs_rejected(self):
+        with pytest.raises(MachineError):
+            Topology(0, [])
+
+
+class TestRouting:
+    def test_self_route(self):
+        t = Topology.ring(4)
+        assert t.route(2, 2) == (2,)
+        assert t.hop_count(2, 2) == 0
+
+    def test_shortest(self):
+        t = Topology.ring(6)
+        assert t.route(0, 2) == (0, 1, 2)
+        assert t.hop_count(0, 3) == 3
+
+    def test_deterministic_tie_break(self):
+        # On a 4-ring both directions to the opposite node have 2 hops;
+        # BFS with ascending neighbour order must pick via node 1.
+        t = Topology.ring(4)
+        assert t.route(0, 2) == (0, 1, 2)
+
+    def test_route_memoised(self):
+        t = Topology.mesh2d(3, 3)
+        r1 = t.route(0, 8)
+        r2 = t.route(0, 8)
+        assert r1 is r2
+
+    def test_route_valid_links(self):
+        t = Topology.random_connected(12, 4, seed=9)
+        for a in range(12):
+            for b in range(12):
+                r = t.route(a, b)
+                assert r[0] == a and r[-1] == b
+                for x, y in zip(r, r[1:]):
+                    assert t.has_link(x, y)
+
+    def test_channels_two_per_link(self):
+        t = Topology.chain(3)
+        assert sorted(t.channels()) == [(0, 1), (1, 0), (1, 2), (2, 1)]

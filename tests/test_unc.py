@@ -1,0 +1,196 @@
+"""Behavioural tests for the five UNC algorithms."""
+
+import pytest
+
+from repro import Machine, TaskGraph, get_scheduler, validate
+from repro.bench.runner import UNC_ALGORITHMS
+
+ALL_UNC = list(UNC_ALGORITHMS)
+
+
+def unbounded(graph):
+    return Machine.unbounded(graph)
+
+
+@pytest.mark.parametrize("name", ALL_UNC)
+class TestCommonUNC:
+    def test_valid_on_kwok9(self, name, kwok9):
+        sched = get_scheduler(name).schedule(kwok9, unbounded(kwok9))
+        validate(sched)
+
+    def test_deterministic(self, name, kwok9):
+        s1 = get_scheduler(name).schedule(kwok9, unbounded(kwok9))
+        s2 = get_scheduler(name).schedule(kwok9, unbounded(kwok9))
+        assert s1.to_dict() == s2.to_dict()
+
+    def test_single_node(self, name):
+        g = TaskGraph([3.0], {})
+        sched = get_scheduler(name).schedule(g, unbounded(g))
+        assert sched.length == 3.0
+
+    def test_chain_collapses_to_one_proc(self, name):
+        """A chain with heavy communication must be clustered serially:
+        every UNC algorithm zeroes those edges."""
+        g = TaskGraph(
+            [2.0, 3.0, 4.0],
+            {(0, 1): 50.0, (1, 2): 50.0},
+            name="heavy-chain",
+        )
+        sched = get_scheduler(name).schedule(g, unbounded(g))
+        validate(sched)
+        assert sched.length == pytest.approx(9.0)
+        assert sched.processors_used() == 1
+
+    def test_independent_tasks(self, name):
+        g = TaskGraph([5.0, 5.0, 5.0], {})
+        sched = get_scheduler(name).schedule(g, unbounded(g))
+        validate(sched)
+        assert sched.length == pytest.approx(5.0)
+
+    def test_random_graph_validity(self, name):
+        from repro.generators.random_graphs import rgnos_graph
+
+        for seed in (0, 1):
+            g = rgnos_graph(40, 1.0, 2, seed=seed)
+            sched = get_scheduler(name).schedule(g, unbounded(g))
+            validate(sched)
+
+    def test_metadata(self, name):
+        assert get_scheduler(name).klass == "UNC"
+
+
+class TestEZ:
+    def test_never_worse_than_no_clustering(self, kwok9):
+        """EZ only accepts merges that do not increase the estimated
+        makespan, so its result is <= the fully distributed baseline."""
+        from repro.algorithms.mapping import mapping_makespan
+
+        base = mapping_makespan(kwok9, list(kwok9.nodes()))
+        sched = get_scheduler("EZ").schedule(kwok9, unbounded(kwok9))
+        assert sched.length <= base + 1e-9
+
+    def test_zeroes_heaviest_edge_when_beneficial(self):
+        g = TaskGraph([1.0, 1.0], {(0, 1): 100.0})
+        sched = get_scheduler("EZ").schedule(g, unbounded(g))
+        assert sched.proc_of(0) == sched.proc_of(1)
+
+
+class TestLC:
+    def test_linear_clusters(self, kwok9):
+        """Every LC cluster is linear: its tasks form a chain under
+        precedence (no two independent tasks share a cluster)."""
+        sched = get_scheduler("LC").schedule(kwok9, unbounded(kwok9))
+        # Reconstruct reachability.
+        import itertools
+
+        reach = {n: set() for n in kwok9.nodes()}
+        for u in reversed(kwok9.topological_order):
+            for s in kwok9.successors(u):
+                reach[u].add(s)
+                reach[u] |= reach[s]
+        for p in range(sched.num_procs):
+            nodes = [pl.node for pl in sched.tasks_on(p)]
+            for a, b in itertools.combinations(nodes, 2):
+                assert b in reach[a] or a in reach[b], (
+                    f"cluster {p} holds independent nodes {a}, {b}"
+                )
+
+    def test_cp_in_one_cluster(self, kwok9):
+        from repro.core.attributes import critical_path
+
+        sched = get_scheduler("LC").schedule(kwok9, unbounded(kwok9))
+        cp = critical_path(kwok9)
+        procs = {sched.proc_of(n) for n in cp}
+        assert len(procs) == 1
+
+
+class TestDSC:
+    def test_merge_only_when_tlevel_reduces(self):
+        # Node 1 (heavy edge, higher priority) merges with 0 first and
+        # occupies the cluster until t=6.  Node 2's cheap edge then makes
+        # waiting for the busy cluster (start 6) worse than paying the
+        # 0.5 communication (start 5.5), so DSC keeps it separate.
+        g = TaskGraph(
+            [5.0, 1.0, 1.0],
+            {(0, 1): 10.0, (0, 2): 0.5},
+            name="dsc-cheap",
+        )
+        sched = get_scheduler("DSC").schedule(g, Machine.unbounded(g))
+        assert sched.proc_of(1) == sched.proc_of(0)
+        assert sched.start_of(2) == pytest.approx(5.5)
+        assert sched.proc_of(2) != sched.proc_of(0)
+
+    def test_merge_when_reduces(self):
+        g = TaskGraph([5.0, 1.0], {(0, 1): 10.0})
+        sched = get_scheduler("DSC").schedule(g, Machine.unbounded(g))
+        assert sched.proc_of(0) == sched.proc_of(1)
+        assert sched.length == pytest.approx(6.0)
+
+    def test_fork_spreads(self):
+        g = TaskGraph(
+            [1.0, 4.0, 4.0],
+            {(0, 1): 1.0, (0, 2): 1.0},
+            name="fork",
+        )
+        sched = get_scheduler("DSC").schedule(g, Machine.unbounded(g))
+        validate(sched)
+        # One child co-located (zero comm), the other on its own proc.
+        assert sched.length <= 1 + 1 + 4 + 1e-9
+
+
+class TestMD:
+    def test_uses_few_processors_on_chains(self):
+        g = TaskGraph(
+            [2.0] * 6,
+            {(i, i + 1): 1.0 for i in range(5)},
+            name="chain6",
+        )
+        sched = get_scheduler("MD").schedule(g, Machine.unbounded(g))
+        assert sched.processors_used() == 1
+
+    def test_mobility_prefers_cp(self, kwok9):
+        """MD's first-placed processor must carry the whole current
+        critical path prefix — start with node 0 at time 0."""
+        sched = get_scheduler("MD").schedule(kwok9, unbounded(kwok9))
+        assert sched.start_of(0) == 0.0
+
+
+class TestDCP:
+    def test_beats_or_matches_dsc_on_paper_example(self, kwok9):
+        """The paper's headline UNC result: DCP consistently generates
+        the best solutions (Table 1 discussion)."""
+        dcp = get_scheduler("DCP").schedule(kwok9, unbounded(kwok9)).length
+        for other in ("EZ", "LC", "DSC", "MD"):
+            assert dcp <= get_scheduler(other).schedule(
+                kwok9, unbounded(kwok9)
+            ).length + 1e-9
+
+    def test_processor_economy(self):
+        """DCP only considers processors of parents/children + one fresh:
+        a wide independent fan still gets spread, but chains stay put."""
+        g = TaskGraph(
+            [2.0] * 5,
+            {(i, i + 1): 3.0 for i in range(4)},
+            name="chain5",
+        )
+        sched = get_scheduler("DCP").schedule(g, Machine.unbounded(g))
+        assert sched.processors_used() == 1
+
+    def test_lookahead_keeps_critical_child_near(self):
+        # Parent with one heavy child: DCP's composite score places the
+        # child on the parent's processor.
+        g = TaskGraph(
+            [1.0, 8.0, 1.0],
+            {(0, 1): 20.0, (0, 2): 0.5},
+            name="cc",
+        )
+        sched = get_scheduler("DCP").schedule(g, Machine.unbounded(g))
+        assert sched.proc_of(1) == sched.proc_of(0)
+
+
+class TestUNCvsBNPConventions:
+    def test_unbounded_machine_never_limits(self, kwok9):
+        """With v processors available no UNC algorithm can run out."""
+        for name in ALL_UNC:
+            sched = get_scheduler(name).schedule(kwok9, unbounded(kwok9))
+            assert sched.processors_used() <= kwok9.num_nodes

@@ -1,0 +1,100 @@
+"""End-to-end workflows a downstream adopter would run.
+
+Each test walks a realistic usage path across the public API surface —
+file I/O, scheduling, validation, metrics, rendering — the way the
+README and examples advertise it.
+"""
+
+import os
+
+import pytest
+
+from repro import (
+    Machine,
+    NetworkMachine,
+    Topology,
+    get_scheduler,
+    list_schedulers,
+    validate,
+)
+from repro.generators import cholesky_graph, rgnos_graph
+from repro.io import dumps_stg, gantt, load_stg, loads_stg, to_dot
+from repro.metrics import RunResult, average_ranks, nsl
+
+
+class TestFileBasedWorkflow:
+    def test_stg_to_schedule_to_dot(self, tmp_path):
+        # 1. A user saves a generated workload to disk...
+        graph = rgnos_graph(30, 1.0, 2, seed=11)
+        path = tmp_path / "workload.stg"
+        path.write_text(dumps_stg(graph))
+        # 2. ...reloads it later...
+        with open(path) as fh:
+            loaded = load_stg(fh, name="workload")
+        assert loaded.num_nodes == graph.num_nodes
+        # 3. ...schedules it and inspects the result.
+        sched = get_scheduler("DCP").schedule(loaded, Machine.unbounded(loaded))
+        validate(sched)
+        dot = to_dot(loaded, sched)
+        (tmp_path / "schedule.dot").write_text(dot)
+        assert "digraph" in dot
+        chart = gantt(sched)
+        assert "length=" in chart
+
+
+class TestAlgorithmSelectionWorkflow:
+    def test_pick_best_algorithm_for_workload(self):
+        """The study's raison d'etre: given a workload class, rank the
+        candidate algorithms and pick a winner."""
+        graphs = [cholesky_graph(n, ccr=2.0) for n in (6, 8, 10)]
+        rows = []
+        for g in graphs:
+            for name in list_schedulers("BNP"):
+                sched = get_scheduler(name).schedule(g, Machine(8))
+                validate(sched)
+                rows.append(RunResult(name, "BNP", g.name, g.num_nodes,
+                                      sched.length, nsl(sched),
+                                      sched.processors_used(), 0.0))
+        ranks = average_ranks(rows)
+        assert len(ranks) == 6
+        best, _ = ranks[0]
+        worst, _ = ranks[-1]
+        assert best != worst
+        # On communication-heavy Cholesky, LAST must not win the suite.
+        assert best != "LAST"
+
+
+class TestHeterogeneousMachineWorkflow:
+    def test_same_workload_three_machine_models(self):
+        g = rgnos_graph(24, 1.0, 2, seed=4)
+        # Bounded clique.
+        bounded = get_scheduler("MCP").schedule(g, Machine(4))
+        validate(bounded)
+        # Unbounded clique.
+        unbounded = get_scheduler("DSC").schedule(g, Machine.unbounded(g))
+        validate(unbounded)
+        # Contended network.
+        topo = Topology.mesh2d(2, 2)
+        networked = get_scheduler("BSA").schedule(g, NetworkMachine(topo))
+        validate(networked, network=topo)
+        # The network can only be slower than the contention-free clique
+        # with the same processor count running the same heuristic
+        # family... not a theorem across algorithms, but the floor is:
+        from repro.core.attributes import cp_computation_cost
+
+        floor = cp_computation_cost(g)
+        for sched in (bounded, unbounded, networked):
+            assert sched.length >= floor - 1e-6
+
+
+class TestDuplicationWorkflow:
+    def test_tdb_pipeline(self):
+        from repro.duplication import dsh_schedule, validate_duplication
+
+        g = rgnos_graph(20, 5.0, 2, seed=9)
+        dup = dsh_schedule(g, 4)
+        validate_duplication(dup)
+        base = get_scheduler("HLFET").schedule(g, Machine(4))
+        # Duplication never loses to its own non-duplicating baseline on
+        # this seeded high-CCR workload.
+        assert dup.length <= base.length + 1e-9
