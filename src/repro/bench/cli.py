@@ -8,16 +8,42 @@ Regenerates any paper artifact on demand::
 
 Reduced-scale suites run in seconds; ``--full`` (or ``REPRO_FULL=1``)
 switches to the paper's exact grids.
+
+Execution engine flags
+----------------------
+``--jobs N``
+    Fan the (algorithm, graph) grid cells out over ``N`` worker
+    processes (``0`` = one per CPU).  Output is identical to a serial
+    run — the engine preserves the serial row order.
+``--results DIR``
+    Persist every benchmark row to ``DIR/results.json`` (plus a
+    ``results.csv`` export), checkpointing every few cells; Tables 2-3
+    also persist their branch-and-bound reference optima to
+    ``DIR/optima.json``.  Without ``--resume`` the store is write-only:
+    cells are recomputed and overwrite any cached rows.
+``--resume``
+    With ``--results``, reuse rows cached by previous runs instead of
+    re-scheduling; only missing cells are executed.  An interrupted
+    ``--full`` regeneration picks up from its last checkpoint, and the
+    store is shared across artifacts — e.g. ``table6`` and ``fig2``
+    reuse each other's RGNOS cells.
+``--format {text,json,csv}``
+    Artifact output format.  ``text`` is the paper-style ASCII block;
+    ``json``/``csv`` emit machine-readable data and change the file
+    extension written under ``--out``.  The ``analysis`` artifact is
+    prose and is always rendered as text.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 from typing import Callable, Dict, List, Optional
 
 from . import figures, tables
+from .store import OptimaStore, ResultStore
 
 __all__ = ["main"]
 
@@ -36,7 +62,7 @@ _FIGURE_BUILDERS: Dict[str, Callable] = {
 }
 
 
-def _analysis_artifact(full) -> str:
+def _analysis_artifact(full, jobs=None, store=None, resume=False) -> str:
     """Section 7 conclusions: matched pairs + taxonomy-group means."""
     from .analysis import (
         design_decision_report,
@@ -48,17 +74,38 @@ def _analysis_artifact(full) -> str:
     from .suites import rgnos_suite
 
     graphs = rgnos_suite(full)
-    rows = run_grid(list(BNP_ALGORITHMS) + list(UNC_ALGORITHMS), graphs)
+    rows = run_grid(list(BNP_ALGORITHMS) + list(UNC_ALGORITHMS), graphs,
+                    jobs=jobs, store=store, resume=resume)
     return (render_pairs(matched_pair_report(rows)) + "\n\n"
             + render_report(design_decision_report(rows)))
 
 
-def _emit(text: str, name: str, out_dir: Optional[str]) -> None:
+_EXTENSIONS = {"text": "txt", "json": "json", "csv": "csv"}
+
+
+def _render_table(table: tables.Table, fmt: str) -> str:
+    if fmt == "json":
+        return json.dumps(table.to_dict(), indent=2)
+    if fmt == "csv":
+        return table.as_csv()
+    return tables.render(table)
+
+
+def _render_panel(fig: figures.FigureSeries, fmt: str) -> str:
+    if fmt == "json":
+        return json.dumps(fig.to_dict(), indent=2)
+    if fmt == "csv":
+        return fig.as_csv()
+    return figures.render_figure(fig)
+
+
+def _emit(text: str, name: str, out_dir: Optional[str],
+          fmt: str = "text") -> None:
     print(text)
     print()
     if out_dir:
         os.makedirs(out_dir, exist_ok=True)
-        path = os.path.join(out_dir, f"{name}.txt")
+        path = os.path.join(out_dir, f"{name}.{_EXTENSIONS[fmt]}")
         with open(path, "w") as fh:
             fh.write(text + "\n")
 
@@ -85,10 +132,39 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument(
         "--out", default=None, metavar="DIR",
-        help="also write each artifact to DIR/<name>.txt (+ .csv for figures)",
+        help="also write each artifact to DIR/<name>.<ext> "
+             "(+ .csv for figures in text mode)",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for the benchmark grid "
+             "(1 = serial, 0 = one per CPU; default: 1)",
+    )
+    parser.add_argument(
+        "--format", default="text", choices=sorted(_EXTENSIONS),
+        dest="fmt", metavar="{text,json,csv}",
+        help="artifact output format (default: text; "
+             "'analysis' is always text)",
+    )
+    parser.add_argument(
+        "--results", default=None, metavar="DIR",
+        help="persist benchmark rows to DIR/results.json (+ .csv export)",
+    )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="with --results: reuse cached rows, run only missing cells",
     )
     args = parser.parse_args(argv)
+    if args.resume and not args.results:
+        parser.error("--resume requires --results DIR")
     full = True if args.full else None
+    try:
+        store = ResultStore(args.results) if args.results else None
+        if args.results:
+            OptimaStore(args.results)  # validate the sidecar up front
+    except ValueError as exc:
+        parser.error(str(exc))
+    engine = {"jobs": args.jobs, "store": store, "resume": args.resume}
 
     wanted = (
         sorted(_TABLE_BUILDERS) + sorted(_FIGURE_BUILDERS) + ["analysis"]
@@ -97,20 +173,20 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     for name in wanted:
         if name == "analysis":
-            _emit(_analysis_artifact(full), name, args.out)
+            _emit(_analysis_artifact(full, **engine), name, args.out)
         elif name in _TABLE_BUILDERS:
             builder = _TABLE_BUILDERS[name]
-            kwargs = {"full": full}
+            kwargs = {"full": full, **engine}
             if name in ("table2", "table3"):
                 kwargs["budget"] = args.budget
             table = builder(**kwargs)
-            _emit(tables.render(table), name, args.out)
+            _emit(_render_table(table, args.fmt), name, args.out, args.fmt)
         else:
-            panels = _FIGURE_BUILDERS[name](full=full)
+            panels = _FIGURE_BUILDERS[name](full=full, **engine)
             for key, fig in panels.items():
-                _emit(figures.render_figure(fig), f"{name}_{key.lower()}",
-                      args.out)
-                if args.out:
+                _emit(_render_panel(fig, args.fmt), f"{name}_{key.lower()}",
+                      args.out, args.fmt)
+                if args.out and args.fmt == "text":
                     path = os.path.join(args.out, f"{name}_{key.lower()}.csv")
                     with open(path, "w") as fh:
                         fh.write(fig.as_csv() + "\n")

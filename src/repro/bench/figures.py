@@ -57,6 +57,17 @@ class FigureSeries:
             )
         return "\n".join(lines)
 
+    def to_dict(self) -> dict:
+        """JSON-compatible form (the CLI's ``--format json``)."""
+        return {
+            "id": self.id,
+            "title": self.title,
+            "x_label": self.x_label,
+            "y_label": self.y_label,
+            "x": list(self.x),
+            "series": {name: list(ys) for name, ys in self.series.items()},
+        }
+
 
 def render_figure(fig: FigureSeries) -> str:
     """ASCII rendering: aligned numbers plus a bar per series at max x."""
@@ -97,7 +108,8 @@ def _nsl_panel(panel_id: str, title: str, algorithms: Sequence[str],
     return fig
 
 
-def fig2(full: Optional[bool] = None) -> Dict[str, FigureSeries]:
+def fig2(full: Optional[bool] = None, jobs: Optional[int] = None,
+         store=None, resume: bool = False) -> Dict[str, FigureSeries]:
     """Average NSL of UNC, BNP and APN algorithms on RGNOS (Figure 2).
 
     Each point averages over the CCR x parallelism grid at that size,
@@ -107,7 +119,7 @@ def fig2(full: Optional[bool] = None) -> Dict[str, FigureSeries]:
     sizes = rgnos_sizes(full)
     names = (list(UNC_ALGORITHMS) + list(BNP_ALGORITHMS)
              + list(APN_ALGORITHMS))
-    results = run_grid(names, graphs)
+    results = run_grid(names, graphs, jobs=jobs, store=store, resume=resume)
     return {
         "UNC": _nsl_panel("Figure 2(a)", "Average NSL, UNC algorithms, RGNOS",
                           UNC_ALGORITHMS, results, sizes),
@@ -118,7 +130,8 @@ def fig2(full: Optional[bool] = None) -> Dict[str, FigureSeries]:
     }
 
 
-def fig3(full: Optional[bool] = None) -> Dict[str, FigureSeries]:
+def fig3(full: Optional[bool] = None, jobs: Optional[int] = None,
+         store=None, resume: bool = False) -> Dict[str, FigureSeries]:
     """Average processors used by UNC and BNP on RGNOS (Figure 3).
 
     BNP algorithms run with a virtually unlimited processor supply and
@@ -127,7 +140,7 @@ def fig3(full: Optional[bool] = None) -> Dict[str, FigureSeries]:
     graphs = rgnos_suite(full)
     sizes = rgnos_sizes(full)
     names = list(UNC_ALGORITHMS) + list(BNP_ALGORITHMS)
-    results = run_grid(names, graphs)
+    results = run_grid(names, graphs, jobs=jobs, store=store, resume=resume)
     out: Dict[str, FigureSeries] = {}
     for key, algorithms, panel in (
         ("UNC", UNC_ALGORITHMS, "Figure 3(a)"),
@@ -149,8 +162,9 @@ def fig3(full: Optional[bool] = None) -> Dict[str, FigureSeries]:
     return out
 
 
-def fig4(full: Optional[bool] = None, ccr: float = 1.0
-         ) -> Dict[str, FigureSeries]:
+def fig4(full: Optional[bool] = None, ccr: float = 1.0,
+         jobs: Optional[int] = None, store=None,
+         resume: bool = False) -> Dict[str, FigureSeries]:
     """Average NSL on Cholesky factorization graphs (Figure 4).
 
     The x axis is the matrix dimension N; graph size grows as O(N^2).
@@ -159,7 +173,7 @@ def fig4(full: Optional[bool] = None, ccr: float = 1.0
     dims = traced_dimensions(full)
     names = (list(UNC_ALGORITHMS) + list(BNP_ALGORITHMS)
              + list(APN_ALGORITHMS))
-    results = run_grid(names, graphs)
+    results = run_grid(names, graphs, jobs=jobs, store=store, resume=resume)
     size_to_dim = {g.num_nodes: d for g, d in zip(graphs, dims)}
     out: Dict[str, FigureSeries] = {}
     for key, algorithms, panel in (

@@ -1,0 +1,152 @@
+"""Parallel, cached execution of algorithm x graph benchmark grids.
+
+This is the engine behind every artifact builder: it expands a grid
+into ``(algorithm, graph)`` cells in the canonical serial order, skips
+cells already present in a :class:`~repro.bench.store.ResultStore`
+(``resume=True``), fans the remaining cells out over a
+``multiprocessing`` worker pool (``jobs > 1``), and returns rows in an
+order *identical* to the serial double loop — graphs outer, algorithms
+inner — so tables and figures are byte-stable regardless of ``jobs``.
+
+Scheduling a cell is a pure function of ``(algorithm, graph, config)``
+— the suites are seeded and the heuristics deterministic — so the only
+field that varies between runs is the measured ``runtime_s``.  That is
+what makes both the cache and the fan-out safe.
+
+The requested per-graph optimum is intentionally *not* part of the
+cache key: it feeds the degradation measure only, never the schedule,
+so cached rows are rebased onto the currently requested optimum via
+``dataclasses.replace`` instead of being recomputed.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import multiprocessing
+import os
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..core.graph import TaskGraph
+from ..metrics.measures import RunResult
+from .store import ResultStore
+
+__all__ = ["grid_cells", "run_grid", "default_jobs"]
+
+# One cell of work: (algorithm name, graph, requested optimum or None).
+Cell = Tuple[str, TaskGraph, Optional[float]]
+
+#: Checkpoint cadence: the store is saved after this many new rows, so
+#: an interrupted grid loses at most this much work.
+SAVE_EVERY = 25
+
+
+def default_jobs() -> int:
+    """Worker count used for ``jobs=0`` ("auto"): one per usable CPU."""
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except AttributeError:  # platforms without sched_getaffinity
+        return max(1, os.cpu_count() or 1)
+
+
+def grid_cells(names: Sequence[str], graphs: Iterable[TaskGraph],
+               optima: Optional[Dict[str, float]] = None) -> List[Cell]:
+    """Expand a grid into cells in the canonical serial order."""
+    cells: List[Cell] = []
+    for graph in graphs:
+        opt = optima.get(graph.name) if optima else None
+        for name in names:
+            cells.append((name, graph, opt))
+    return cells
+
+
+def _run_cell(args) -> RunResult:
+    """Pool worker: schedule and measure one cell (must be module-level
+    so it pickles under the spawn start method too)."""
+    name, graph, config, optimal = args
+    from . import runner
+
+    return runner.run_one(name, graph, config=config, optimal=optimal)
+
+
+def run_grid(names: Sequence[str], graphs: Iterable[TaskGraph],
+             config=None,
+             optima: Optional[Dict[str, float]] = None,
+             jobs: Optional[int] = None,
+             store: Optional[ResultStore] = None,
+             resume: bool = False) -> List[RunResult]:
+    """Run every algorithm on every graph; returns flat result rows.
+
+    Parameters
+    ----------
+    jobs:
+        ``None``/``1`` — run in-process; ``N > 1`` — fan cells out over
+        ``N`` worker processes; ``0`` — one worker per CPU.  Row order
+        and values (modulo measured runtimes) are identical across all
+        settings.
+    store:
+        When given, every computed row is written back and the store is
+        saved after the grid, so later runs can resume.
+    resume:
+        With ``store``, reuse cached rows for matching ``(algorithm,
+        graph, config fingerprint)`` keys instead of re-scheduling;
+        only missing cells are executed.
+    optima:
+        Optional map of graph name to known optimal length; populates
+        the degradation measure on each row (cached rows included).
+    """
+    from . import runner  # late import; runner imports this module lazily
+
+    config = config or runner.BenchConfig()
+    cells = grid_cells(names, graphs, optima)
+    rows: List[Optional[RunResult]] = [None] * len(cells)
+
+    fingerprint = config.fingerprint()
+    todo: List[int] = []
+    for i, (name, graph, opt) in enumerate(cells):
+        cached = (store.get(name, graph.name, fingerprint)
+                  if store is not None and resume else None)
+        if cached is not None:
+            rows[i] = dataclasses.replace(cached, optimal=opt)
+        else:
+            todo.append(i)
+
+    # Persist incrementally: rows are written back (and the store saved
+    # every SAVE_EVERY cells, plus once in the finally) as they arrive,
+    # so an interrupted --full grid resumes from the last checkpoint
+    # instead of from cell 0.
+    unsaved = 0
+
+    def record(row: RunResult) -> None:
+        nonlocal unsaved
+        if store is None:
+            return
+        store.put(row, fingerprint)
+        unsaved += 1
+        if unsaved >= SAVE_EVERY:
+            store.save()
+            unsaved = 0
+
+    jobs = default_jobs() if jobs == 0 else max(1, int(jobs or 1))
+    try:
+        if jobs > 1 and len(todo) > 1:
+            work = [(cells[i][0], cells[i][1], config, cells[i][2])
+                    for i in todo]
+            processes = min(jobs, len(work))
+            chunksize = max(1, len(work) // (processes * 4))
+            with multiprocessing.Pool(processes=processes) as pool:
+                # imap preserves submission order: rows land at their
+                # serial indices no matter which worker finishes first.
+                for i, row in zip(todo, pool.imap(_run_cell, work,
+                                                  chunksize=chunksize)):
+                    rows[i] = row
+                    record(row)
+        else:
+            for i in todo:
+                name, graph, opt = cells[i]
+                rows[i] = runner.run_one(name, graph, config=config,
+                                         optimal=opt)
+                record(rows[i])
+    finally:
+        if store is not None and unsaved:
+            store.save()
+    return rows

@@ -53,6 +53,26 @@ class BenchConfig:
             return Machine.unbounded(graph)
         return Machine(self.bnp_procs)
 
+    def fingerprint(self) -> str:
+        """Stable identity of the machine-model conventions.
+
+        Part of the :class:`~repro.bench.store.ResultStore` cache key:
+        two configs with equal fingerprints schedule every cell
+        identically, so their rows are interchangeable.  The APN
+        topology is identified by its exact link set (hashed), not just
+        its name — two structurally different custom topologies never
+        share a fingerprint.
+        """
+        import hashlib
+
+        topo = self.apn_topology or default_apn_topology()
+        links = hashlib.sha256(repr(topo.links).encode()).hexdigest()[:12]
+        return (
+            f"bnp={'v' if self.bnp_procs is None else self.bnp_procs}"
+            f";apn={topo.name}:{topo.num_procs}p:{links}"
+            f";validate={int(self.validate_schedules)}"
+        )
+
 
 def run_one(name: str, graph: TaskGraph,
             machine: Optional[Machine] = None,
@@ -83,16 +103,22 @@ def run_one(name: str, graph: TaskGraph,
 
 def run_grid(names: Sequence[str], graphs: Iterable[TaskGraph],
              config: Optional[BenchConfig] = None,
-             optima: Optional[Dict[str, float]] = None) -> List[RunResult]:
+             optima: Optional[Dict[str, float]] = None,
+             jobs: Optional[int] = None,
+             store=None,
+             resume: bool = False) -> List[RunResult]:
     """Run every algorithm on every graph; returns flat result rows.
 
     ``optima`` optionally maps graph names to known optimal lengths,
     which populates the degradation measure on each row.
+
+    The grid executes through the engine in :mod:`repro.bench.parallel`:
+    ``jobs`` fans cells out over a worker pool (``0`` = one per CPU),
+    and a :class:`~repro.bench.store.ResultStore` plus ``resume=True``
+    reuses rows cached from previous runs.  Row order is always the
+    serial order — graphs outer, algorithms inner.
     """
-    config = config or BenchConfig()
-    results: List[RunResult] = []
-    for graph in graphs:
-        opt = optima.get(graph.name) if optima else None
-        for name in names:
-            results.append(run_one(name, graph, config=config, optimal=opt))
-    return results
+    from .parallel import run_grid as _engine  # lazy: avoid import cycle
+
+    return _engine(names, graphs, config=config, optima=optima,
+                   jobs=jobs, store=store, resume=resume)

@@ -1,0 +1,273 @@
+"""Persisted benchmark results: the :class:`ResultStore`.
+
+A store is a directory holding every :class:`~repro.metrics.measures.RunResult`
+row ever produced for it, keyed by ``(algorithm, graph name, config
+fingerprint)``.  The grid engine (:mod:`repro.bench.parallel`) consults
+the store before scheduling a cell, so ``--resume`` runs only the cells
+that are missing — a ``--full`` paper-grid regeneration interrupted
+halfway resumes instead of starting over.
+
+Formats
+-------
+* ``results.json`` — the durable format: a schema-versioned document
+  ``{"schema": 1, "rows": [...]}`` that :meth:`ResultStore.load` reads
+  back and :meth:`ResultStore.merge` can combine across stores (e.g.
+  shards produced by independent machines).
+* ``results.csv`` — a flat export written alongside the JSON on every
+  save, one row per cell, for spreadsheets / pandas; it is write-only.
+
+Keys are exact: a row is reused only when the algorithm, the graph's
+name and the :meth:`BenchConfig.fingerprint` all match.  The requested
+optimum is *not* part of the key — it feeds only the degradation
+measure, never the schedule, so cached rows are rebased onto the
+currently requested optimum at load time (see the engine).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+import os
+import tempfile
+from dataclasses import asdict, fields
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..metrics.measures import RunResult
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "RESULT_FIELDS",
+    "result_to_dict",
+    "result_from_dict",
+    "ResultStore",
+    "OptimaStore",
+]
+
+SCHEMA_VERSION = 1
+
+#: Stable column order of the serialized schema (matches ``RunResult``).
+RESULT_FIELDS: Tuple[str, ...] = tuple(f.name for f in fields(RunResult))
+
+Key = Tuple[str, str, str]  # (algorithm, graph name, config fingerprint)
+
+
+def result_to_dict(row: RunResult) -> Dict:
+    """Serialize one row to a plain JSON-compatible dict."""
+    return asdict(row)
+
+
+def result_from_dict(data: Dict) -> RunResult:
+    """Rebuild a :class:`RunResult` from :func:`result_to_dict` output.
+
+    Unknown keys (e.g. the store's ``fingerprint`` column, or fields
+    added by a future schema) are ignored, so old code can read newer
+    stores as long as the known columns keep their meaning.
+    """
+    kwargs = {name: data[name] for name in RESULT_FIELDS if name in data}
+    return RunResult(**kwargs)
+
+
+class ResultStore:
+    """Cache of benchmark rows persisted under ``directory``.
+
+    Parameters
+    ----------
+    directory:
+        Where ``results.json`` / ``results.csv`` live.  Created on the
+        first :meth:`save`.  An existing ``results.json`` is loaded
+        eagerly so a fresh store object sees previous runs.
+    basename:
+        Stem of the two files (default ``results``), letting several
+        stores share one directory.
+    """
+
+    def __init__(self, directory: str, basename: str = "results"):
+        self.directory = directory
+        self.basename = basename
+        self._rows: Dict[Key, Dict] = {}
+        if os.path.exists(self.json_path):
+            self.load()
+
+    # ------------------------------------------------------------------
+    # paths
+    # ------------------------------------------------------------------
+    @property
+    def json_path(self) -> str:
+        return os.path.join(self.directory, f"{self.basename}.json")
+
+    @property
+    def csv_path(self) -> str:
+        return os.path.join(self.directory, f"{self.basename}.csv")
+
+    # ------------------------------------------------------------------
+    # cache interface
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    @staticmethod
+    def key(algorithm: str, graph: str, fingerprint: str) -> Key:
+        return (str(algorithm), str(graph), str(fingerprint))
+
+    def __contains__(self, key: Key) -> bool:
+        return tuple(key) in self._rows
+
+    def get(self, algorithm: str, graph: str,
+            fingerprint: str) -> Optional[RunResult]:
+        """The cached row for a cell, or ``None`` on a miss."""
+        data = self._rows.get(self.key(algorithm, graph, fingerprint))
+        return result_from_dict(data) if data is not None else None
+
+    def put(self, row: RunResult, fingerprint: str) -> None:
+        """Insert or overwrite one cell."""
+        data = result_to_dict(row)
+        data["fingerprint"] = str(fingerprint)
+        self._rows[self.key(row.algorithm, row.graph, fingerprint)] = data
+
+    def update(self, rows: Iterable[RunResult], fingerprint: str) -> None:
+        """Insert or overwrite many cells sharing one fingerprint."""
+        for row in rows:
+            self.put(row, fingerprint)
+
+    def rows(self, fingerprint: Optional[str] = None) -> List[RunResult]:
+        """All rows (optionally only one fingerprint), in stable key order."""
+        out = []
+        for key in sorted(self._rows):
+            if fingerprint is not None and key[2] != fingerprint:
+                continue
+            out.append(result_from_dict(self._rows[key]))
+        return out
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+    def load(self, path: Optional[str] = None) -> int:
+        """Merge rows from a JSON document into the store.
+
+        Returns the number of rows read.  Raises ``ValueError`` on a
+        schema the store does not understand.
+        """
+        path = path or self.json_path
+        with open(path) as fh:
+            try:
+                doc = json.load(fh)
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"{path}: not valid JSON ({exc})") from exc
+        schema = doc.get("schema")
+        if schema != SCHEMA_VERSION:
+            raise ValueError(
+                f"{path}: unsupported results schema {schema!r} "
+                f"(this build reads schema {SCHEMA_VERSION})"
+            )
+        rows = doc.get("rows", [])
+        for data in rows:
+            key = self.key(data["algorithm"], data["graph"],
+                           data.get("fingerprint", ""))
+            self._rows[key] = dict(data)
+        return len(rows)
+
+    def merge(self, other: "ResultStore") -> int:
+        """Fold another store's rows into this one (incoming rows win).
+
+        Returns the number of rows merged; used to combine shards run on
+        separate machines or in separate sessions.
+        """
+        for key, data in other._rows.items():
+            self._rows[key] = dict(data)
+        return len(other._rows)
+
+    def as_csv(self) -> str:
+        """The whole store as CSV text (stable header and row order)."""
+        buf = io.StringIO()
+        header = ("fingerprint",) + RESULT_FIELDS
+        writer = csv.writer(buf, lineterminator="\n")
+        writer.writerow(header)
+        for key in sorted(self._rows):
+            data = self._rows[key]
+            writer.writerow([data.get(col, "") for col in header])
+        return buf.getvalue()
+
+    def save(self) -> None:
+        """Atomically write ``results.json`` and the ``results.csv`` export."""
+        os.makedirs(self.directory, exist_ok=True)
+        doc = {
+            "schema": SCHEMA_VERSION,
+            "rows": [self._rows[key] for key in sorted(self._rows)],
+        }
+        self._atomic_write(self.json_path, json.dumps(doc, indent=1) + "\n")
+        self._atomic_write(self.csv_path, self.as_csv())
+
+    def _atomic_write(self, path: str, text: str) -> None:
+        fd, tmp = tempfile.mkstemp(dir=self.directory,
+                                   prefix=f".{self.basename}-", suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as fh:
+                fh.write(text)
+            os.replace(tmp, path)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+
+
+class OptimaStore:
+    """Persisted ``(best length, proved)`` reference optima.
+
+    The RGBOS tables measure degradation against a branch-and-bound
+    reference that costs far more than the heuristics themselves; this
+    sidecar (``optima.json`` next to ``results.json``) caches it keyed
+    by ``(graph name, search budget)``, so a resumed run skips the
+    search as well as the grid.
+    """
+
+    def __init__(self, directory: str, basename: str = "optima"):
+        self.directory = directory
+        self.path = os.path.join(directory, f"{basename}.json")
+        self._data: Dict[str, List] = {}
+        if os.path.exists(self.path):
+            with open(self.path) as fh:
+                try:
+                    doc = json.load(fh)
+                except json.JSONDecodeError as exc:
+                    raise ValueError(
+                        f"{self.path}: not valid JSON ({exc})"
+                    ) from exc
+            if doc.get("schema") != SCHEMA_VERSION:
+                raise ValueError(
+                    f"{self.path}: unsupported optima schema "
+                    f"{doc.get('schema')!r}"
+                )
+            self._data = dict(doc.get("optima", {}))
+
+    @staticmethod
+    def key(graph: str, budget: int) -> str:
+        return f"{graph}@{int(budget)}"
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def get(self, graph: str, budget: int) -> Optional[Tuple[float, bool]]:
+        entry = self._data.get(self.key(graph, budget))
+        return (float(entry[0]), bool(entry[1])) if entry else None
+
+    def put(self, graph: str, budget: int, length: float,
+            proved: bool) -> None:
+        self._data[self.key(graph, budget)] = [float(length), bool(proved)]
+
+    def save(self) -> None:
+        os.makedirs(self.directory, exist_ok=True)
+        doc = {
+            "schema": SCHEMA_VERSION,
+            "optima": {k: self._data[k] for k in sorted(self._data)},
+        }
+        fd, tmp = tempfile.mkstemp(dir=self.directory, prefix=".optima-",
+                                   suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as fh:
+                fh.write(json.dumps(doc, indent=1) + "\n")
+            os.replace(tmp, self.path)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise

@@ -36,8 +36,11 @@ __all__ = [
     "rgnos_sizes",
     "traced_suite",
     "traced_dimensions",
+    "suite_names",
+    "get_suite",
     "default_apn_topology",
     "RGBOS_CCRS",
+    "RGPOS_CCRS",
     "RGNOS_CCRS",
     "RGNOS_PARALLELISMS",
 ]
@@ -140,6 +143,34 @@ def traced_suite(full: Optional[bool] = None,
                  ccr: float = 1.0) -> List[TaskGraph]:
     """Traced graphs (Section 5.5): Cholesky factorization DAGs."""
     return [cholesky_graph(n, ccr=ccr) for n in traced_dimensions(full)]
+
+
+def suite_names() -> List[str]:
+    """Names accepted by :func:`get_suite`."""
+    return ["psg", "rgbos", "rgpos", "rgnos", "traced"]
+
+
+def get_suite(name: str, full: Optional[bool] = None) -> List[TaskGraph]:
+    """The named benchmark suite as a flat list of task graphs.
+
+    Convenience dispatch for ad-hoc sweeps and tooling that take a
+    suite name as input (e.g. ``run_grid(names, get_suite("rgnos"))``).
+    RGPOS instances are unwrapped to their graphs; use
+    :func:`rgpos_suite` directly when the constructed optima are needed.
+    """
+    builders = {
+        "psg": lambda: psg_suite(),
+        "rgbos": lambda: rgbos_suite(full),
+        "rgpos": lambda: [inst.graph for inst in rgpos_suite(full)],
+        "rgnos": lambda: rgnos_suite(full),
+        "traced": lambda: traced_suite(full),
+    }
+    try:
+        return builders[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown suite {name!r}; expected one of {suite_names()}"
+        ) from None
 
 
 def default_apn_topology(num_procs: int = 8) -> Topology:

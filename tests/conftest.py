@@ -1,13 +1,16 @@
-"""Shared fixtures and hypothesis strategies for the test suite."""
+"""Shared fixtures for the test suite.
+
+Hypothesis strategies live in :mod:`strategies` (``tests/strategies.py``)
+so test modules can import them unambiguously; ``task_graphs`` is
+re-exported here for backwards compatibility.
+"""
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
-
 import pytest
-from hypothesis import strategies as st
 
 from repro import Machine, NetworkMachine, TaskGraph, Topology
+from strategies import task_graphs  # noqa: F401  (re-export)
 
 
 # ----------------------------------------------------------------------
@@ -78,24 +81,3 @@ def net_ring4() -> NetworkMachine:
 @pytest.fixture
 def net_cube8() -> NetworkMachine:
     return NetworkMachine(Topology.hypercube(3))
-
-
-# ----------------------------------------------------------------------
-# Hypothesis strategy: random weighted DAGs
-# ----------------------------------------------------------------------
-@st.composite
-def task_graphs(draw, min_nodes: int = 2, max_nodes: int = 14,
-                max_weight: int = 20, max_comm: int = 40,
-                edge_prob: float = 0.35) -> TaskGraph:
-    """Random DAG: edges only from lower to higher ids (always acyclic)."""
-    n = draw(st.integers(min_nodes, max_nodes))
-    weights = [
-        draw(st.integers(1, max_weight)) for _ in range(n)
-    ]
-    edges: Dict[Tuple[int, int], float] = {}
-    for u in range(n):
-        for v in range(u + 1, n):
-            if draw(st.booleans() if edge_prob >= 0.5 else
-                    st.sampled_from([True] + [False] * int(1 / edge_prob))):
-                edges[(u, v)] = float(draw(st.integers(0, max_comm)))
-    return TaskGraph([float(w) for w in weights], edges, name=f"hyp-{n}")

@@ -1,0 +1,36 @@
+"""Hypothesis strategies shared by the property-based test modules.
+
+Lives in its own importable module (not ``conftest.py``) because pytest
+inserts *every* conftest directory onto ``sys.path``: a bare
+``import conftest`` resolves to whichever conftest was loaded first
+(``benchmarks/conftest.py`` when the whole repo is collected), which
+does not define the strategies.  ``strategies`` is unambiguous.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from hypothesis import strategies as st
+
+from repro import TaskGraph
+
+__all__ = ["task_graphs"]
+
+
+@st.composite
+def task_graphs(draw, min_nodes: int = 2, max_nodes: int = 14,
+                max_weight: int = 20, max_comm: int = 40,
+                edge_prob: float = 0.35) -> TaskGraph:
+    """Random DAG: edges only from lower to higher ids (always acyclic)."""
+    n = draw(st.integers(min_nodes, max_nodes))
+    weights = [
+        draw(st.integers(1, max_weight)) for _ in range(n)
+    ]
+    edges: Dict[Tuple[int, int], float] = {}
+    for u in range(n):
+        for v in range(u + 1, n):
+            if draw(st.booleans() if edge_prob >= 0.5 else
+                    st.sampled_from([True] + [False] * int(1 / edge_prob))):
+                edges[(u, v)] = float(draw(st.integers(0, max_comm)))
+    return TaskGraph([float(w) for w in weights], edges, name=f"hyp-{n}")

@@ -1,10 +1,13 @@
 """Tests for the repro-bench CLI."""
 
+import csv
+import json
 import os
 
 import pytest
 
 from repro.bench.cli import main
+from repro.bench.store import ResultStore
 
 
 class TestCLI:
@@ -30,3 +33,62 @@ class TestCLI:
     def test_bad_artifact_rejected(self):
         with pytest.raises(SystemExit):
             main(["--artifact", "nope"])
+
+
+class TestEngineFlags:
+    def test_jobs_matches_serial_output(self, capsys):
+        assert main(["--artifact", "table1"]) == 0
+        serial = capsys.readouterr().out
+        assert main(["--artifact", "table1", "--jobs", "2"]) == 0
+        assert capsys.readouterr().out == serial
+
+    def test_format_json(self, tmp_path, capsys):
+        out_dir = tmp_path / "results"
+        assert main(["--artifact", "table1", "--format", "json",
+                     "--out", str(out_dir)]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["id"] == "Table 1"
+        assert doc["columns"][0] == "graph"
+        assert json.loads((out_dir / "table1.json").read_text()) == doc
+
+    def test_format_csv(self, tmp_path, capsys):
+        out_dir = tmp_path / "results"
+        assert main(["--artifact", "table1", "--format", "csv",
+                     "--out", str(out_dir)]) == 0
+        text = (out_dir / "table1.csv").read_text()
+        rows = list(csv.reader(
+            [ln for ln in text.splitlines() if not ln.startswith("#")]
+        ))
+        assert rows[0][0] == "graph"
+        assert len(rows) > 1
+
+    def test_figure_format_csv_writes_csv_artifact(self, tmp_path, capsys):
+        out_dir = tmp_path / "results"
+        assert main(["--artifact", "fig4", "--format", "csv",
+                     "--out", str(out_dir)]) == 0
+        assert (out_dir / "fig4_unc.csv").exists()
+        assert not (out_dir / "fig4_unc.txt").exists()
+
+    def test_results_store_written_and_resumed(self, tmp_path, capsys,
+                                               monkeypatch):
+        res_dir = tmp_path / "store"
+        assert main(["--artifact", "table1", "--results", str(res_dir)]) == 0
+        first = capsys.readouterr().out
+        assert (res_dir / "results.json").exists()
+        assert (res_dir / "results.csv").exists()
+        assert len(ResultStore(str(res_dir))) > 0
+
+        # A resumed run must not schedule anything: every cell is cached.
+        from repro.bench import runner as runner_mod
+
+        def boom(*args, **kwargs):
+            raise AssertionError("cell re-scheduled despite --resume")
+
+        monkeypatch.setattr(runner_mod, "run_one", boom)
+        assert main(["--artifact", "table1", "--results", str(res_dir),
+                     "--resume"]) == 0
+        assert capsys.readouterr().out == first
+
+    def test_resume_requires_results(self):
+        with pytest.raises(SystemExit):
+            main(["--artifact", "table1", "--resume"])

@@ -33,7 +33,7 @@ from repro.core.attributes import (
 from repro.io import dumps_stg, loads_stg
 from repro.optimal import lb_combined, solve_optimal
 
-from conftest import task_graphs
+from strategies import task_graphs
 
 FAST = settings(
     max_examples=40,

@@ -14,7 +14,7 @@ from repro.algorithms.cs import (
 from repro.core.attributes import cp_computation_cost
 from repro.duplication import dsh_schedule, validate_duplication
 
-from conftest import task_graphs
+from strategies import task_graphs
 
 SLOW = settings(
     max_examples=15,

@@ -7,7 +7,7 @@ from hypothesis import strategies as st
 from repro import Machine, Schedule, get_scheduler
 from repro.metrics import efficiency, nsl, speedup
 
-from conftest import task_graphs
+from strategies import task_graphs
 
 FAST = settings(
     max_examples=30,
