@@ -1,0 +1,54 @@
+"""CI smoke benchmarks: small, fast, representative hot paths.
+
+Run by the ``bench-smoke`` CI job via::
+
+    pytest benchmarks/bench_smoke.py --benchmark-json=current.json
+    python benchmarks/check_regression.py current.json
+
+and compared against the committed ``benchmarks/baseline_smoke.json``
+(regenerate with ``--update`` after a deliberate performance change).
+Each case covers one layer: the clique grid engine, a single large-ish
+list scheduling run, the APN contention machinery, and scenario
+compilation.
+"""
+
+from __future__ import annotations
+
+from repro.bench.runner import run_grid
+from repro.bench.suites import psg_suite
+from repro.core.machine import NetworkMachine
+from repro.generators.random_graphs import rgnos_graph
+from repro.network.topology import Topology
+from repro.algorithms import get_scheduler
+
+
+def test_smoke_grid_psg(benchmark):
+    """Clique grid engine: 3 algorithms x 4 peer set graphs."""
+    graphs = psg_suite()[:4]
+    rows = benchmark(run_grid, ["MCP", "DCP", "HLFET"], graphs)
+    assert len(rows) == 12
+
+
+def test_smoke_mcp_rgnos(benchmark):
+    """One insertion-based BNP run on a 100-node random graph."""
+    graph = rgnos_graph(100, 1.0, 3, seed=1)
+    rows = benchmark(run_grid, ["MCP"], [graph])
+    assert rows[0].length > 0
+
+
+def test_smoke_apn_contention(benchmark):
+    """Link-contention scheduling: MH on a 40-node graph, hypercube."""
+    graph = rgnos_graph(40, 1.0, 3, seed=2)
+    machine = NetworkMachine(Topology.hypercube(3))
+    scheduler = get_scheduler("MH")
+    schedule = benchmark(scheduler.schedule, graph, machine)
+    assert schedule.is_complete()
+
+
+def test_smoke_scenario_compile(benchmark):
+    """Scenario engine: validate + compile a swept registry scenario."""
+    from repro.scenarios import compile_scenario, get_scenario
+
+    compiled = benchmark(
+        lambda: compile_scenario(get_scenario("hetero-speeds")))
+    assert compiled.num_cells > 0

@@ -1,0 +1,105 @@
+#!/usr/bin/env python
+"""Compare a pytest-benchmark JSON run against the committed baseline.
+
+Usage::
+
+    pytest benchmarks/bench_smoke.py --benchmark-json=current.json
+    python benchmarks/check_regression.py current.json
+    python benchmarks/check_regression.py current.json --update
+
+Exits 1 when any benchmark's best (min) time exceeds ``--threshold``
+(default 2.0) times its baseline entry — the CI gate for performance
+regressions.  ``--update`` rewrites the baseline from the current run
+instead (commit the result after a deliberate performance change).
+Benchmarks missing from the baseline are reported but do not fail, so
+adding a new case does not require touching two files in lockstep.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+DEFAULT_BASELINE = "benchmarks/baseline_smoke.json"
+
+
+def load_mins(path: str) -> dict:
+    with open(path) as fh:
+        doc = json.load(fh)
+    benches = doc.get("benchmarks", doc)  # baseline may be the flat map
+    if isinstance(benches, dict):
+        return {name: float(v) for name, v in benches.items()}
+    return {b["name"]: float(b["stats"]["min"]) for b in benches}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("current",
+                        help="pytest-benchmark --benchmark-json output")
+    parser.add_argument("--baseline", default=DEFAULT_BASELINE)
+    parser.add_argument("--threshold", type=float, default=2.0,
+                        help="fail when current_min > threshold * "
+                             "baseline_min (default: 2.0)")
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite the baseline from the current run")
+    args = parser.parse_args(argv)
+
+    current = load_mins(args.current)
+    if args.update:
+        doc = {
+            "_comment": "min times (s) from benchmarks/bench_smoke.py; "
+                        "regenerate with check_regression.py --update",
+            "benchmarks": {name: current[name] for name in sorted(current)},
+        }
+        with open(args.baseline, "w") as fh:
+            json.dump(doc, fh, indent=1)
+            fh.write("\n")
+        print(f"baseline updated: {args.baseline} "
+              f"({len(current)} benchmarks)")
+        return 0
+
+    try:
+        baseline = load_mins(args.baseline)
+    except FileNotFoundError:
+        print(f"no baseline at {args.baseline}; run with --update first",
+              file=sys.stderr)
+        return 1
+
+    failures = []
+    for name in sorted(current):
+        cur = current[name]
+        base = baseline.get(name)
+        if base is None:
+            print(f"  NEW  {name}: {cur:.6f}s (not in baseline; "
+                  f"consider --update)")
+            continue
+        ratio = cur / base if base > 0 else float("inf")
+        status = "FAIL" if ratio > args.threshold else "ok"
+        print(f"  {status:4s} {name}: {cur:.6f}s vs baseline "
+              f"{base:.6f}s ({ratio:.2f}x)")
+        if ratio > args.threshold:
+            failures.append((name, ratio))
+    missing = sorted(set(baseline) - set(current))
+    for name in missing:
+        # A baselined benchmark that stops running has silently lost
+        # its regression coverage — that must fail the gate, not pass
+        # it; rename/remove deliberately via --update.
+        print(f"  GONE {name}: in baseline but not in this run")
+
+    if failures or missing:
+        if failures:
+            print(f"\n{len(failures)} benchmark(s) regressed beyond "
+                  f"{args.threshold:.1f}x", file=sys.stderr)
+        if missing:
+            print(f"\n{len(missing)} baselined benchmark(s) did not "
+                  "run; update the baseline if this was deliberate",
+                  file=sys.stderr)
+        return 1
+    print(f"\nall {len(current)} benchmarks within "
+          f"{args.threshold:.1f}x of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,12 +1,44 @@
-"""Legacy-install shim.
+"""Package metadata for the repro distribution.
 
 This environment has setuptools but not ``wheel``, so PEP 517 editable
-installs fail with ``invalid command 'bdist_wheel'``.  Keeping a
-``setup.py`` lets ``pip install -e . --no-build-isolation --no-use-pep517``
-(and plain ``python setup.py develop``) work offline; all metadata lives
-in ``pyproject.toml``.
+installs fail with ``invalid command 'bdist_wheel'``.  Keeping all
+metadata in ``setup.py`` lets both modern ``pip install -e .[test]``
+and the offline fallback ``pip install -e . --no-build-isolation
+--no-use-pep517`` work.
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-kwok-ahmad-ipps98",
+    version="0.2.0",
+    description=(
+        "Reproduction of Kwok & Ahmad, 'Benchmarking the Task Graph "
+        "Scheduling Algorithms' (IPPS 1998): 15 schedulers, 5 suites, "
+        "a parallel persisted benchmark engine and a declarative "
+        "scenario engine"
+    ),
+    packages=find_packages("src"),
+    package_dir={"": "src"},
+    python_requires=">=3.10",
+    install_requires=[
+        "numpy",
+        "networkx",
+    ],
+    extras_require={
+        "test": [
+            "pytest",
+            "hypothesis",
+            "pytest-benchmark",
+        ],
+        "lint": [
+            "ruff",
+            "mypy",
+        ],
+    },
+    entry_points={
+        "console_scripts": [
+            "repro-bench = repro.bench.cli:main",
+        ],
+    },
+)

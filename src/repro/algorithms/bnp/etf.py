@@ -31,7 +31,7 @@ class ETF(Scheduler):
 
     def _run(self, graph: TaskGraph, machine: Machine) -> Schedule:
         sl = static_blevel(graph)
-        schedule = Schedule(graph, machine.num_procs)
+        schedule = Schedule(graph, machine.num_procs, speeds=machine.speeds)
         ready = ReadyTracker(graph)
         while not ready.all_scheduled():
             best = None  # (est, -sl, node, proc)

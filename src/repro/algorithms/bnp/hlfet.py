@@ -30,7 +30,7 @@ class HLFET(Scheduler):
 
     def _run(self, graph: TaskGraph, machine: Machine) -> Schedule:
         sl = static_blevel(graph)
-        schedule = Schedule(graph, machine.num_procs)
+        schedule = Schedule(graph, machine.num_procs, speeds=machine.speeds)
         ready = ReadyTracker(graph)
         while not ready.all_scheduled():
             # Highest static level first; ties toward the smaller node id.

@@ -31,7 +31,7 @@ class ISH(Scheduler):
 
     def _run(self, graph: TaskGraph, machine: Machine) -> Schedule:
         sl = static_blevel(graph)
-        schedule = Schedule(graph, machine.num_procs)
+        schedule = Schedule(graph, machine.num_procs, speeds=machine.speeds)
         ready = ReadyTracker(graph)
         while not ready.all_scheduled():
             node = max(ready.ready, key=lambda n: (sl[n], -n))
@@ -56,7 +56,8 @@ class ISH(Scheduler):
                 for cand in sorted(ready.ready, key=lambda n: (-sl[n], n)):
                     drt = schedule.data_ready_time(cand, proc)
                     cand_start = max(gap_begin, drt)
-                    if cand_start + graph.weight(cand) > gap_end + 1e-9:
+                    cand_dur = schedule.duration_of(cand, proc)
+                    if cand_start + cand_dur > gap_end + 1e-9:
                         continue
                     _, elsewhere = best_proc_min_est(schedule, cand,
                                                      insertion=False)
@@ -64,7 +65,7 @@ class ISH(Scheduler):
                         continue
                     schedule.place(cand, proc, cand_start)
                     ready.mark_scheduled(cand)
-                    gap_begin = cand_start + graph.weight(cand)
+                    gap_begin = cand_start + cand_dur
                     placed_any = True
                     break
                 if not placed_any:

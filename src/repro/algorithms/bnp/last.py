@@ -49,7 +49,7 @@ class LAST(Scheduler):
                 return 1.0  # isolated w.r.t. communication: fully localised
             return settled[n] / incident[n]
 
-        schedule = Schedule(graph, machine.num_procs)
+        schedule = Schedule(graph, machine.num_procs, speeds=machine.speeds)
         ready = ReadyTracker(graph)
         while not ready.all_scheduled():
             node = max(ready.ready, key=lambda n: (d_node(n), sl[n], -n))

@@ -59,7 +59,7 @@ class MCP(Scheduler):
         # is strictly smaller than any descendant's (weights are positive),
         # so this order is topologically consistent.
         order = sorted(graph.nodes(), key=lambda n: (lists[n], n))
-        schedule = Schedule(graph, machine.num_procs)
+        schedule = Schedule(graph, machine.num_procs, speeds=machine.speeds)
         for node in order:
             proc, start = best_proc_min_est(schedule, node, insertion=True)
             schedule.place(node, proc, start)

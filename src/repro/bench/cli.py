@@ -6,6 +6,18 @@ Regenerates any paper artifact on demand::
     repro-bench --artifact fig2 --full
     repro-bench --artifact all --out results/
 
+Beyond the paper grid, the ``scenario`` verbs drive the declarative
+scenario engine (:mod:`repro.scenarios`)::
+
+    repro-bench scenario list
+    repro-bench scenario validate examples/scenario_hetero.json
+    repro-bench scenario run hetero-speeds --jobs 4
+    repro-bench scenario run my_sweep.toml --results out/ --resume
+
+``scenario run`` persists every row to a ResultStore (default:
+``results/scenarios/<name>/``) so ``--resume`` replays cached cells
+verbatim; ``--format``/``--out`` mirror the artifact flags.
+
 Reduced-scale suites run in seconds; ``--full`` (or ``REPRO_FULL=1``)
 switches to the paper's exact grids.
 
@@ -43,9 +55,27 @@ import sys
 from typing import Callable, Dict, List, Optional
 
 from . import figures, tables
-from .store import OptimaStore, ResultStore
+from .store import OptimaStore, ResultStore, ensure_writable
 
-__all__ = ["main"]
+__all__ = ["main", "scenario_main"]
+
+
+def _fail(message: str) -> int:
+    """One-line diagnostic on stderr; the CLI's error exit code is 2."""
+    print(f"repro-bench: error: {message}", file=sys.stderr)
+    return 2
+
+
+def _open_store(directory: str) -> ResultStore:
+    """A validated, writable ResultStore (optima sidecar checked too).
+
+    Raises ``ValueError`` with a one-line message on an unwritable or
+    invalid path, or on corrupt/unsupported store files.
+    """
+    ensure_writable(directory)
+    store = ResultStore(directory)
+    OptimaStore(directory)  # validate the sidecar up front
+    return store
 
 _TABLE_BUILDERS: Dict[str, Callable] = {
     "table1": tables.table1,
@@ -111,10 +141,28 @@ def _emit(text: str, name: str, out_dir: Optional[str],
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    try:
+        if argv and argv[0] == "scenario":
+            return scenario_main(argv[1:])
+        return _artifact_main(argv)
+    except BrokenPipeError:
+        # Downstream pipe (e.g. `repro-bench ... | head`) closed early;
+        # suppress the traceback and exit quietly like other CLIs.
+        try:
+            sys.stdout.close()
+        except OSError:
+            pass
+        return 0
+
+
+def _artifact_main(argv: List[str]) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-bench",
         description="Regenerate the tables and figures of Kwok & Ahmad "
-                    "(IPPS 1998).",
+                    "(IPPS 1998).  The 'scenario' verbs (scenario "
+                    "list/validate/run) drive arbitrary declarative "
+                    "sweeps instead.",
     )
     parser.add_argument(
         "--artifact", default="all",
@@ -159,11 +207,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         parser.error("--resume requires --results DIR")
     full = True if args.full else None
     try:
-        store = ResultStore(args.results) if args.results else None
-        if args.results:
-            OptimaStore(args.results)  # validate the sidecar up front
+        store = _open_store(args.results) if args.results else None
     except ValueError as exc:
-        parser.error(str(exc))
+        return _fail(str(exc))
     engine = {"jobs": args.jobs, "store": store, "resume": args.resume}
 
     wanted = (
@@ -190,6 +236,110 @@ def main(argv: Optional[List[str]] = None) -> int:
                     path = os.path.join(args.out, f"{name}_{key.lower()}.csv")
                     with open(path, "w") as fh:
                         fh.write(fig.as_csv() + "\n")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# scenario verbs
+# ----------------------------------------------------------------------
+def scenario_main(argv: Optional[List[str]] = None) -> int:
+    """``repro-bench scenario {list,validate,run}``."""
+    parser = argparse.ArgumentParser(
+        prog="repro-bench scenario",
+        description="Define and sweep arbitrary scheduling scenarios "
+                    "from declarative JSON/TOML specs "
+                    "(see repro.scenarios).",
+    )
+    sub = parser.add_subparsers(dest="verb", required=True)
+
+    sub.add_parser("list", help="registered ready-made scenarios")
+
+    p_val = sub.add_parser(
+        "validate", help="schema-check a spec file or registered name")
+    p_val.add_argument("spec", help="spec file (.json/.toml) or "
+                                    "registered scenario name")
+
+    p_run = sub.add_parser(
+        "run", help="compile a spec and run it through the grid engine")
+    p_run.add_argument("spec", help="spec file (.json/.toml) or "
+                                    "registered scenario name")
+    p_run.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="worker processes (0 = one per CPU)")
+    p_run.add_argument("--results", default=None, metavar="DIR",
+                       help="ResultStore directory (default: "
+                            "results/scenarios/<name>)")
+    p_run.add_argument("--no-store", action="store_true",
+                       help="do not persist rows")
+    p_run.add_argument("--resume", action="store_true",
+                       help="reuse rows cached by previous runs")
+    p_run.add_argument("--format", default="text",
+                       choices=sorted(_EXTENSIONS), dest="fmt",
+                       metavar="{text,json,csv}",
+                       help="output format (default: text)")
+    p_run.add_argument("--out", default=None, metavar="DIR",
+                       help="also write the tables to DIR")
+    p_run.add_argument("--full", action="store_true",
+                       help="paper-scale suites for 'graphs.suite' axes")
+    args = parser.parse_args(argv)
+
+    from ..scenarios import (
+        SpecError,
+        compile_scenario,
+        get_scenario,
+        load_spec,
+        run_scenario,
+        scenario_names,
+        scenario_tables,
+    )
+
+    if args.verb == "list":
+        for name in scenario_names():
+            spec = get_scenario(name)
+            print(f"{name:20s} {spec.num_variants():3d} variant(s)  "
+                  f"{spec.description}")
+        return 0
+
+    try:
+        spec = load_spec(args.spec)
+    except SpecError as exc:
+        return _fail(str(exc))
+    except OSError as exc:
+        return _fail(f"cannot read {args.spec!r} ({exc.strerror or exc})")
+
+    if args.verb == "validate":
+        try:
+            compiled = compile_scenario(spec)
+        except SpecError as exc:
+            return _fail(str(exc))
+        graphs = sum(len(v.graphs) for v in compiled.variants)
+        print(f"OK: scenario {spec.name!r} — "
+              f"{len(compiled.variants)} variant(s), {graphs} graph(s), "
+              f"{compiled.num_cells} grid cell(s), "
+              f"algorithms: {', '.join(compiled.variants[0].algorithms)}")
+        return 0
+
+    # run
+    try:
+        compiled = compile_scenario(spec, full=True if args.full else None)
+    except SpecError as exc:
+        return _fail(str(exc))
+    store = None
+    if not args.no_store:
+        results_dir = args.results or os.path.join(
+            "results", "scenarios", spec.name)
+        try:
+            store = _open_store(results_dir)
+        except ValueError as exc:
+            return _fail(str(exc))
+    result = run_scenario(compiled, jobs=args.jobs, store=store,
+                          resume=args.resume)
+    detail, summary = scenario_tables(result)
+    _emit(_render_table(detail, args.fmt), f"scenario_{spec.name}",
+          args.out, args.fmt)
+    _emit(_render_table(summary, args.fmt),
+          f"scenario_{spec.name}_summary", args.out, args.fmt)
+    if store is not None:
+        print(f"[{len(store)} rows persisted under {store.directory}]")
     return 0
 
 

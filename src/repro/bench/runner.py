@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..algorithms import get_scheduler
 from ..core.graph import TaskGraph
@@ -38,17 +38,43 @@ APN_ALGORITHMS = ("MH", "DLS-APN", "BU", "BSA")
 
 @dataclass
 class BenchConfig:
-    """Machine-model conventions for a grid run."""
+    """Machine-model conventions for a grid run.
+
+    ``bnp_speeds`` opts BNP runs into the heterogeneous (uniform-speed)
+    machine model: a tuple of per-processor speed factors, implying a
+    bounded machine of ``len(bnp_speeds)`` processors.  The paper grid
+    never sets it; the scenario engine does.
+    """
 
     bnp_procs: Optional[int] = None  # None -> virtually unlimited (v procs)
+    bnp_speeds: Optional[Tuple[float, ...]] = None
     apn_topology: Optional[Topology] = None
     validate_schedules: bool = True
+
+    def __post_init__(self):
+        if self.bnp_speeds is not None:
+            self.bnp_speeds = tuple(float(s) for s in self.bnp_speeds)
+            if any(s <= 0 for s in self.bnp_speeds):
+                raise ValueError("bnp_speeds must all be positive")
+            if (self.bnp_procs is not None
+                    and self.bnp_procs != len(self.bnp_speeds)):
+                raise ValueError(
+                    f"bnp_procs={self.bnp_procs} disagrees with "
+                    f"{len(self.bnp_speeds)} speed factors"
+                )
+            if all(s == 1.0 for s in self.bnp_speeds):
+                # Uniform speeds are the bounded homogeneous machine;
+                # normalise so the cache key (and cells) are shared.
+                self.bnp_procs = len(self.bnp_speeds)
+                self.bnp_speeds = None
 
     def machine_for(self, name: str, graph: TaskGraph) -> Machine:
         klass = get_scheduler(name).klass
         if klass == "APN":
             topo = self.apn_topology or default_apn_topology()
             return NetworkMachine(topo)
+        if klass == "BNP" and self.bnp_speeds is not None:
+            return Machine(len(self.bnp_speeds), speeds=self.bnp_speeds)
         if klass == "UNC" or self.bnp_procs is None:
             return Machine.unbounded(graph)
         return Machine(self.bnp_procs)
@@ -61,17 +87,25 @@ class BenchConfig:
         identically, so their rows are interchangeable.  The APN
         topology is identified by its exact link set (hashed), not just
         its name — two structurally different custom topologies never
-        share a fingerprint.
+        share a fingerprint.  Heterogeneous speeds and non-unit link
+        bandwidth extend the fingerprint only when set, so the paper
+        grid's fingerprints are unchanged from earlier releases.
         """
         import hashlib
 
         topo = self.apn_topology or default_apn_topology()
         links = hashlib.sha256(repr(topo.links).encode()).hexdigest()[:12]
-        return (
+        fp = (
             f"bnp={'v' if self.bnp_procs is None else self.bnp_procs}"
             f";apn={topo.name}:{topo.num_procs}p:{links}"
             f";validate={int(self.validate_schedules)}"
         )
+        if self.bnp_speeds is not None:
+            speeds = ",".join(f"{s:g}" for s in self.bnp_speeds)
+            fp += f";speeds={speeds}"
+        if topo.bandwidth != 1.0:
+            fp += f";bw={topo.bandwidth:g}"
+        return fp
 
 
 def run_one(name: str, graph: TaskGraph,

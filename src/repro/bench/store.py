@@ -40,9 +40,31 @@ __all__ = [
     "RESULT_FIELDS",
     "result_to_dict",
     "result_from_dict",
+    "ensure_writable",
     "ResultStore",
     "OptimaStore",
 ]
+
+
+def ensure_writable(directory: str) -> None:
+    """Check that ``directory`` can host a store; raise ``ValueError``.
+
+    Creates the directory (like the first :meth:`ResultStore.save`
+    would) and probes it with a scratch file, so CLIs can turn an
+    unwritable or invalid ``--results`` path into a clean one-line
+    diagnostic instead of a traceback deep inside a grid run.
+    """
+    try:
+        os.makedirs(directory, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=directory, prefix=".probe-",
+                                   suffix=".tmp")
+        os.close(fd)
+        os.unlink(tmp)
+    except OSError as exc:
+        raise ValueError(
+            f"results path {directory!r} is not a writable directory "
+            f"({exc.strerror or exc})"
+        ) from exc
 
 SCHEMA_VERSION = 1
 

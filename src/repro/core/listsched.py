@@ -70,14 +70,28 @@ def candidate_procs(schedule: Schedule) -> List[int]:
     "virtually unlimited number of processors" BNP runs (Section 6.4.2)
     at ``O(used)`` instead of ``O(p)`` per decision without changing any
     scheduling outcome.
+
+    Under the heterogeneous speed model empty processors are *not*
+    interchangeable, so the shortlist instead adds the first idle
+    processor of each distinct speed.
     """
     procs = schedule.used_proc_ids()
     if len(procs) < schedule.num_procs:
         used = set(procs)
-        for p in range(schedule.num_procs):
-            if p not in used:
-                procs.append(p)
-                break
+        if schedule.speeds is None:
+            for p in range(schedule.num_procs):
+                if p not in used:
+                    procs.append(p)
+                    break
+        else:
+            seen_speeds = set()
+            for p in range(schedule.num_procs):
+                if p in used:
+                    continue
+                speed = schedule.speeds[p]
+                if speed not in seen_speeds:
+                    seen_speeds.add(speed)
+                    procs.append(p)
         procs.sort()  # preserve exact lowest-id tie-breaking
     return procs
 
@@ -86,7 +100,8 @@ def est_on_proc(schedule: Schedule, node: int, proc: int,
                 insertion: bool) -> float:
     """Earliest start of ``node`` on ``proc`` in the clique model."""
     drt = schedule.data_ready_time(node, proc)
-    return schedule.earliest_slot(proc, drt, schedule.graph.weight(node),
+    return schedule.earliest_slot(proc, drt,
+                                  schedule.duration_of(node, proc),
                                   insertion=insertion)
 
 
@@ -96,7 +111,18 @@ def best_proc_min_est(schedule: Schedule, node: int,
 
     Ties break toward the lowest processor id (deterministic, and keeps
     the processors-used count honest for Figure 3).
+
+    On a heterogeneous schedule the start alone is a bad criterion — a
+    slow processor can offer the earliest start but the latest finish —
+    so the choice generalises to minimum *finish* time (the standard
+    related-machines generalisation of list scheduling, cf. HEFT).  On
+    the paper's homogeneous machines the duration is the same on every
+    processor, so both disciplines pick the same processor and this is
+    exactly min-EST.
     """
+    if schedule.speeds is not None:
+        p, _finish = best_proc_min_eft(schedule, node, insertion)
+        return p, est_on_proc(schedule, node, p, insertion)
     best_p, best_t = 0, float("inf")
     for p in candidate_procs(schedule):
         t = est_on_proc(schedule, node, p, insertion)
@@ -107,7 +133,16 @@ def best_proc_min_est(schedule: Schedule, node: int,
 
 def best_proc_min_eft(schedule: Schedule, node: int,
                       insertion: bool) -> Tuple[int, float]:
-    """Processor minimising the *finish* time (same as EST for uniform
-    processors, kept separate for clarity at call sites)."""
-    p, t = best_proc_min_est(schedule, node, insertion)
-    return p, t + schedule.graph.weight(node)
+    """Processor minimising the *finish* time.
+
+    Equivalent to :func:`best_proc_min_est` on uniform processors; under
+    heterogeneous speeds a slower processor may offer the earlier start
+    but the later finish, so the finish is minimised explicitly.
+    """
+    best_p, best_f = 0, float("inf")
+    for p in candidate_procs(schedule):
+        t = est_on_proc(schedule, node, p, insertion)
+        f = t + schedule.duration_of(node, p)
+        if f < best_f - 1e-12:
+            best_p, best_f = p, f
+    return best_p, best_f

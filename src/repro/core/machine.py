@@ -11,18 +11,48 @@ abstractions:
 * **APN** — an arbitrary processor network whose links are *not*
   contention-free; messages must be scheduled onto links hop by hop
   (:class:`NetworkMachine`, built on :mod:`repro.network`).
+
+Beyond the paper's homogeneous machines, :class:`Machine` optionally
+carries per-processor *speed factors* (the uniform/related-machines
+model): a task of weight ``w`` executes for ``w / speed[p]`` on
+processor ``p``.  The paper grid never sets speeds; the scenario engine
+(:mod:`repro.scenarios`) uses them for heterogeneous sweeps.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Optional, Sequence, Tuple
 
 from .exceptions import MachineError
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..network.topology import Topology
 
-__all__ = ["Machine", "NetworkMachine"]
+__all__ = ["Machine", "NetworkMachine", "normalized_speeds"]
+
+
+def normalized_speeds(speeds: Optional[Sequence[float]], num_procs: int,
+                      error: type = MachineError
+                      ) -> Optional[Tuple[float, ...]]:
+    """Canonical per-processor speed factors, or ``None`` when uniform.
+
+    Shared by :class:`Machine` and :class:`~repro.core.schedule.Schedule`
+    so the two can never disagree on what counts as heterogeneous:
+    length must match ``num_procs``, every factor must be positive, and
+    an all-ones profile normalises to ``None`` (the homogeneous model).
+    ``error`` is the exception class to raise on violations.
+    """
+    if speeds is None:
+        return None
+    speeds = tuple(float(s) for s in speeds)
+    if len(speeds) != num_procs:
+        raise error(
+            f"{len(speeds)} speed factors for {num_procs} processors")
+    if any(s <= 0 for s in speeds):
+        raise error("processor speeds must be positive")
+    if all(s == 1.0 for s in speeds):
+        return None
+    return speeds
 
 
 class Machine:
@@ -32,14 +62,20 @@ class Machine:
     ----------
     num_procs:
         Number of processors available to the scheduler (``p``).
+    speeds:
+        Optional per-processor speed factors (length ``num_procs``, all
+        positive).  ``None`` — and an all-ones sequence, which is
+        normalised to ``None`` — means the paper's homogeneous machine.
     """
 
     contention_aware = False
 
-    def __init__(self, num_procs: int):
+    def __init__(self, num_procs: int,
+                 speeds: Optional[Sequence[float]] = None):
         if num_procs < 1:
             raise MachineError("a machine needs at least one processor")
         self.num_procs = int(num_procs)
+        self.speeds = normalized_speeds(speeds, self.num_procs)
 
     @classmethod
     def unbounded(cls, graph_or_size) -> "Machine":
@@ -51,11 +87,24 @@ class Machine:
         size = getattr(graph_or_size, "num_nodes", graph_or_size)
         return cls(int(size))
 
+    @property
+    def is_heterogeneous(self) -> bool:
+        return self.speeds is not None
+
+    def exec_time(self, weight: float, proc: int) -> float:
+        """Execution time of a task of ``weight`` on processor ``proc``."""
+        if self.speeds is None:
+            return weight
+        return weight / self.speeds[proc]
+
     def comm_delay(self, src: int, dst: int, cost: float) -> float:
         """Message delay between processors in the clique model."""
         return 0.0 if src == dst else cost
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        if self.speeds is not None:
+            return (f"Machine(num_procs={self.num_procs}, "
+                    f"speeds={list(self.speeds)})")
         return f"Machine(num_procs={self.num_procs})"
 
 
@@ -74,10 +123,16 @@ class NetworkMachine(Machine):
         self.topology = topology
 
     def comm_delay(self, src: int, dst: int, cost: float) -> float:
-        """Contention-free lower bound: per-hop store-and-forward delay."""
+        """Contention-free lower bound: per-hop store-and-forward delay.
+
+        Each hop transfers the message in ``cost / bandwidth`` time (the
+        topology's links all share one bandwidth factor; 1.0 reproduces
+        the paper's model).
+        """
         if src == dst:
             return 0.0
-        return cost * self.topology.hop_count(src, dst)
+        return (self.topology.transfer_time(cost)
+                * self.topology.hop_count(src, dst))
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"NetworkMachine({self.topology!r})"

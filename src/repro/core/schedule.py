@@ -64,13 +64,23 @@ class Schedule:
         The task graph being scheduled.
     num_procs:
         Number of processor timelines to maintain.
+    speeds:
+        Optional per-processor speed factors (the heterogeneous machine
+        model): a task of weight ``w`` runs for ``w / speeds[p]`` on
+        processor ``p``.  ``None`` (or all ones) is the paper's
+        homogeneous model, where durations equal weights.
     """
 
-    def __init__(self, graph: TaskGraph, num_procs: int):
+    def __init__(self, graph: TaskGraph, num_procs: int,
+                 speeds=None):
         if num_procs < 1:
             raise ScheduleError("schedule needs at least one processor")
+        from .machine import normalized_speeds
+
         self.graph = graph
         self.num_procs = int(num_procs)
+        self.speeds = normalized_speeds(speeds, self.num_procs,
+                                        error=ScheduleError)
         self._placements: Dict[int, Placement] = {}
         # Per processor: parallel sorted lists of start times, finish
         # times, and node ids.  bisect keeps slot search O(log k).
@@ -108,6 +118,13 @@ class Schedule:
         """Finish time of the last task on ``proc`` (0 when idle)."""
         fins = self._finishes[proc]
         return fins[-1] if fins else 0.0
+
+    def duration_of(self, node: int, proc: int) -> float:
+        """Execution time of ``node`` on ``proc`` under the speed model."""
+        w = self.graph.weight(node)
+        if self.speeds is None:
+            return w
+        return w / self.speeds[proc]
 
     @property
     def num_scheduled(self) -> int:
@@ -174,7 +191,7 @@ class Schedule:
             raise ScheduleError(f"processor {proc} out of range")
         if start < -_EPS:
             raise ScheduleError(f"negative start time {start} for node {node}")
-        dur = self.graph.weight(node)
+        dur = self.duration_of(node, proc)
         finish = start + dur
         starts, fins, nodes = (
             self._starts[proc],
@@ -275,9 +292,11 @@ def validate(schedule: Schedule, *, network=None) -> None:
         for pl in schedule.tasks_on(proc):
             if pl.start < -_EPS:
                 raise ScheduleError(f"node {pl.node} starts before time 0")
-            if abs((pl.finish - pl.start) - g.weight(pl.node)) > 1e-6:
+            if abs((pl.finish - pl.start)
+                   - schedule.duration_of(pl.node, proc)) > 1e-6:
                 raise ScheduleError(
-                    f"node {pl.node} duration does not match its weight"
+                    f"node {pl.node} duration does not match its weight "
+                    "under the processor's speed"
                 )
             if pl.start < prev_finish - _EPS:
                 raise ScheduleError(
@@ -314,6 +333,7 @@ def validate(schedule: Schedule, *, network=None) -> None:
 
 def _check_message(msg: Message, pu, pv, cost: float, network) -> None:
     """Validate one message's route and hop reservations."""
+    hop_time = network.transfer_time(cost)
     route = msg.route
     if route[0] != pu.proc or route[-1] != pv.proc:
         raise ScheduleError(
@@ -337,10 +357,10 @@ def _check_message(msg: Message, pu, pv, cost: float, network) -> None:
                 f"message ({msg.src}, {msg.dst}) hop on {link} starts "
                 "before the data reaches the sending node"
             )
-        if abs((finish - start) - cost) > 1e-6:
+        if abs((finish - start) - hop_time) > 1e-6:
             raise ScheduleError(
                 f"message ({msg.src}, {msg.dst}) hop on {link} does not "
-                "occupy the link for the edge cost"
+                "occupy the link for the edge cost over the link bandwidth"
             )
         prev_free = finish
     if abs(msg.arrival - prev_free) > 1e-6:

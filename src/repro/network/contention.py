@@ -5,8 +5,9 @@ schedule messages on the network communication links".  We implement the
 store-and-forward model used by MH and BSA:
 
 * a message for edge ``(u, v)`` with communication cost ``c`` occupies
-  each directed channel along its route for ``c`` time units, one hop
-  after another;
+  each directed channel along its route for ``c / bandwidth`` time
+  units (the topology's shared link bandwidth, 1.0 in the paper's
+  model), one hop after another;
 * a directed channel carries one message at a time;
 * hop reservations may be inserted into idle windows of a channel
   (insertion discipline, mirroring task insertion on processors).
@@ -91,11 +92,12 @@ class LinkSchedule:
         """Plan per-hop reservations without committing them."""
         hops: List[Hop] = []
         avail = ready
+        duration = self.topology.transfer_time(cost)
         for a, b in zip(route, route[1:]):
             tl = self._timelines[(a, b)]
-            start = tl.earliest(avail, cost)
-            hops.append(((a, b), start, start + cost))
-            avail = start + cost
+            start = tl.earliest(avail, duration)
+            hops.append(((a, b), start, start + duration))
+            avail = start + duration
         return hops, avail
 
     def probe_arrival(self, src: int, dst: int, ready: float,
@@ -123,8 +125,9 @@ class LinkSchedule:
                            else self.topology.route(src, dst), [], ready)
         route = self.topology.route(src, dst)
         hops, arrival = self._plan_hops(route, ready, cost)
+        duration = self.topology.transfer_time(cost)
         for (ch, start, _finish) in hops:
-            self._timelines[ch].reserve(start, cost)
+            self._timelines[ch].reserve(start, duration)
         return Message(edge_src_node, edge_dst_node, route, hops, arrival)
 
     def release(self, msg: Message) -> None:

@@ -33,14 +33,22 @@ class Topology:
         Iterable of undirected links ``(a, b)``.
     name:
         Identifier used in reports.
+    bandwidth:
+        Relative link bandwidth shared by every link: one hop of a
+        message of cost ``c`` occupies its channel for ``c / bandwidth``
+        time units.  ``1.0`` (default) is the paper's model; the
+        scenario engine sweeps it for bandwidth studies.
     """
 
     def __init__(self, num_procs: int, links: Iterable[Tuple[int, int]],
-                 name: str = "topology"):
+                 name: str = "topology", bandwidth: float = 1.0):
         if num_procs < 1:
             raise MachineError("topology needs at least one processor")
+        if not bandwidth > 0:
+            raise MachineError("link bandwidth must be positive")
         self.num_procs = int(num_procs)
         self.name = name
+        self.bandwidth = float(bandwidth)
         adj: List[set] = [set() for _ in range(self.num_procs)]
         link_set = set()
         for a, b in links:
@@ -95,6 +103,15 @@ class Topology:
             out.append((a, b))
             out.append((b, a))
         return out
+
+    def transfer_time(self, cost: float) -> float:
+        """Time one hop of a message of ``cost`` occupies its channel."""
+        return cost / self.bandwidth
+
+    def with_bandwidth(self, bandwidth: float) -> "Topology":
+        """A copy of this topology whose links run at ``bandwidth``."""
+        return Topology(self.num_procs, self.links, name=self.name,
+                        bandwidth=bandwidth)
 
     # ------------------------------------------------------------------
     # routing (deterministic shortest paths)
@@ -226,4 +243,6 @@ class Topology:
         return cls(num_procs, links, name=f"random-{num_procs}-s{seed}")
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        return f"Topology({self.name!r}, p={self.num_procs}, links={self.num_links})"
+        bw = "" if self.bandwidth == 1.0 else f", bw={self.bandwidth:g}"
+        return (f"Topology({self.name!r}, p={self.num_procs}, "
+                f"links={self.num_links}{bw})")

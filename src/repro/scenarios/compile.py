@@ -1,0 +1,313 @@
+"""Compiling scenario specs down to the parallel grid engine.
+
+A validated :class:`~repro.scenarios.spec.ScenarioSpec` lowers to a
+list of :class:`Variant` objects — one per sweep point — each carrying
+the concrete graphs, the :class:`~repro.bench.runner.BenchConfig` and
+the algorithm names for one ``run_grid`` call.  Running a compiled
+scenario therefore inherits everything the PR-1 engine provides:
+``jobs`` fans cells over worker processes, a
+:class:`~repro.bench.store.ResultStore` persists rows keyed by the
+config fingerprint, and ``resume`` replays cached cells verbatim.
+
+Everything here is deterministic: graphs come from seeded generators,
+variants enumerate the sweep's cartesian product in axis order, and
+rows keep the engine's serial order — compiling the same spec twice
+yields cell-for-cell identical grids.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from ..bench.runner import BenchConfig
+from ..bench.tables import Table
+from ..core.graph import TaskGraph
+from ..metrics.measures import RunResult
+from ..network.topology import Topology
+from .spec import (
+    ScenarioSpec,
+    SpecError,
+    expand_algorithms,
+    sweep_points,
+    validate_spec,
+    variant_document,
+)
+
+__all__ = [
+    "Variant",
+    "CompiledScenario",
+    "ScenarioResult",
+    "compile_scenario",
+    "run_scenario",
+    "scenario_tables",
+]
+
+
+# ----------------------------------------------------------------------
+# graph building
+# ----------------------------------------------------------------------
+def _build_graphs(graphs: Mapping, full: Optional[bool]
+                  ) -> Tuple[List[TaskGraph], Optional[Dict[str, float]]]:
+    """Materialise the graph axis; returns (graphs, constructed optima)."""
+    from ..bench import suites
+    from ..generators.random_graphs import rgbos_graph, rgnos_graph
+    from ..generators.rgpos import rgpos_instance
+    from ..generators.traced import cholesky_graph
+
+    optima: Optional[Dict[str, float]] = None
+    if "suite" in graphs:
+        out = suites.get_suite(graphs["suite"],
+                               full=graphs.get("full", full))
+    else:
+        gen = graphs["generator"]
+        seed = int(graphs.get("seed", 0))
+        out = []
+        if gen == "rgnos":
+            for v in graphs["sizes"]:
+                for ccr in graphs["ccrs"]:
+                    for par in graphs["parallelisms"]:
+                        out.append(rgnos_graph(
+                            v, ccr, par,
+                            seed=seed + 10_000 * int(10 * ccr)
+                            + 100 * par + v))
+        elif gen == "rgbos":
+            for v in graphs["sizes"]:
+                for ccr in graphs["ccrs"]:
+                    out.append(rgbos_graph(
+                        v, ccr, seed=seed + 1000 * int(10 * ccr) + v))
+        elif gen == "rgpos":
+            num_procs = int(graphs.get("procs", 8))
+            optima = {}
+            for v in graphs["sizes"]:
+                for ccr in graphs["ccrs"]:
+                    inst = rgpos_instance(
+                        v, ccr, num_procs=num_procs,
+                        seed=seed + 2000 * int(10 * ccr) + v,
+                        chain_processors=1,
+                        extra_edge_factor=0.6 * v)
+                    out.append(inst.graph)
+                    optima[inst.graph.name] = inst.optimal_length
+        elif gen == "cholesky":
+            ccr = float(graphs.get("ccr", 1.0))
+            out = [cholesky_graph(n, ccr=ccr) for n in graphs["dims"]]
+        else:  # pragma: no cover - schema rejects unknown generators
+            raise SpecError("graphs.generator", f"unhandled {gen!r}")
+    limit = graphs.get("limit")
+    if limit is not None:
+        out = out[:limit]
+        if optima is not None:
+            keep = {g.name for g in out}
+            optima = {k: v for k, v in optima.items() if k in keep}
+    return out, optima
+
+
+# ----------------------------------------------------------------------
+# machine building
+# ----------------------------------------------------------------------
+def _build_topology(apn: Mapping) -> Topology:
+    kind = apn["kind"]
+    if kind == "hypercube":
+        topo = Topology.hypercube(apn["dim"])
+    elif kind == "ring":
+        topo = Topology.ring(apn["procs"])
+    elif kind == "chain":
+        topo = Topology.chain(apn["procs"])
+    elif kind == "star":
+        topo = Topology.star(apn["procs"])
+    elif kind == "clique":
+        topo = Topology.clique(apn["procs"])
+    elif kind == "mesh2d":
+        topo = Topology.mesh2d(apn["rows"], apn["cols"])
+    else:  # random
+        topo = Topology.random_connected(
+            apn["procs"], extra_links=apn.get("extra_links", 0),
+            seed=apn.get("seed", 0))
+    bandwidth = apn.get("bandwidth", 1.0)
+    if bandwidth != 1.0:
+        topo = topo.with_bandwidth(bandwidth)
+    return topo
+
+
+def _build_config(machine: Mapping) -> BenchConfig:
+    procs = machine.get("bnp_procs")
+    speeds = machine.get("bnp_speeds")
+    return BenchConfig(
+        bnp_procs=None if procs in (None, "unbounded") else int(procs),
+        bnp_speeds=tuple(speeds) if speeds else None,
+        apn_topology=(_build_topology(machine["apn"])
+                      if "apn" in machine else None),
+        validate_schedules=machine.get("validate", True),
+    )
+
+
+# ----------------------------------------------------------------------
+# compiled form
+# ----------------------------------------------------------------------
+@dataclass
+class Variant:
+    """One sweep point, ready for a ``run_grid`` call."""
+
+    label: str
+    overrides: Dict[str, object]
+    graphs: List[TaskGraph]
+    config: BenchConfig
+    algorithms: Tuple[str, ...]
+    optima: Optional[Dict[str, float]] = None
+
+    @property
+    def num_cells(self) -> int:
+        return len(self.graphs) * len(self.algorithms)
+
+
+@dataclass
+class CompiledScenario:
+    """A spec lowered to grid-engine variants."""
+
+    spec: ScenarioSpec
+    variants: List[Variant]
+
+    @property
+    def num_cells(self) -> int:
+        return sum(v.num_cells for v in self.variants)
+
+
+def _variant_label(overrides: Mapping[str, object]) -> str:
+    if not overrides:
+        return "base"
+    parts = []
+    for path, value in overrides.items():
+        leaf = path.split(".")[-1]
+        parts.append(f"{leaf}={json.dumps(value, separators=(',', ':'))}"
+                     if isinstance(value, (dict, list))
+                     else f"{leaf}={value}")
+    return ",".join(parts)
+
+
+def compile_scenario(spec: ScenarioSpec,
+                     full: Optional[bool] = None) -> CompiledScenario:
+    """Lower a validated spec to concrete grid-engine variants.
+
+    ``full`` is the CLI's scale flag; it only affects ``graphs.suite``
+    axes that do not pin their own ``full`` value.  Compilation is
+    deterministic — same spec, same variants, same graphs.
+    """
+    variants: List[Variant] = []
+    for overrides in sweep_points(spec):
+        doc = variant_document(spec, overrides)
+        sub = validate_spec(doc)
+        graphs, optima = _build_graphs(sub.graphs, full)
+        if not graphs:
+            raise SpecError("graphs", "selection produced no graphs")
+        variants.append(Variant(
+            label=_variant_label(overrides),
+            overrides=dict(overrides),
+            graphs=graphs,
+            config=_build_config(sub.machine),
+            algorithms=expand_algorithms(sub.algorithms),
+            optima=optima,
+        ))
+    return CompiledScenario(spec=spec, variants=variants)
+
+
+# ----------------------------------------------------------------------
+# running
+# ----------------------------------------------------------------------
+@dataclass
+class ScenarioResult:
+    """Rows of every variant of one scenario run."""
+
+    compiled: CompiledScenario
+    rows: List[Tuple[Variant, List[RunResult]]] = field(
+        default_factory=list)
+
+    @property
+    def spec(self) -> ScenarioSpec:
+        return self.compiled.spec
+
+
+def run_scenario(compiled: CompiledScenario,
+                 jobs: Optional[int] = None,
+                 store=None,
+                 resume: bool = False) -> ScenarioResult:
+    """Run every variant through the grid engine, in variant order.
+
+    All variants share one store: their config fingerprints (and graph
+    names) keep the cache keys apart, and variants that happen to agree
+    on a cell reuse each other's rows under ``resume``.
+    """
+    from ..bench.runner import run_grid
+
+    result = ScenarioResult(compiled)
+    for variant in compiled.variants:
+        rows = run_grid(
+            list(variant.algorithms), variant.graphs,
+            config=variant.config, optima=variant.optima,
+            jobs=jobs, store=store, resume=resume,
+        )
+        result.rows.append((variant, rows))
+    return result
+
+
+# ----------------------------------------------------------------------
+# rendering
+# ----------------------------------------------------------------------
+def _metric_cell(row: RunResult, metric: str) -> str:
+    value = getattr(row, "degradation" if metric == "degradation"
+                    else metric)
+    if value is None:
+        return "-"
+    if metric == "procs_used":
+        return str(value)
+    if metric == "runtime_s":
+        return f"{value:.4f}"
+    return f"{value:.3f}" if metric != "length" else f"{value:g}"
+
+
+def scenario_tables(result: ScenarioResult) -> Tuple[Table, Table]:
+    """Render a run as (per-cell detail, per-variant summary) tables."""
+    spec = result.spec
+    metrics = list(spec.metrics)
+
+    detail_rows: List[List[str]] = []
+    for variant, rows in result.rows:
+        for row in rows:
+            detail_rows.append(
+                [variant.label, row.graph, str(row.num_nodes),
+                 row.algorithm]
+                + [_metric_cell(row, m) for m in metrics]
+            )
+    detail = Table(
+        f"scenario:{spec.name}",
+        spec.description or f"Scenario {spec.name}",
+        ["variant", "graph", "v", "algorithm"] + metrics,
+        detail_rows,
+    )
+
+    summary_rows: List[List[str]] = []
+    for variant, rows in result.rows:
+        per_alg: Dict[str, List[RunResult]] = {}
+        for row in rows:
+            per_alg.setdefault(row.algorithm, []).append(row)
+        for alg in variant.algorithms:
+            cells = per_alg.get(alg, [])
+            line = [variant.label, alg, str(len(cells))]
+            for metric in metrics:
+                values = []
+                for row in cells:
+                    v = (row.degradation if metric == "degradation"
+                         else getattr(row, metric))
+                    if v is not None:
+                        values.append(float(v))
+                line.append(f"{sum(values) / len(values):.3f}"
+                            if values else "-")
+            summary_rows.append(line)
+    summary = Table(
+        f"scenario:{spec.name}:summary",
+        f"Per-variant means over {len(result.rows)} variant(s)",
+        ["variant", "algorithm", "cells"] + [f"mean {m}" for m in metrics],
+        summary_rows,
+        notes=[f"variant axes: {', '.join(spec.sweep) or '(none)'}"],
+    )
+    return detail, summary

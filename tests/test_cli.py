@@ -92,3 +92,100 @@ class TestEngineFlags:
     def test_resume_requires_results(self):
         with pytest.raises(SystemExit):
             main(["--artifact", "table1", "--resume"])
+
+    def test_unwritable_results_path_exits_2_with_diagnostic(self, capsys):
+        """No traceback: a clean one-line error and exit code 2."""
+        assert main(["--artifact", "table1",
+                     "--results", "/dev/null/nope"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("repro-bench: error:")
+        assert "/dev/null/nope" in err
+        assert len(err.strip().splitlines()) == 1
+
+    def test_results_path_over_file_exits_2(self, tmp_path, capsys):
+        target = tmp_path / "plain-file"
+        target.write_text("not a directory")
+        assert main(["--artifact", "table1",
+                     "--results", str(target)]) == 2
+        assert "repro-bench: error:" in capsys.readouterr().err
+
+    def test_corrupt_store_exits_2(self, tmp_path, capsys):
+        (tmp_path / "results.json").write_text("{broken")
+        assert main(["--artifact", "table1",
+                     "--results", str(tmp_path)]) == 2
+        assert "not valid JSON" in capsys.readouterr().err
+
+
+SCENARIO_SPEC = os.path.join(
+    os.path.dirname(__file__), "..", "examples", "scenario_hetero.json")
+
+
+class TestScenarioCLI:
+    def test_list(self, capsys):
+        assert main(["scenario", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "hetero-speeds" in out
+        assert "nightly-grid" in out
+
+    def test_validate_registry_name(self, capsys):
+        assert main(["scenario", "validate", "hetero-speeds"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("OK:")
+        assert "4 variant(s)" in out
+
+    def test_validate_example_files(self, capsys):
+        assert main(["scenario", "validate", SCENARIO_SPEC]) == 0
+        toml_spec = SCENARIO_SPEC.replace("scenario_hetero.json",
+                                          "scenario_bandwidth.toml")
+        assert main(["scenario", "validate", toml_spec]) == 0
+
+    def test_validate_bad_spec_exits_2(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"name": "x", "algorithms": ["MCP"],
+                                    "graphs": {"suite": "nope"}}))
+        assert main(["scenario", "validate", str(path)]) == 2
+        assert "graphs.suite" in capsys.readouterr().err
+
+    def test_unknown_scenario_exits_2(self, capsys):
+        assert main(["scenario", "run", "no-such-scenario"]) == 2
+        assert "registered" in capsys.readouterr().err
+
+    def test_run_persists_and_resume_replays_identically(
+            self, tmp_path, capsys, monkeypatch):
+        res_dir = tmp_path / "store"
+        argv = ["scenario", "run", SCENARIO_SPEC, "--jobs", "2",
+                "--results", str(res_dir)]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "scenario:example-hetero" in first
+        assert len(ResultStore(str(res_dir))) == 24
+
+        from repro.bench import runner as runner_mod
+
+        def boom(*args, **kwargs):
+            raise AssertionError("cell re-scheduled despite --resume")
+
+        monkeypatch.setattr(runner_mod, "run_one", boom)
+        assert main(argv + ["--resume"]) == 0
+        assert capsys.readouterr().out == first
+
+    def test_run_default_store_location(self, tmp_path, capsys,
+                                        monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(["scenario", "run", SCENARIO_SPEC]) == 0
+        store_dir = tmp_path / "results" / "scenarios" / "example-hetero"
+        assert (store_dir / "results.json").exists()
+
+    def test_run_out_and_format(self, tmp_path, capsys):
+        out_dir = tmp_path / "out"
+        assert main(["scenario", "run", SCENARIO_SPEC, "--no-store",
+                     "--format", "json", "--out", str(out_dir)]) == 0
+        doc = json.loads(
+            (out_dir / "scenario_example-hetero.json").read_text())
+        assert doc["id"] == "scenario:example-hetero"
+        assert (out_dir / "scenario_example-hetero_summary.json").exists()
+
+    def test_run_unwritable_results_exits_2(self, capsys):
+        assert main(["scenario", "run", SCENARIO_SPEC,
+                     "--results", "/dev/null/x"]) == 2
+        assert "repro-bench: error:" in capsys.readouterr().err

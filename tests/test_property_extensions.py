@@ -40,9 +40,28 @@ class TestDuplicationProperties:
 
     @given(g=task_graphs(max_nodes=10))
     @SLOW
-    def test_dsh_no_worse_than_serial(self, g):
+    def test_dsh_bounded_by_serial_plus_messages(self, g):
+        """Greedy min-EST list scheduling (duplication included) is NOT
+        guaranteed to beat serial execution — communication anomalies
+        can make spreading out lose to one processor (e.g. 4 unit tasks
+        with edges {(0,2):3, (1,2):1, (1,3):3, (2,3):1} schedule to 5 >
+        4).  What does hold is the loose bound: every start waits on at
+        most the work and messages already committed."""
         sched = dsh_schedule(g, 2)
-        assert sched.length <= g.total_computation + 1e-6
+        bound = g.total_computation + g.total_communication
+        assert sched.length <= bound + 1e-6
+
+    def test_dsh_serial_anomaly_is_real_and_small(self):
+        """The known counterexample to 'DSH <= serial': keep it pinned
+        so the bound above is not accidentally weakened to hide it."""
+        from repro import TaskGraph
+
+        g = TaskGraph([1.0] * 4,
+                      {(0, 2): 3.0, (1, 2): 1.0, (1, 3): 3.0,
+                       (2, 3): 1.0}, name="dsh-anomaly")
+        sched = dsh_schedule(g, 2)
+        validate_duplication(sched)
+        assert sched.length == 5.0  # > total computation of 4
 
 
 class TestClusterSchedulingProperties:

@@ -1,0 +1,435 @@
+"""Tests for the declarative scenario engine (repro.scenarios).
+
+Covers the spec schema (round-trip, actionable error messages), the
+registry (every scenario compiles to a non-empty deterministic grid —
+property-tested), compilation to the grid engine (variants, sweeps,
+machine building) and the new machine axes the engine exposes
+(heterogeneous speeds, link bandwidth).
+"""
+
+import json
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.bench.runner import BenchConfig, run_grid, run_one
+from repro.core.exceptions import MachineError, ScheduleError
+from repro.core.machine import Machine, NetworkMachine
+from repro.core.schedule import Schedule, validate
+from repro.generators.random_graphs import rgnos_graph
+from repro.network.contention import LinkSchedule
+from repro.network.topology import Topology
+from repro.scenarios import (
+    SCENARIOS,
+    ScenarioSpec,
+    SpecError,
+    compile_scenario,
+    get_scenario,
+    load_spec,
+    run_scenario,
+    scenario_names,
+    scenario_tables,
+    validate_spec,
+)
+
+MINIMAL = {
+    "name": "t",
+    "graphs": {"generator": "rgbos", "sizes": [10], "ccrs": [1.0]},
+    "algorithms": ["MCP"],
+}
+
+
+def spec_of(**overrides) -> dict:
+    doc = json.loads(json.dumps(MINIMAL))
+    doc.update(overrides)
+    return doc
+
+
+# ----------------------------------------------------------------------
+# schema: round-trip and canonicalisation
+# ----------------------------------------------------------------------
+class TestSpecRoundTrip:
+    def test_dict_spec_dict(self):
+        spec = validate_spec(spec_of())
+        doc = spec.to_dict()
+        again = validate_spec(doc)
+        assert again.to_dict() == doc
+        assert again == spec
+
+    def test_round_trip_preserves_all_fields(self):
+        doc = {
+            "name": "full-doc",
+            "description": "everything set",
+            "graphs": {"generator": "rgnos", "sizes": [20, 30],
+                       "ccrs": [0.5], "parallelisms": [2], "seed": 3},
+            "algorithms": ["MCP", {"class": "UNC"}],
+            "machine": {"bnp_procs": 4,
+                        "apn": {"kind": "ring", "procs": 4,
+                                "bandwidth": 2.0}},
+            "metrics": ["length", "nsl"],
+            "sweep": {"machine.bnp_procs": [2, 4]},
+        }
+        spec = validate_spec(doc)
+        out = spec.to_dict()
+        assert out["description"] == "everything set"
+        assert out["graphs"] == doc["graphs"]
+        assert out["machine"]["apn"]["bandwidth"] == 2.0
+        assert out["sweep"] == {"machine.bnp_procs": [2, 4]}
+        assert validate_spec(out).to_dict() == out
+
+    def test_registry_documents_round_trip(self):
+        for name in scenario_names():
+            spec = get_scenario(name)
+            assert validate_spec(spec.to_dict()) == spec
+
+    def test_algorithm_selectors_expand(self):
+        spec = validate_spec(spec_of(algorithms=["DCP", {"class": "BNP"}]))
+        names = spec.algorithm_names
+        assert names[0] == "DCP"
+        assert set(names[1:]) == {"HLFET", "ISH", "MCP", "ETF", "DLS",
+                                  "LAST"}
+        assert len(names) == len(set(names))
+
+
+# ----------------------------------------------------------------------
+# schema: violations carry actionable, dotted-path messages
+# ----------------------------------------------------------------------
+class TestSpecErrors:
+    @pytest.mark.parametrize("mutate,needle", [
+        (lambda d: d.pop("name"), "name"),
+        (lambda d: d.update(name="bad name!"), "name"),
+        (lambda d: d.pop("graphs"), "graphs"),
+        (lambda d: d.pop("algorithms"), "algorithms"),
+        (lambda d: d.update(algorithms=[]), "algorithms"),
+        (lambda d: d.update(algorithms=["NOPE"]), "algorithms[0]"),
+        (lambda d: d.update(algorithms=[{"class": "XXX"}]),
+         "algorithms[0].class"),
+        (lambda d: d.update(metrics=["nope"]), "metrics[0]"),
+        (lambda d: d.update(graphs={"suite": "nope"}), "graphs.suite"),
+        (lambda d: d.update(graphs={"suite": "psg", "generator": "rgnos"}),
+         "graphs"),
+        (lambda d: d.update(graphs={"generator": "rgbos",
+                                    "ccrs": [1.0]}), "graphs.sizes"),
+        (lambda d: d.update(graphs={"generator": "rgbos", "sizes": [10],
+                                    "ccrs": [-1.0]}), "graphs.ccrs[0]"),
+        (lambda d: d.update(graphs={"generator": "rgbos", "sizes": [10],
+                                    "ccrs": [1.0], "bogus": 1}), "bogus"),
+        (lambda d: d.update(machine={"bnp_procs": 0}),
+         "machine.bnp_procs"),
+        (lambda d: d.update(machine={"bnp_speeds": [1.0, -2.0]}),
+         "machine.bnp_speeds[1]"),
+        (lambda d: d.update(machine={"bnp_procs": 3,
+                                     "bnp_speeds": [1, 1]}),
+         "machine.bnp_speeds"),
+        (lambda d: d.update(machine={"apn": {"kind": "warp"}}),
+         "machine.apn.kind"),
+        (lambda d: d.update(machine={"apn": {"kind": "ring"}}),
+         "machine.apn.procs"),
+        (lambda d: d.update(machine={"apn": {"kind": "hypercube",
+                                             "dim": 3,
+                                             "bandwidth": 0}}),
+         "machine.apn.bandwidth"),
+        (lambda d: d.update(sweep={"nope.path": [1]}), "sweep"),
+        (lambda d: d.update(sweep={"machine.bnp_procs": []}), "sweep"),
+        (lambda d: d.update(unknown_key=1), "unknown_key"),
+    ])
+    def test_violation_names_the_field(self, mutate, needle):
+        doc = spec_of()
+        mutate(doc)
+        with pytest.raises(SpecError) as err:
+            validate_spec(doc)
+        assert needle in str(err.value)
+
+    def test_bad_sweep_variant_reported_with_point(self):
+        doc = spec_of(sweep={"machine.bnp_procs": [2, -1]})
+        with pytest.raises(SpecError, match="variant.*bnp_procs"):
+            validate_spec(doc)
+
+    def test_unbounded_procs_with_speeds_rejected(self):
+        """Speeds imply a bounded machine; asking for 'unbounded' too
+        must be an error, not a silent bounded run."""
+        doc = spec_of(machine={"bnp_procs": "unbounded",
+                               "bnp_speeds": [2, 1]})
+        with pytest.raises(SpecError, match="contradicts"):
+            validate_spec(doc)
+
+    def test_speeds_require_bnp_algorithms(self):
+        doc = spec_of(algorithms=["MCP", "DCP"],
+                      machine={"bnp_speeds": [2, 1]})
+        with pytest.raises(SpecError, match="DCP"):
+            validate_spec(doc)
+
+    def test_load_spec_unknown_name(self):
+        with pytest.raises(SpecError, match="neither a spec file"):
+            load_spec("does-not-exist")
+
+    def test_load_spec_invalid_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{nope")
+        with pytest.raises(SpecError, match="invalid JSON"):
+            load_spec(str(path))
+
+    def test_load_spec_toml(self, tmp_path):
+        path = tmp_path / "ok.toml"
+        path.write_text(
+            'name = "t"\nalgorithms = ["MCP"]\n'
+            '[graphs]\ngenerator = "rgbos"\nsizes = [10]\nccrs = [1.0]\n'
+        )
+        spec = load_spec(str(path))
+        assert spec.name == "t"
+
+
+# ----------------------------------------------------------------------
+# registry: property test — every scenario compiles deterministically
+# ----------------------------------------------------------------------
+class TestRegistry:
+    @settings(deadline=None, max_examples=len(SCENARIOS),
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(st.sampled_from(sorted(SCENARIOS)))
+    def test_compiles_to_nonempty_deterministic_grid(self, name):
+        # Scalability graphs are large; shrink every size axis so the
+        # property (non-empty + deterministic) stays fast to check.
+        doc = get_scenario(name).to_dict()
+        graphs = doc["graphs"]
+        for axis in ("sizes", "dims"):
+            if axis in graphs:
+                graphs[axis] = [min(graphs[axis])]
+        graphs["limit"] = 3
+        spec = validate_spec(doc)
+
+        a = compile_scenario(spec)
+        b = compile_scenario(spec)
+        assert a.num_cells > 0
+        assert [v.label for v in a.variants] == [v.label for v in b.variants]
+        for va, vb in zip(a.variants, b.variants):
+            assert va.num_cells > 0
+            assert [g.name for g in va.graphs] == [g.name for g in vb.graphs]
+            assert va.config.fingerprint() == vb.config.fingerprint()
+            assert va.algorithms == vb.algorithms
+            for ga, gb in zip(va.graphs, vb.graphs):
+                assert ga.num_nodes == gb.num_nodes
+                assert sorted(ga.edges()) == sorted(gb.edges())
+
+    def test_names_sorted_and_validated(self):
+        assert scenario_names() == sorted(SCENARIOS)
+        for name in scenario_names():
+            assert isinstance(get_scenario(name), ScenarioSpec)
+
+    def test_variant_fingerprints_distinct_within_sweeps(self):
+        """Machine sweeps must produce distinct cache keys per variant."""
+        for name in ("hetero-speeds", "bandwidth-sweep",
+                     "processor-ladder", "topology-zoo"):
+            compiled = compile_scenario(get_scenario(name))
+            fps = [v.config.fingerprint() for v in compiled.variants]
+            assert len(set(fps)) == len(fps), name
+
+
+# ----------------------------------------------------------------------
+# compile + run end-to-end
+# ----------------------------------------------------------------------
+class TestCompileRun:
+    def test_sweep_order_is_cartesian_in_axis_order(self):
+        doc = spec_of(sweep={"machine.bnp_procs": [2, 4],
+                             "graphs.sizes": [[10], [12]]})
+        compiled = compile_scenario(validate_spec(doc))
+        assert [v.label for v in compiled.variants] == [
+            "bnp_procs=2,sizes=[10]",
+            "bnp_procs=2,sizes=[12]",
+            "bnp_procs=4,sizes=[10]",
+            "bnp_procs=4,sizes=[12]",
+        ]
+
+    def test_rgpos_generator_supplies_constructed_optima(self):
+        doc = spec_of(
+            graphs={"generator": "rgpos", "sizes": [50], "ccrs": [1.0],
+                    "procs": 8},
+            algorithms=["MCP"],
+            machine={"bnp_procs": 8},
+            metrics=["length", "degradation"],
+        )
+        compiled = compile_scenario(validate_spec(doc))
+        variant = compiled.variants[0]
+        assert variant.optima and len(variant.optima) == 1
+        result = run_scenario(compiled)
+        rows = result.rows[0][1]
+        assert all(r.degradation is not None for r in rows)
+
+    def test_limit_truncates(self):
+        doc = spec_of(graphs={"generator": "rgbos",
+                              "sizes": [10, 12, 14], "ccrs": [1.0],
+                              "limit": 2})
+        compiled = compile_scenario(validate_spec(doc))
+        assert len(compiled.variants[0].graphs) == 2
+
+    def test_run_persists_and_resumes(self, tmp_path, monkeypatch):
+        from repro.bench import runner as runner_mod
+        from repro.bench.store import ResultStore
+
+        doc = spec_of(sweep={"machine.bnp_procs": [2, 4]})
+        compiled = compile_scenario(validate_spec(doc))
+        store = ResultStore(str(tmp_path))
+        first = run_scenario(compiled, store=store)
+        assert len(store) == compiled.num_cells
+
+        def boom(*args, **kwargs):
+            raise AssertionError("re-scheduled despite resume")
+
+        monkeypatch.setattr(runner_mod, "run_one", boom)
+        again = run_scenario(compiled, store=store, resume=True)
+        assert [rows for _v, rows in again.rows] == [
+            rows for _v, rows in first.rows]
+
+    def test_tables_cover_all_variants(self):
+        compiled = compile_scenario(get_scenario("graph-shapes"))
+        result = run_scenario(compiled, jobs=2)
+        detail, summary = scenario_tables(result)
+        labels = {row[0] for row in detail.rows}
+        assert labels == {v.label for v in compiled.variants}
+        assert detail.columns[:4] == ["variant", "graph", "v", "algorithm"]
+        assert len(summary.rows) == sum(
+            len(v.algorithms) for v in compiled.variants)
+
+
+# ----------------------------------------------------------------------
+# heterogeneous speeds: machine model semantics
+# ----------------------------------------------------------------------
+class TestHeterogeneousSpeeds:
+    def test_machine_exec_time(self):
+        m = Machine(2, speeds=[2.0, 0.5])
+        assert m.exec_time(10.0, 0) == 5.0
+        assert m.exec_time(10.0, 1) == 20.0
+        assert Machine(2).exec_time(10.0, 1) == 10.0
+
+    def test_uniform_speeds_normalised(self):
+        assert Machine(3, speeds=[1, 1, 1]).speeds is None
+        assert not Machine(3, speeds=[1, 1, 1]).is_heterogeneous
+
+    def test_bad_speeds_rejected(self):
+        with pytest.raises(MachineError):
+            Machine(2, speeds=[1.0])
+        with pytest.raises(MachineError):
+            Machine(2, speeds=[1.0, 0.0])
+
+    def test_schedule_durations_scale(self):
+        g = rgnos_graph(10, 1.0, 2, seed=1)
+        s = Schedule(g, 2, speeds=[2.0, 1.0])
+        assert s.duration_of(0, 0) == g.weight(0) / 2.0
+        assert s.duration_of(0, 1) == g.weight(0)
+        pl = s.place(0, 0, 0.0)
+        assert pl.finish == pytest.approx(g.weight(0) / 2.0)
+
+    def test_validate_checks_speed_durations(self):
+        """Placements whose durations ignore the speed model are caught:
+        a full-weight serial schedule re-validated as if processor 0 ran
+        at double speed must fail the duration check."""
+        g = rgnos_graph(6, 1.0, 2, seed=2)
+        schedule = Schedule(g, 1)
+        t = 0.0
+        for n in range(g.num_nodes):
+            schedule.place(n, 0, t)
+            t = schedule.finish_of(n)
+        validate(schedule)  # consistent under uniform speeds
+        schedule.speeds = (2.0,)
+        with pytest.raises(ScheduleError, match="speed"):
+            validate(schedule)
+
+    @pytest.mark.parametrize("name", ["HLFET", "ISH", "MCP", "ETF",
+                                      "DLS", "LAST"])
+    def test_bnp_algorithms_valid_on_hetero_machine(self, name):
+        g = rgnos_graph(30, 1.0, 3, seed=3)
+        row = run_one(name, g,
+                      config=BenchConfig(bnp_speeds=(4.0, 2.0, 1.0, 1.0)))
+        assert row.length > 0  # run_one validates the schedule
+
+    @pytest.mark.parametrize("name", ["HLFET", "ISH", "MCP", "LAST"])
+    def test_speed_profile_permutation_invariant(self, name):
+        """Processor choice must track speeds, not processor ids: the
+        same multiset of speed factors gives the same makespan no
+        matter where the fast processor sits (min-EFT generalisation)."""
+        g = rgnos_graph(40, 1.0, 3, seed=4)
+        lengths = {
+            run_one(name, g,
+                    config=BenchConfig(bnp_speeds=speeds)).length
+            for speeds in ((8, 1, 1, 1), (1, 8, 1, 1), (1, 1, 1, 8))
+        }
+        assert len(lengths) == 1
+
+    def test_single_fast_processor_halves_serial_makespan(self):
+        """On one processor there is no communication, so the makespan
+        scales exactly with the processor's speed."""
+        g = rgnos_graph(20, 1.0, 2, seed=4)
+        base = run_one("MCP", g, machine=Machine(1))
+        fast = run_one("MCP", g, machine=Machine(1, speeds=[2.0]))
+        assert fast.length == pytest.approx(base.length / 2.0)
+
+    def test_fingerprint_distinguishes_speeds(self):
+        a = BenchConfig(bnp_procs=4)
+        b = BenchConfig(bnp_speeds=(2.0, 1.0, 1.0, 1.0))
+        assert a.fingerprint() != b.fingerprint()
+
+    def test_uniform_speeds_share_bounded_fingerprint(self):
+        a = BenchConfig(bnp_procs=4)
+        b = BenchConfig(bnp_speeds=(1.0, 1.0, 1.0, 1.0))
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_hetero_grid_through_engine_parallel(self):
+        g = [rgnos_graph(20, 1.0, 2, seed=s) for s in (5, 6)]
+        config = BenchConfig(bnp_speeds=(2.0, 1.0, 1.0))
+        serial = run_grid(["MCP", "HLFET"], g, config=config)
+        fanned = run_grid(["MCP", "HLFET"], g, config=config, jobs=2)
+        assert [(r.algorithm, r.graph, r.length) for r in serial] == [
+            (r.algorithm, r.graph, r.length) for r in fanned]
+
+
+# ----------------------------------------------------------------------
+# link bandwidth: network model semantics
+# ----------------------------------------------------------------------
+class TestLinkBandwidth:
+    def test_transfer_time(self):
+        topo = Topology.ring(4)
+        assert topo.transfer_time(10.0) == 10.0
+        half = topo.with_bandwidth(0.5)
+        assert half.transfer_time(10.0) == 20.0
+        assert half.links == topo.links
+        with pytest.raises(MachineError):
+            Topology.ring(4).with_bandwidth(0.0)
+
+    def test_network_machine_delay_scales(self):
+        chain = Topology.chain(3)
+        m1 = NetworkMachine(chain)
+        m2 = NetworkMachine(chain.with_bandwidth(2.0))
+        assert m1.comm_delay(0, 2, 10.0) == 20.0
+        assert m2.comm_delay(0, 2, 10.0) == 10.0
+
+    def test_link_schedule_hop_durations(self):
+        topo = Topology.chain(3).with_bandwidth(4.0)
+        links = LinkSchedule(topo)
+        msg = links.commit(0, 1, 0, 2, ready=0.0, cost=8.0)
+        assert [(s, f) for (_ch, s, f) in msg.hops] == [(0.0, 2.0),
+                                                        (2.0, 4.0)]
+        assert msg.arrival == 4.0
+
+    def test_apn_schedules_validate_under_bandwidth(self):
+        g = rgnos_graph(20, 2.0, 3, seed=7)
+        for bw in (0.5, 2.0):
+            topo = Topology.hypercube(2).with_bandwidth(bw)
+            row = run_one("MH", g, config=BenchConfig(apn_topology=topo))
+            assert row.length > 0  # validated under the bandwidth model
+
+    def test_fingerprint_distinguishes_bandwidth(self):
+        base = Topology.hypercube(3)
+        fps = {BenchConfig(apn_topology=base).fingerprint(),
+               BenchConfig(
+                   apn_topology=base.with_bandwidth(2.0)).fingerprint()}
+        assert len(fps) == 2
+
+    def test_starved_links_visibly_hurt_mh(self):
+        g = rgnos_graph(30, 10.0, 3, seed=8)
+        lengths = []
+        for bw in (0.25, 4.0):
+            topo = Topology.hypercube(3).with_bandwidth(bw)
+            lengths.append(
+                run_one("MH", g,
+                        config=BenchConfig(apn_topology=topo)).length)
+        assert lengths[0] > lengths[1]
