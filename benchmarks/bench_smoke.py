@@ -1,8 +1,10 @@
 """CI smoke benchmarks: small, fast, representative hot paths.
 
-Run by the ``bench-smoke`` CI job via::
+Run by the ``bench-smoke`` CI job (together with the kernel
+micro-benchmarks in ``bench_kernel.py``; one shared baseline) via::
 
-    pytest benchmarks/bench_smoke.py --benchmark-json=current.json
+    pytest benchmarks/bench_smoke.py benchmarks/bench_kernel.py \
+        --benchmark-json=current.json
     python benchmarks/check_regression.py current.json
 
 and compared against the committed ``benchmarks/baseline_smoke.json``
@@ -16,7 +18,7 @@ from __future__ import annotations
 
 from repro.bench.runner import run_grid
 from repro.bench.suites import psg_suite
-from repro.core.machine import NetworkMachine
+from repro.core.machine import Machine, NetworkMachine
 from repro.generators.random_graphs import rgnos_graph
 from repro.network.topology import Topology
 from repro.algorithms import get_scheduler
@@ -52,3 +54,31 @@ def test_smoke_scenario_compile(benchmark):
     compiled = benchmark(
         lambda: compile_scenario(get_scenario("hetero-speeds")))
     assert compiled.num_cells > 0
+
+
+def test_smoke_ladder_1200(benchmark):
+    """Top rung of the scalability ladder: the flat-array kernel gate.
+
+    The ladder scenario's tractable algorithms on its 1200-node RGNOS
+    graph (EZ is excluded: its O(e(v+e)) edge-zeroing loop is quadratic
+    in edges and was never feasible at this size).  One round only —
+    the case exists to catch kernel regressions, not to average noise.
+    Before the kernel rewrite this rung took ~31.6s; see EXPERIMENTS.md
+    for the per-algorithm before/after table.
+    """
+    graph = rgnos_graph(1200, 1.0, 3, seed=53)
+    algos = ["HLFET", "ISH", "MCP", "DSC", "LC"]
+
+    def run():
+        lengths = {}
+        for name in algos:
+            machine = Machine.unbounded(graph)
+            lengths[name] = get_scheduler(name).schedule(graph,
+                                                         machine).length
+        return lengths
+
+    lengths = benchmark.pedantic(run, rounds=1, iterations=1)
+    # Locks the exact ladder lengths too: a kernel change that shifts
+    # any schedule must show up here as well as in the golden corpus.
+    assert lengths == {"HLFET": 1461.0, "ISH": 1461.0, "MCP": 1449.0,
+                       "DSC": 1466.0, "LC": 1456.0}

@@ -3,7 +3,8 @@
 
 Usage::
 
-    pytest benchmarks/bench_smoke.py --benchmark-json=current.json
+    pytest benchmarks/bench_smoke.py benchmarks/bench_kernel.py \
+        --benchmark-json=current.json
     python benchmarks/check_regression.py current.json
     python benchmarks/check_regression.py current.json --update
 
@@ -48,8 +49,9 @@ def main(argv=None) -> int:
     current = load_mins(args.current)
     if args.update:
         doc = {
-            "_comment": "min times (s) from benchmarks/bench_smoke.py; "
-                        "regenerate with check_regression.py --update",
+            "_comment": "min times (s) from benchmarks/bench_smoke.py + "
+                        "bench_kernel.py; regenerate with "
+                        "check_regression.py --update",
             "benchmarks": {name: current[name] for name in sorted(current)},
         }
         with open(args.baseline, "w") as fh:

@@ -31,6 +31,9 @@ setup(
             "hypothesis",
             "pytest-benchmark",
         ],
+        "cov": [
+            "pytest-cov",
+        ],
         "lint": [
             "ruff",
             "mypy",

@@ -43,7 +43,7 @@ class DLSAPN(Scheduler):
         ready = ReadyTracker(graph)
         while not ready.all_scheduled():
             best = None  # (-DL, node, proc)
-            for node in ready.ready:
+            for node in ready.iter_ready():
                 for proc in range(topo.num_procs):
                     est = MH._probe_est(graph, schedule, links, node, proc)
                     dl = sl[node] - est

@@ -46,7 +46,7 @@ class MH(Scheduler):
         schedule = Schedule(graph, topo.num_procs)
         ready = ReadyTracker(graph)
         while not ready.all_scheduled():
-            node = max(ready.ready, key=lambda n: (prio[n], -n))
+            node = max(ready.iter_ready(), key=lambda n: (prio[n], -n))
             best: Tuple[float, int] | None = None
             for p in range(topo.num_procs):
                 est = self._probe_est(graph, schedule, links, node, p)

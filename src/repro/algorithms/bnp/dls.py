@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from ...core.attributes import static_blevel
 from ...core.graph import TaskGraph
-from ...core.listsched import ReadyTracker, candidate_procs, est_on_proc
+from ...core.listsched import ReadyTracker, candidate_procs
 from ...core.machine import Machine
 from ...core.schedule import Schedule
 from ..base import Scheduler, register
@@ -40,12 +40,22 @@ class DLS(Scheduler):
         sl = static_blevel(graph)
         schedule = Schedule(graph, machine.num_procs, speeds=machine.speeds)
         ready = ReadyTracker(graph)
+        homogeneous = schedule.speeds is None
         while not ready.all_scheduled():
+            # Candidate shortlist is loop-invariant within a step; one
+            # arrival profile per ready node makes each pair O(1).
+            procs = candidate_procs(schedule)
             best = None  # (-DL, node, proc, est)
-            for node in ready.ready:
-                for proc in candidate_procs(schedule):
-                    est = est_on_proc(schedule, node, proc, insertion=False)
-                    dl = sl[node] - est
+            for node in ready.iter_ready():
+                profile = schedule.arrival_profile(node)
+                level = sl[node]
+                dur = schedule.duration_of(node, 0) if homogeneous else None
+                for proc in procs:
+                    if not homogeneous:
+                        dur = schedule.duration_of(node, proc)
+                    est = schedule.earliest_slot(proc, profile.drt(proc),
+                                                 dur, insertion=False)
+                    dl = level - est
                     key = (-dl, node, proc)
                     if best is None or key < best[:3]:
                         best = (key[0], node, proc, est)

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from ...core.attributes import static_blevel
 from ...core.graph import TaskGraph
-from ...core.listsched import ReadyTracker, candidate_procs, est_on_proc
+from ...core.listsched import ReadyTracker, candidate_procs
 from ...core.machine import Machine
 from ...core.schedule import Schedule
 from ..base import Scheduler, register
@@ -33,12 +33,24 @@ class ETF(Scheduler):
         sl = static_blevel(graph)
         schedule = Schedule(graph, machine.num_procs, speeds=machine.speeds)
         ready = ReadyTracker(graph)
+        homogeneous = schedule.speeds is None
         while not ready.all_scheduled():
+            # The schedule does not change within one step, so the
+            # candidate shortlist is loop-invariant; each ready node
+            # contributes one O(deg) arrival profile, then every
+            # (node, proc) EST is an O(1) query.
+            procs = candidate_procs(schedule)
             best = None  # (est, -sl, node, proc)
-            for node in ready.ready:
-                for proc in candidate_procs(schedule):
-                    est = est_on_proc(schedule, node, proc, insertion=False)
-                    key = (est, -sl[node], node, proc)
+            for node in ready.iter_ready():
+                profile = schedule.arrival_profile(node)
+                neg_sl = -sl[node]
+                dur = schedule.duration_of(node, 0) if homogeneous else None
+                for proc in procs:
+                    if not homogeneous:
+                        dur = schedule.duration_of(node, proc)
+                    est = schedule.earliest_slot(proc, profile.drt(proc),
+                                                 dur, insertion=False)
+                    key = (est, neg_sl, node, proc)
                     if best is None or key < best:
                         best = key
             _, _, node, proc = best

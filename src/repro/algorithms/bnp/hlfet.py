@@ -32,10 +32,12 @@ class HLFET(Scheduler):
         sl = static_blevel(graph)
         schedule = Schedule(graph, machine.num_procs, speeds=machine.speeds)
         ready = ReadyTracker(graph)
+        # Highest static level first; ties toward the smaller node id.
+        queue = ready.priority_queue(lambda n: (-sl[n], n))
         while not ready.all_scheduled():
-            # Highest static level first; ties toward the smaller node id.
-            node = max(ready.ready, key=lambda n: (sl[n], -n))
+            node = queue.pop_best()
             proc, start = best_proc_min_est(schedule, node, insertion=False)
             schedule.place(node, proc, start)
-            ready.mark_scheduled(node)
+            for child in ready.mark_scheduled(node):
+                queue.push(child)
         return schedule

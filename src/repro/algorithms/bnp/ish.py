@@ -33,16 +33,15 @@ class ISH(Scheduler):
         sl = static_blevel(graph)
         schedule = Schedule(graph, machine.num_procs, speeds=machine.speeds)
         ready = ReadyTracker(graph)
+        queue = ready.priority_queue(lambda n: (-sl[n], n))
         while not ready.all_scheduled():
-            node = max(ready.ready, key=lambda n: (sl[n], -n))
+            node = queue.pop_best()
             # Processor choice is HLFET's: min EST without insertion.
-            hole_start = {
-                p: schedule.proc_ready_time(p) for p in range(machine.num_procs)
-            }
             proc, start = best_proc_min_est(schedule, node, insertion=False)
-            gap_begin = hole_start[proc]
+            gap_begin = schedule.proc_ready_time(proc)
             schedule.place(node, proc, start)
-            ready.mark_scheduled(node)
+            for child in ready.mark_scheduled(node):
+                queue.push(child)
             # Hole filling: the idle window [gap_begin, start) may host
             # other ready nodes, highest static level first.  Following
             # Kruatrachue & Lewis, a node is inserted only when it (a)
@@ -53,7 +52,8 @@ class ISH(Scheduler):
             gap_end = start
             while gap_end - gap_begin > 1e-12:
                 placed_any = False
-                for cand in sorted(ready.ready, key=lambda n: (-sl[n], n)):
+                for cand in sorted(ready.iter_ready(),
+                                   key=lambda n: (-sl[n], n)):
                     drt = schedule.data_ready_time(cand, proc)
                     cand_start = max(gap_begin, drt)
                     cand_dur = schedule.duration_of(cand, proc)
@@ -64,7 +64,8 @@ class ISH(Scheduler):
                     if cand_start > elsewhere + 1e-9:
                         continue
                     schedule.place(cand, proc, cand_start)
-                    ready.mark_scheduled(cand)
+                    for child in ready.mark_scheduled(cand):
+                        queue.push(child)
                     gap_begin = cand_start + cand_dur
                     placed_any = True
                     break

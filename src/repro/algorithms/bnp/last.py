@@ -51,13 +51,23 @@ class LAST(Scheduler):
 
         schedule = Schedule(graph, machine.num_procs, speeds=machine.speeds)
         ready = ReadyTracker(graph)
+        # A ready node's D_NODE is fixed: all its parents are already
+        # scheduled (that is what ready means) and its children cannot
+        # be scheduled before it, so ``settled`` can no longer change
+        # for it.  Pushing children only *after* the settled update
+        # below therefore keeps every heap entry's key current.
+        queue = ready.priority_queue(lambda n: (-d_node(n), -sl[n], n))
         while not ready.all_scheduled():
-            node = max(ready.ready, key=lambda n: (d_node(n), sl[n], -n))
+            node = queue.pop_best()
             proc, start = best_proc_min_est(schedule, node, insertion=False)
             schedule.place(node, proc, start)
-            ready.mark_scheduled(node)
-            for s in graph.successors(node):
-                settled[s] += graph.comm_cost(node, s)
-            for p in graph.predecessors(node):
-                settled[p] += graph.comm_cost(p, node)
+            released = ready.mark_scheduled(node)
+            succs, succ_costs = graph.succ_pairs(node)
+            for s, c in zip(succs, succ_costs):
+                settled[s] += c
+            preds, pred_costs = graph.pred_pairs(node)
+            for p, c in zip(preds, pred_costs):
+                settled[p] += c
+            for child in released:
+                queue.push(child)
         return schedule

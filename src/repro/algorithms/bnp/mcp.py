@@ -14,7 +14,9 @@ static priority".  Classified CP-based, static-list, greedy; O(v^2 log v).
 
 from __future__ import annotations
 
-from typing import List, Set
+from typing import List
+
+import numpy as np
 
 from ...core.attributes import alap
 from ...core.graph import TaskGraph
@@ -27,19 +29,30 @@ __all__ = ["MCP"]
 
 
 def _descendant_alap_lists(graph: TaskGraph, al: List[float]) -> List[List[float]]:
-    """For each node: ascending ALAPs of the node and all its descendants."""
-    desc: List[Set[int]] = [set() for _ in range(graph.num_nodes)]
+    """For each node: ascending ALAPs of the node and all its descendants.
+
+    Descendant sets are kept as packed bitsets (one row of bits per
+    node) so the transitive closure is v*e/8 bytes of vectorised ORs
+    instead of Python set unions — the dominant cost of MCP on large
+    graphs.
+    """
+    n = graph.num_nodes
+    al_arr = np.asarray(al, dtype=np.float64)
+    words = (n + 7) // 8
+    desc = np.zeros((n, words), dtype=np.uint8)
     for u in reversed(graph.topological_order):
-        d: Set[int] = set()
+        row = desc[u]
         for s in graph.successors(u):
-            d.add(s)
-            d.update(desc[s])
-        desc[u] = d
+            row |= desc[s]
+            row[s >> 3] |= 128 >> (s & 7)
     lists: List[List[float]] = []
-    for n in graph.nodes():
-        vals = [al[n]] + [al[d] for d in desc[n]]
+    for u in graph.nodes():
+        ids = np.flatnonzero(np.unpackbits(desc[u], count=n))
+        vals = np.empty(ids.size + 1)
+        vals[0] = al_arr[u]
+        vals[1:] = al_arr[ids]
         vals.sort()
-        lists.append(vals)
+        lists.append(vals.tolist())
     return lists
 
 

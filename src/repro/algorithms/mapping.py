@@ -51,18 +51,20 @@ def mapping_makespan(graph: TaskGraph, proc_of: Sequence[int],
     heap = [(-priority[i], i) for i in range(n) if remaining[i] == 0]
     heapq.heapify(heap)
     makespan = 0.0
+    weights = graph.weights
     while heap:
         _, node = heapq.heappop(heap)
         p = proc_of[node]
         drt = 0.0
-        for parent in graph.predecessors(node):
+        parents, costs = graph.pred_pairs(node)
+        for parent, c in zip(parents, costs):
             arr = finish[parent]
             if proc_of[parent] != p:
-                arr += graph.comm_cost(parent, node)
+                arr += c
             if arr > drt:
                 drt = arr
         start = max(proc_free.get(p, 0.0), drt)
-        end = start + graph.weight(node)
+        end = start + float(weights[node])
         finish[node] = end
         proc_free[p] = end
         if end > makespan:

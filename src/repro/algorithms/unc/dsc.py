@@ -27,6 +27,7 @@ from typing import Dict, List
 
 from ...core.attributes import blevel
 from ...core.graph import TaskGraph
+from ...core.kernel import grouped_arrival_profile
 from ...core.machine import Machine
 from ...core.schedule import Schedule
 from ..base import Scheduler, register
@@ -46,26 +47,20 @@ class DSC(Scheduler):
     def _run(self, graph: TaskGraph, machine: Machine) -> Schedule:
         n = graph.num_nodes
         b = blevel(graph)
+        w = graph.weights
         cluster_of = list(range(n))      # initially one cluster per node
         cluster_tail: Dict[int, float] = {}  # cluster id -> finish of last task
         start = [0.0] * n
+        finish = [0.0] * n               # start + weight, set when examined
         examined = [False] * n
         waiting = [graph.in_degree(i) for i in range(n)]
 
-        def arrival(parent: int, child: int, child_cluster: int) -> float:
-            """When ``parent``'s data reaches ``child`` in ``child_cluster``."""
-            t = start[parent] + graph.weight(parent)
-            if cluster_of[parent] != child_cluster:
-                t += graph.comm_cost(parent, child)
-            return t
-
-        def tlevel_alone(node: int) -> float:
-            """Dynamic t-level of ``node`` kept in its own cluster."""
-            return max(
-                (arrival(p, node, cluster_of[node])
-                 for p in graph.predecessors(node)),
-                default=0.0,
-            )
+        # Every parent of a popped node is examined, so its finish and
+        # cluster are final: one O(deg) arrival profile answers the
+        # dynamic t-level of the node on *any* candidate cluster in
+        # O(1), instead of rescanning all parents per candidate.
+        def profile(node: int):
+            return grouped_arrival_profile(graph, node, cluster_of, finish)
 
         heap: List = []
         for node in graph.entry_nodes:
@@ -75,33 +70,28 @@ class DSC(Scheduler):
             _, node = heapq.heappop(heap)
             if examined[node]:  # stale heap entry
                 continue
-            t_alone = tlevel_alone(node)
+            prof = profile(node)
+            # Own cluster is still a singleton: every parent is remote.
+            t_alone = prof.drt(cluster_of[node])
             # Candidate destinations: the clusters of the node's parents.
+            preds, _costs = graph.pred_pairs(node)
             best_t, best_cluster = t_alone, None
-            for c in sorted({cluster_of[p] for p in graph.predecessors(node)}):
-                ready = max(
-                    (arrival(p, node, c) for p in graph.predecessors(node)),
-                    default=0.0,
-                )
-                t = max(cluster_tail.get(c, 0.0), ready)
+            for c in sorted({cluster_of[p] for p in preds}):
+                t = max(cluster_tail.get(c, 0.0), prof.drt(c))
                 if t < best_t - 1e-9:
                     best_t, best_cluster = t, c
             if best_cluster is not None:
                 cluster_of[node] = best_cluster
             start[node] = best_t
-            cluster_tail[cluster_of[node]] = best_t + graph.weight(node)
+            finish[node] = best_t + w[node]
+            cluster_tail[cluster_of[node]] = finish[node]
             examined[node] = True
             scheduled_count += 1
             for child in graph.successors(node):
                 waiting[child] -= 1
                 if waiting[child] == 0:
-                    # Child's dynamic t-level is now fixed (its own cluster).
-                    saved = cluster_of[child]
-                    t_child = max(
-                        (arrival(p, child, saved)
-                         for p in graph.predecessors(child)),
-                        default=0.0,
-                    )
+                    # Child's dynamic t-level is now fixed (own cluster).
+                    t_child = profile(child).drt(cluster_of[child])
                     heapq.heappush(heap, (-(t_child + b[child]), child))
         assert scheduled_count == n
         return self._build(graph, machine, cluster_of, start)

@@ -53,14 +53,17 @@ class LC(Scheduler):
         """Longest (node+edge weight) path within the ``alive`` subgraph."""
         best_len = {}
         best_succ = {}
+        weights = graph.weights
         for u in reversed(graph.topological_order):
             if u not in alive:
                 continue
-            length, succ = graph.weight(u), None
-            for s in graph.successors(u):
+            wu = float(weights[u])
+            length, succ = wu, None
+            succs, costs = graph.succ_pairs(u)
+            for s, c in zip(succs, costs):
                 if s not in alive:
                     continue
-                cand = graph.weight(u) + graph.comm_cost(u, s) + best_len[s]
+                cand = wu + c + best_len[s]
                 if cand > length + 1e-12 or (
                     abs(cand - length) <= 1e-12 and succ is not None and s < succ
                 ):

@@ -27,6 +27,7 @@ import bisect
 from typing import Dict, List, Set, Tuple
 
 from ...core.graph import TaskGraph
+from ...core.kernel import blevel_zeroed
 from ...core.machine import Machine
 from ...core.schedule import Schedule
 from ..base import Scheduler, register
@@ -101,11 +102,14 @@ class MD(Scheduler):
     @staticmethod
     def _tlevels(graph: TaskGraph, zeroed, pinned) -> List[float]:
         t = [0.0] * graph.num_nodes
+        w = graph.weights
         for u in graph.topological_order:
             best = 0.0
-            for p in graph.predecessors(u):
-                c = 0.0 if (p, u) in zeroed else graph.comm_cost(p, u)
-                cand = t[p] + graph.weight(p) + c
+            preds, costs = graph.pred_pairs(u)
+            for p, c in zip(preds, costs):
+                if (p, u) in zeroed:
+                    c = 0.0
+                cand = t[p] + w[p] + c
                 if cand > best:
                     best = cand
             pin = pinned.get(u)
@@ -116,16 +120,10 @@ class MD(Scheduler):
 
     @staticmethod
     def _blevels(graph: TaskGraph, zeroed) -> List[float]:
-        b = [0.0] * graph.num_nodes
-        for u in reversed(graph.topological_order):
-            best = 0.0
-            for s in graph.successors(u):
-                c = 0.0 if (u, s) in zeroed else graph.comm_cost(u, s)
-                cand = b[s] + c
-                if cand > best:
-                    best = cand
-            b[u] = best + graph.weight(u)
-        return b
+        # Unlike _tlevels (which folds in the pinned start times), the
+        # b-level needs nothing MD-specific: it is exactly the kernel's
+        # zeroed-edge sweep.
+        return blevel_zeroed(graph, zeroed)
 
     @staticmethod
     def _est_on(graph: TaskGraph, node: int, proc: int, t, pinned,

@@ -15,14 +15,19 @@ heuristics are built from:
 * **critical path** (CP): a path from an entry to an exit node whose
   length (nodes + edges) is maximal.
 
-All functions return plain lists indexed by node and run in
-``O(v + e)`` over a cached topological order.
+All functions return plain lists indexed by node.  The graph is
+immutable, so the static variants (no ``zeroed`` set) are computed once
+per graph by the level-batched sweeps in :mod:`repro.core.kernel` and
+cached on the graph; repeated calls return a fresh list copy of the
+cached values in O(v).  The ``zeroed`` variants — dynamic attributes
+during clustering — bypass the cache.
 """
 
 from __future__ import annotations
 
 from typing import List, Optional, Set, Tuple
 
+from . import kernel
 from .graph import TaskGraph
 
 __all__ = [
@@ -47,35 +52,17 @@ def tlevel(graph: TaskGraph, zeroed: Optional[Set[Tuple[int, int]]] = None
     this is what makes the t-level a *dynamic* attribute during
     clustering.
     """
-    t = [0.0] * graph.num_nodes
-    for u in graph.topological_order:
-        best = 0.0
-        for p in graph.predecessors(u):
-            c = graph.comm_cost(p, u)
-            if zeroed and (p, u) in zeroed:
-                c = 0.0
-            cand = t[p] + graph.weight(p) + c
-            if cand > best:
-                best = cand
-        t[u] = best
-    return t
+    if zeroed:
+        return kernel.tlevel_zeroed(graph, zeroed)
+    return graph.cached("tlevel", kernel.tlevel_sweep).tolist()
 
 
 def blevel(graph: TaskGraph, zeroed: Optional[Set[Tuple[int, int]]] = None
            ) -> List[float]:
     """Bottom levels of all nodes (edge weights included)."""
-    b = [0.0] * graph.num_nodes
-    for u in reversed(graph.topological_order):
-        best = 0.0
-        for s in graph.successors(u):
-            c = graph.comm_cost(u, s)
-            if zeroed and (u, s) in zeroed:
-                c = 0.0
-            cand = b[s] + c
-            if cand > best:
-                best = cand
-        b[u] = best + graph.weight(u)
-    return b
+    if zeroed:
+        return kernel.blevel_zeroed(graph, zeroed)
+    return graph.cached("blevel", kernel.blevel_sweep).tolist()
 
 
 def static_blevel(graph: TaskGraph) -> List[float]:
@@ -84,32 +71,17 @@ def static_blevel(graph: TaskGraph) -> List[float]:
     This is the classic *SL* attribute of HLFET and DLS — edge weights are
     ignored entirely, so the value never changes during scheduling.
     """
-    b = [0.0] * graph.num_nodes
-    for u in reversed(graph.topological_order):
-        best = 0.0
-        for s in graph.successors(u):
-            if b[s] > best:
-                best = b[s]
-        b[u] = best + graph.weight(u)
-    return b
+    return graph.cached("static_blevel", kernel.static_blevel_sweep).tolist()
 
 
 def static_tlevel(graph: TaskGraph) -> List[float]:
     """Computation-only top levels (no edge weights)."""
-    t = [0.0] * graph.num_nodes
-    for u in graph.topological_order:
-        best = 0.0
-        for p in graph.predecessors(u):
-            cand = t[p] + graph.weight(p)
-            if cand > best:
-                best = cand
-        t[u] = best
-    return t
+    return graph.cached("static_tlevel", kernel.static_tlevel_sweep).tolist()
 
 
 def cp_length(graph: TaskGraph) -> float:
     """Critical-path length including node and edge weights."""
-    return max(blevel(graph))
+    return float(graph.cached("blevel", kernel.blevel_sweep).max())
 
 
 def alap(graph: TaskGraph) -> List[float]:
@@ -118,9 +90,9 @@ def alap(graph: TaskGraph) -> List[float]:
     Smaller ALAP means less scheduling slack; MCP schedules in ascending
     ALAP order.
     """
-    b = blevel(graph)
-    cp = max(b)
-    return [cp - bi for bi in b]
+    b = graph.cached("blevel", kernel.blevel_sweep)
+    cp = b.max()
+    return [float(cp - bi) for bi in b]
 
 
 def critical_path(graph: TaskGraph) -> List[int]:
@@ -129,6 +101,10 @@ def critical_path(graph: TaskGraph) -> List[int]:
     Ties are broken toward the smallest node id so the result is
     deterministic.
     """
+    return list(graph.cached("critical_path", _critical_path))
+
+
+def _critical_path(graph: TaskGraph) -> Tuple[int, ...]:
     b = blevel(graph)
     t = tlevel(graph)
     cp = max(b)
@@ -156,7 +132,7 @@ def critical_path(graph: TaskGraph) -> List[int]:
             )
         path.append(nxt)
         cur = nxt
-    return path
+    return tuple(path)
 
 
 def cp_computation_cost(graph: TaskGraph) -> float:
@@ -167,17 +143,15 @@ def cp_computation_cost(graph: TaskGraph) -> float:
     ``L / sum(w(n) for n on CP)``.  Following the lower-bound reading of
     the definition, we take the path that maximises the *computation*
     sum — on a clean system the schedule can never finish faster than
-    executing those nodes back to back.
+    executing those nodes back to back.  Equals the maximum static
+    b-level (same recurrence), so it shares that cache entry.
     """
-    best = [0.0] * graph.num_nodes
-    for u in reversed(graph.topological_order):
-        child = max((best[s] for s in graph.successors(u)), default=0.0)
-        best[u] = child + graph.weight(u)
-    return max(best)
+    return float(
+        graph.cached("static_blevel", kernel.static_blevel_sweep).max())
 
 
 def priority_blevel_plus_tlevel(graph: TaskGraph) -> List[float]:
     """DSC's dominant-sequence priority: ``blevel + tlevel`` per node."""
-    b = blevel(graph)
-    t = tlevel(graph)
-    return [bi + ti for bi, ti in zip(b, t)]
+    b = graph.cached("blevel", kernel.blevel_sweep)
+    t = graph.cached("tlevel", kernel.tlevel_sweep)
+    return [float(bi + ti) for bi, ti in zip(b, t)]

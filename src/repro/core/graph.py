@@ -13,7 +13,7 @@ critical path) are computed lazily and cached.
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
+from typing import Any, Dict, Iterable, List, Mapping, Sequence, Tuple
 
 import numpy as np
 
@@ -52,11 +52,14 @@ class TaskGraph:
         "_weights",
         "_succ",
         "_pred",
+        "_succ_costs",
+        "_pred_costs",
         "_edge_cost",
         "name",
         "_topo",
         "_entries",
         "_exits",
+        "_cache",
     )
 
     def __init__(
@@ -102,7 +105,13 @@ class TaskGraph:
         self._weights.setflags(write=False)
         self._succ = succ
         self._pred = pred
+        # Communication costs aligned index-for-index with the adjacency
+        # lists: the kernel inner loops walk (neighbour, cost) pairs
+        # without touching the edge dict.
+        self._succ_costs = [[cost[(u, v)] for v in succ[u]] for u in range(n)]
+        self._pred_costs = [[cost[(p, v)] for p in pred[v]] for v in range(n)]
         self._edge_cost = cost
+        self._cache: Dict[str, Any] = {}
         self.name = name
         self._topo: Tuple[int, ...] | None = None
         self._entries: Tuple[int, ...] | None = None
@@ -161,6 +170,60 @@ class TaskGraph:
     def nodes(self) -> range:
         """Node ids ``0 .. num_nodes-1``."""
         return range(self.num_nodes)
+
+    # ------------------------------------------------------------------
+    # flat-array kernel views
+    # ------------------------------------------------------------------
+    def cached(self, key: str, compute) -> Any:
+        """Memoise ``compute(self)`` under ``key``.
+
+        The graph is immutable, so any pure derived quantity (attribute
+        sweeps, CSR plans, the critical path) is computed at most once
+        per graph.  Callers must treat the returned object as read-only.
+        """
+        try:
+            return self._cache[key]
+        except KeyError:
+            value = compute(self)
+            self._cache[key] = value
+            return value
+
+    def succ_csr(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Successor adjacency in CSR form.
+
+        Returns read-only ``(indptr, indices, costs)``: the successors
+        of ``u`` are ``indices[indptr[u]:indptr[u+1]]`` (ascending) and
+        ``costs`` is aligned index-for-index with ``indices``.
+        """
+        return self.cached("_succ_csr", lambda g: _build_csr(g._succ,
+                                                             g._succ_costs))
+
+    def pred_csr(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Predecessor adjacency in CSR form (mirror of :meth:`succ_csr`)."""
+        return self.cached("_pred_csr", lambda g: _build_csr(g._pred,
+                                                             g._pred_costs))
+
+    def succ_pairs(self, node: int) -> Tuple[List[int], List[float]]:
+        """Internal ``(successors, costs)`` lists for ``node``.
+
+        Shared, **read-only** views — the kernel hot loops use these to
+        walk (child, cost) pairs without per-edge dict lookups.
+        """
+        return self._succ[node], self._succ_costs[node]
+
+    def pred_pairs(self, node: int) -> Tuple[List[int], List[float]]:
+        """Internal ``(predecessors, costs)`` lists for ``node``."""
+        return self._pred[node], self._pred_costs[node]
+
+    @property
+    def node_levels(self) -> np.ndarray:
+        """Precedence level per node (longest hop-count from an entry).
+
+        Level-batching is what lets the attribute sweeps in
+        :mod:`repro.core.kernel` vectorise: nodes within one level are
+        mutually independent.
+        """
+        return self.cached("_levels", _compute_levels)
 
     # ------------------------------------------------------------------
     # structure
@@ -243,22 +306,11 @@ class TaskGraph:
         the RGNOS suite is the largest number of nodes sharing the same
         precedence level, which we report here.
         """
-        level = [0] * self.num_nodes
-        for u in self.topological_order:
-            for v in self._succ[u]:
-                level[v] = max(level[v], level[u] + 1)
-        counts: Dict[int, int] = {}
-        for lv in level:
-            counts[lv] = counts.get(lv, 0) + 1
-        return max(counts.values())
+        return int(np.bincount(self.node_levels).max())
 
     def depth(self) -> int:
         """Number of precedence levels (longest chain, in hops + 1)."""
-        level = [0] * self.num_nodes
-        for u in self.topological_order:
-            for v in self._succ[u]:
-                level[v] = max(level[v], level[u] + 1)
-        return max(level) + 1 if level else 0
+        return int(self.node_levels.max()) + 1 if self.num_nodes else 0
 
     # ------------------------------------------------------------------
     # interop / dunder
@@ -299,8 +351,47 @@ class TaskGraph:
     def __len__(self) -> int:
         return self.num_nodes
 
+    def __getstate__(self):
+        # The cache holds derived numpy arrays/plans that are cheap to
+        # rebuild and may not pickle stably; ship only the definition.
+        return {
+            "weights": self._weights,
+            "edges": self._edge_cost,
+            "name": self.name,
+        }
+
+    def __setstate__(self, state):
+        self.__init__(state["weights"], state["edges"], name=state["name"])
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"TaskGraph(name={self.name!r}, v={self.num_nodes}, "
             f"e={self.num_edges}, ccr={self.ccr:.3g})"
         )
+
+
+def _build_csr(adj: List[List[int]], costs: List[List[float]]
+               ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Compress per-node adjacency/cost lists into read-only CSR arrays."""
+    n = len(adj)
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum([len(a) for a in adj], out=indptr[1:])
+    indices = np.fromiter(
+        (v for a in adj for v in a), dtype=np.int64, count=int(indptr[-1]))
+    cost = np.fromiter(
+        (c for cl in costs for c in cl), dtype=np.float64,
+        count=int(indptr[-1]))
+    for arr in (indptr, indices, cost):
+        arr.setflags(write=False)
+    return indptr, indices, cost
+
+
+def _compute_levels(graph: "TaskGraph") -> np.ndarray:
+    level = np.zeros(graph.num_nodes, dtype=np.int64)
+    for u in graph.topological_order:
+        lu = level[u] + 1
+        for v in graph._succ[u]:
+            if lu > level[v]:
+                level[v] = lu
+    level.setflags(write=False)
+    return level

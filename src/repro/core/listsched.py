@@ -6,13 +6,21 @@ processor, place, release children.  This module holds the pieces the
 variants share so each algorithm module only encodes its distinguishing
 decision (Section 3 of the paper: priority attribute, static vs dynamic
 list, insertion vs non-insertion, greedy vs non-greedy processor choice).
+
+The hot paths are built on the flat-array kernel
+(:mod:`repro.core.kernel`): ready membership is an array of flags plus
+an append-only order list, best-ready selection is a lazy-deletion heap,
+and processor choice queries one :class:`~repro.core.kernel.ArrivalProfile`
+per node instead of rescanning the parents for every candidate
+processor.
 """
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import Callable, Iterator, List, Tuple
 
 from .graph import TaskGraph
+from .kernel import LazyPriorityQueue
 from .schedule import Schedule
 
 __all__ = [
@@ -30,35 +38,77 @@ class ReadyTracker:
     The ready set starts with the entry nodes; :meth:`mark_scheduled`
     releases children whose last parent was just placed.  Iteration order
     is unspecified — ordering is the calling algorithm's job.
+
+    Membership is an array of flags (``bytearray``) plus an append-only
+    order list: a node becomes ready exactly once, so the list never
+    holds more than ``v`` entries and :meth:`iter_ready` just skips the
+    flags that have been cleared since.
     """
+
+    __slots__ = ("graph", "_unscheduled_parents", "_in_ready",
+                 "_ready_order", "_scheduled", "_num_left")
 
     def __init__(self, graph: TaskGraph):
         self.graph = graph
-        self._unscheduled_parents = [graph.in_degree(n) for n in graph.nodes()]
-        self._ready = {n for n in graph.entry_nodes}
-        self._scheduled = [False] * graph.num_nodes
+        n = graph.num_nodes
+        self._unscheduled_parents = [graph.in_degree(v) for v in
+                                     graph.nodes()]
+        self._in_ready = bytearray(n)
+        self._ready_order: List[int] = list(graph.entry_nodes)
+        for node in self._ready_order:
+            self._in_ready[node] = 1
+        self._scheduled = bytearray(n)
+        self._num_left = n
 
     @property
-    def ready(self) -> set:
-        return self._ready
+    def ready(self) -> frozenset:
+        """Frozen view of the current ready set.
+
+        A *view*: callers may iterate and compare but cannot mutate the
+        tracker through it — historical bugs where an algorithm
+        "helpfully" discarded nodes from the live set are now type
+        errors.
+        """
+        return frozenset(self.iter_ready())
+
+    def iter_ready(self) -> Iterator[int]:
+        """Iterate the ready nodes (in becoming-ready order)."""
+        flags = self._in_ready
+        return (node for node in self._ready_order if flags[node])
 
     def is_ready(self, node: int) -> bool:
-        return node in self._ready
+        return bool(self._in_ready[node])
 
     def mark_scheduled(self, node: int) -> List[int]:
         """Remove ``node`` from the ready set; return newly-ready children."""
-        self._ready.discard(node)
-        self._scheduled[node] = True
+        if self._in_ready[node]:
+            self._in_ready[node] = 0
+        if not self._scheduled[node]:
+            self._scheduled[node] = 1
+            self._num_left -= 1
         released: List[int] = []
+        remaining = self._unscheduled_parents
         for child in self.graph.successors(node):
-            self._unscheduled_parents[child] -= 1
-            if self._unscheduled_parents[child] == 0:
-                self._ready.add(child)
+            remaining[child] -= 1
+            if remaining[child] == 0:
+                self._in_ready[child] = 1
+                self._ready_order.append(child)
                 released.append(child)
         return released
 
     def all_scheduled(self) -> bool:
-        return all(self._scheduled)
+        return self._num_left == 0
+
+    def priority_queue(self, key: Callable[[int], Tuple]
+                       ) -> LazyPriorityQueue:
+        """A lazy heap over this tracker's ready set.
+
+        ``key`` orders ascending (smallest pops first).  The queue seeds
+        itself from the current ready set; push newly-released children
+        (and any node whose key changed) as scheduling progresses.
+        """
+        return LazyPriorityQueue(key, self.is_ready,
+                                 initial=list(self.iter_ready()))
 
 
 def candidate_procs(schedule: Schedule) -> List[int]:
@@ -77,13 +127,17 @@ def candidate_procs(schedule: Schedule) -> List[int]:
     """
     procs = schedule.used_proc_ids()
     if len(procs) < schedule.num_procs:
-        used = set(procs)
         if schedule.speeds is None:
-            for p in range(schedule.num_procs):
-                if p not in used:
-                    procs.append(p)
+            # ``procs`` is ascending, so the first empty processor is
+            # the first index where the used ids pull ahead.
+            first_empty = len(procs)
+            for i, p in enumerate(procs):
+                if p != i:
+                    first_empty = i
                     break
+            procs.append(first_empty)
         else:
+            used = set(procs)
             seen_speeds = set()
             for p in range(schedule.num_procs):
                 if p in used:
@@ -123,9 +177,12 @@ def best_proc_min_est(schedule: Schedule, node: int,
     if schedule.speeds is not None:
         p, _finish = best_proc_min_eft(schedule, node, insertion)
         return p, est_on_proc(schedule, node, p, insertion)
+    profile = schedule.arrival_profile(node)
+    duration = schedule.duration_of(node, 0)  # homogeneous: proc-independent
     best_p, best_t = 0, float("inf")
     for p in candidate_procs(schedule):
-        t = est_on_proc(schedule, node, p, insertion)
+        t = schedule.earliest_slot(p, profile.drt(p), duration,
+                                   insertion=insertion)
         if t < best_t - 1e-12:
             best_p, best_t = p, t
     return best_p, best_t
@@ -139,10 +196,13 @@ def best_proc_min_eft(schedule: Schedule, node: int,
     heterogeneous speeds a slower processor may offer the earlier start
     but the later finish, so the finish is minimised explicitly.
     """
+    profile = schedule.arrival_profile(node)
     best_p, best_f = 0, float("inf")
     for p in candidate_procs(schedule):
-        t = est_on_proc(schedule, node, p, insertion)
-        f = t + schedule.duration_of(node, p)
+        duration = schedule.duration_of(node, p)
+        t = schedule.earliest_slot(p, profile.drt(p), duration,
+                                   insertion=insertion)
+        f = t + duration
         if f < best_f - 1e-12:
             best_p, best_f = p, f
     return best_p, best_f

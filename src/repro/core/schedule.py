@@ -22,6 +22,7 @@ from typing import Dict, List, Tuple
 
 from .exceptions import ScheduleError
 from .graph import TaskGraph
+from .kernel import arrival_profile as _arrival_profile
 
 __all__ = ["Placement", "Message", "Schedule", "validate"]
 
@@ -87,6 +88,16 @@ class Schedule:
         self._starts: List[List[float]] = [[] for _ in range(num_procs)]
         self._finishes: List[List[float]] = [[] for _ in range(num_procs)]
         self._nodes: List[List[int]] = [[] for _ in range(num_procs)]
+        # Flat per-node mirrors of the placements (processor -1 when the
+        # node is unscheduled) — the kernel's data-ready loops index
+        # these instead of chasing Placement objects.
+        n = graph.num_nodes
+        self._node_proc: List[int] = [-1] * n
+        self._node_start: List[float] = [0.0] * n
+        self._node_finish: List[float] = [0.0] * n
+        # Sorted ids of non-empty processors, maintained incrementally
+        # so the used-processor shortlist never rescans all timelines.
+        self._used: List[int] = []
         self.messages: Dict[Tuple[int, int], Message] = {}
 
     # ------------------------------------------------------------------
@@ -143,10 +154,11 @@ class Schedule:
 
     def processors_used(self) -> int:
         """Number of processors with at least one task."""
-        return sum(1 for s in self._starts if s)
+        return len(self._used)
 
     def used_proc_ids(self) -> List[int]:
-        return [p for p in range(self.num_procs) if self._starts[p]]
+        """Ascending ids of non-empty processors (a fresh list)."""
+        return list(self._used)
 
     # ------------------------------------------------------------------
     # slot search
@@ -207,11 +219,16 @@ class Schedule:
             raise ScheduleError(
                 f"node {node} overlaps node {nodes[i]} on P{proc}"
             )
+        if not starts:
+            bisect.insort(self._used, proc)
         starts.insert(i, start)
         fins.insert(i, finish)
         nodes.insert(i, node)
         pl = Placement(node, proc, start, finish)
         self._placements[node] = pl
+        self._node_proc[node] = proc
+        self._node_start[node] = start
+        self._node_finish[node] = finish
         return pl
 
     def unplace(self, node: int) -> Placement:
@@ -222,6 +239,11 @@ class Schedule:
         del self._finishes[pl.proc][idx]
         del self._nodes[pl.proc][idx]
         del self._placements[node]
+        if not self._starts[pl.proc]:
+            self._used.remove(pl.proc)
+        self._node_proc[node] = -1
+        self._node_start[node] = 0.0
+        self._node_finish[node] = 0.0
         return pl
 
     def record_message(self, msg: Message) -> None:
@@ -239,14 +261,26 @@ class Schedule:
         scheduled.
         """
         t = 0.0
-        for p in self.graph.predecessors(node):
-            pl = self.placement(p)
-            arr = pl.finish
-            if pl.proc != proc:
-                arr += self.graph.comm_cost(p, node)
+        parents, costs = self.graph.pred_pairs(node)
+        procs, fins = self._node_proc, self._node_finish
+        for p, c in zip(parents, costs):
+            if procs[p] < 0:
+                raise ScheduleError(f"node {p} is not scheduled")
+            arr = fins[p]
+            if procs[p] != proc:
+                arr += c
             if arr > t:
                 t = arr
         return t
+
+    def arrival_profile(self, node: int):
+        """O(1)-per-processor view of ``node``'s data-ready times.
+
+        See :class:`repro.core.kernel.ArrivalProfile`; building it costs
+        one pass over the parents, after which ``profile.drt(p)`` equals
+        :meth:`data_ready_time` for every ``p``.
+        """
+        return _arrival_profile(self, node)
 
     # ------------------------------------------------------------------
     # rendering

@@ -46,7 +46,7 @@ class DSH:
         sched = DuplicationSchedule(graph, machine.num_procs)
         ready = ReadyTracker(graph)
         while not ready.all_scheduled():
-            node = max(ready.ready, key=lambda n: (sl[n], -n))
+            node = max(ready.iter_ready(), key=lambda n: (sl[n], -n))
             best: Optional[Tuple[float, int, list]] = None
             for proc in range(machine.num_procs):
                 start, dup_plan = self._start_with_duplication(

@@ -1,0 +1,149 @@
+"""Differential-testing corpus: graphs, machines, and run plumbing.
+
+The flat-array scheduling kernel is a semantics-preserving rewrite of
+every scheduler's inner loop; the proof obligation is discharged by a
+*golden corpus*: ~40 deterministic graphs spanning the paper's families
+(PSG, RGBOS, RGNOS, traced) and the CCR extremes, scheduled by every
+algorithm on every applicable machine model, with the full schedules —
+placement for placement, not just lengths — pinned as JSON under
+``tests/golden/``.
+
+Lives in its own importable module (not ``conftest.py``) for the same
+reason as :mod:`strategies`: pytest puts every conftest directory on
+``sys.path``, so only an unambiguous module name imports reliably.
+
+Regenerate the goldens (after an *intentional* behaviour change only —
+review the diff consciously) with::
+
+    PYTHONPATH=src:tests python -m differential_corpus
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Tuple
+
+from repro import Machine, NetworkMachine, Topology, get_scheduler
+from repro.core.graph import TaskGraph
+from repro.generators.psg import peer_set_graphs
+from repro.generators.random_graphs import rgbos_graph, rgnos_graph
+from repro.generators.traced import (
+    cholesky_graph,
+    fft_graph,
+    gaussian_elimination_graph,
+    laplace_graph,
+)
+
+GOLDEN_DIR = os.path.join(os.path.dirname(__file__), "golden")
+
+BNP_ALGOS = ("HLFET", "ISH", "MCP", "ETF", "DLS", "LAST")
+UNC_ALGOS = ("EZ", "LC", "DSC", "MD", "DCP")
+APN_ALGOS = ("MH", "DLS-APN", "BU", "BSA")
+
+# APN schedulers walk a network simulation per message; keep them to the
+# small end of the corpus so tier-1 stays fast.
+APN_MAX_NODES = 20
+# Heterogeneous speeds exercise the min-EFT processor choice; a mid-size
+# cap keeps the config distinct without doubling the corpus runtime.
+HET_MAX_NODES = 40
+
+
+def corpus_graphs() -> List[TaskGraph]:
+    """The ~40 corpus graphs, deterministic and name-unique."""
+    graphs: List[TaskGraph] = []
+    graphs.extend(peer_set_graphs())
+    # RGBOS-style random graphs at the CCR extremes and the middle.
+    for v in (16, 24, 32):
+        for ccr in (0.1, 1.0, 10.0):
+            graphs.append(rgbos_graph(v, ccr, seed=9000 + 10 * v + int(ccr)))
+    # RGNOS: size x CCR x parallelism spread.
+    for v, ccr, par in (
+        (30, 0.1, 2), (30, 1.0, 2), (30, 10.0, 2),
+        (30, 1.0, 5), (50, 0.1, 3), (50, 1.0, 3),
+        (50, 10.0, 3), (50, 1.0, 5), (60, 1.0, 2),
+        (60, 10.0, 5),
+    ):
+        graphs.append(
+            rgnos_graph(v, ccr, par, seed=7000 + v + int(10 * ccr) + par))
+    # Traced application graphs at low and high CCR.
+    for ccr in (0.5, 5.0):
+        graphs.append(cholesky_graph(5, ccr))
+        graphs.append(gaussian_elimination_graph(5, ccr))
+        graphs.append(fft_graph(3, ccr))
+        graphs.append(laplace_graph(4, 4, ccr=ccr))
+    names = [_graph_key(g) for g in graphs]
+    assert len(set(names)) == len(names), "corpus graph keys must be unique"
+    return graphs
+
+
+def _graph_key(graph: TaskGraph) -> str:
+    """Filesystem-safe unique key for one corpus graph."""
+    key = graph.name.replace("/", "-").replace(" ", "_")
+    return f"{key}-v{graph.num_nodes}-e{graph.num_edges}"
+
+
+def corpus_cases(graph: TaskGraph) -> List[Tuple[str, str]]:
+    """``(algorithm, machine-tag)`` pairs to pin for ``graph``."""
+    cases: List[Tuple[str, str]] = []
+    for alg in BNP_ALGOS:
+        cases.append((alg, "unb"))
+        cases.append((alg, "p4"))
+        if graph.num_nodes <= HET_MAX_NODES:
+            cases.append((alg, "het3"))
+    for alg in UNC_ALGOS:
+        cases.append((alg, "unb"))
+    if graph.num_nodes <= APN_MAX_NODES:
+        for alg in APN_ALGOS:
+            cases.append((alg, "hcube4"))
+    return cases
+
+
+def build_machine(tag: str, graph: TaskGraph):
+    if tag == "unb":
+        return Machine.unbounded(graph)
+    if tag == "p4":
+        return Machine(4)
+    if tag == "het3":
+        return Machine(3, speeds=[1.0, 2.0, 4.0])
+    if tag == "hcube4":
+        return NetworkMachine(Topology.hypercube(2))
+    raise ValueError(f"unknown machine tag {tag!r}")
+
+
+def run_case(graph: TaskGraph, alg: str, machine_tag: str) -> Dict:
+    """One schedule, rendered to the JSON-stable golden form."""
+    schedule = get_scheduler(alg).schedule(graph, build_machine(machine_tag,
+                                                               graph))
+    placements = {
+        str(node): [proc, start, finish]
+        for node, (proc, start, finish) in sorted(schedule.to_dict().items())
+    }
+    return {"length": schedule.length, "placements": placements}
+
+
+def golden_path(graph: TaskGraph) -> str:
+    return os.path.join(GOLDEN_DIR, _graph_key(graph) + ".json")
+
+
+def generate() -> None:  # pragma: no cover - developer/regen tool
+    os.makedirs(GOLDEN_DIR, exist_ok=True)
+    for graph in corpus_graphs():
+        doc = {
+            "graph": {"name": graph.name, "nodes": graph.num_nodes,
+                      "edges": graph.num_edges},
+            "cases": {
+                f"{alg}@{tag}": run_case(graph, alg, tag)
+                for alg, tag in corpus_cases(graph)
+            },
+        }
+        path = golden_path(graph)
+        with open(path, "w") as fh:
+            json.dump(doc, fh, indent=None, separators=(",", ":"),
+                      sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {path} ({len(doc['cases'])} cases)")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    generate()

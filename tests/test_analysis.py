@@ -59,6 +59,25 @@ class TestDecisionReport:
         # Every flag has only one side populated -> nothing to compare.
         assert reports == []
 
+    def test_empty_results_give_empty_report(self):
+        assert design_decision_report([]) == []
+
+    def test_apn_rows_excluded(self):
+        # APN NSLs embed topology effects; only BNP/UNC participate.
+        rows = [
+            _row("MH", "APN", "g1", 9.9),
+            _row("MCP", "BNP", "g1", 1.2),
+            _row("HLFET", "BNP", "g1", 1.5),
+        ]
+        reports = design_decision_report(rows)
+        for r in reports:
+            assert "MH" not in r.yes_algorithms + r.no_algorithms
+
+    def test_render_empty_report_is_header_only(self):
+        text = render_report([])
+        assert text.splitlines() == [
+            "Design-decision analysis (mean NSL; lower is better)"]
+
 
 class TestMatchedPairs:
     def test_pair_report_fields(self):
@@ -81,6 +100,30 @@ class TestMatchedPairs:
         ]
         text = render_pairs(matched_pair_report(rows))
         assert "confirms" in text
+
+    def test_empty_results_give_no_pairs(self):
+        from repro.bench.analysis import matched_pair_report, render_pairs
+
+        pairs = matched_pair_report([])
+        assert pairs == []
+        assert render_pairs(pairs).splitlines() == [
+            "Matched-pair design-decision analysis (NSL; lower is better)"]
+
+    def test_pair_skipped_when_baseline_missing(self):
+        from repro.bench.analysis import matched_pair_report
+
+        # ISH ran but HLFET never did: the pair has no common graphs.
+        rows = [_row("ISH", "BNP", "g1", 1.2)]
+        assert matched_pair_report(rows) == []
+
+    def test_contradiction_is_flagged(self):
+        from repro.bench.analysis import matched_pair_report, render_pairs
+
+        rows = [
+            _row("ISH", "BNP", "g1", 1.8), _row("HLFET", "BNP", "g1", 1.2),
+        ]
+        text = render_pairs(matched_pair_report(rows))
+        assert "CONTRADICTS" in text
 
 
 class TestPaperConclusions:

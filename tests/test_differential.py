@@ -1,0 +1,86 @@
+"""Differential harness: every algorithm vs. the pinned golden corpus.
+
+Unlike :mod:`test_golden` (three graphs, lengths only), this asserts
+*schedule-for-schedule* equality — processor, start and finish of every
+task — for every algorithm over the ~40-graph corpus defined in
+:mod:`differential_corpus`.  It is the safety net that proves the
+flat-array kernel rewrite preserved the semantics of every scheduler's
+inner loop.
+
+A failure means the scheduler produced a *different schedule* than the
+committed corpus.  That is only acceptable for an intentional algorithm
+change; regenerate with::
+
+    PYTHONPATH=src:tests python -m differential_corpus
+
+and review the golden diff consciously before committing it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from differential_corpus import (
+    corpus_cases,
+    corpus_graphs,
+    golden_path,
+    run_case,
+)
+
+_GRAPHS = corpus_graphs()
+
+
+def _load(graph):
+    path = golden_path(graph)
+    if not os.path.exists(path):
+        pytest.fail(
+            f"missing golden file {path}; regenerate the corpus with "
+            "`PYTHONPATH=src:tests python -m differential_corpus`"
+        )
+    with open(path) as fh:
+        return json.load(fh)
+
+
+@pytest.mark.parametrize("graph", _GRAPHS, ids=[g.name for g in _GRAPHS])
+def test_schedules_match_golden_corpus(graph):
+    doc = _load(graph)
+    expected_cases = doc["cases"]
+    actual_keys = {f"{alg}@{tag}" for alg, tag in corpus_cases(graph)}
+    # The corpus definition and the committed goldens must agree on the
+    # case list, else a silently-skipped algorithm loses its coverage.
+    assert actual_keys == set(expected_cases), (
+        "corpus case list drifted from the golden file; regenerate"
+    )
+    mismatches = []
+    for alg, tag in corpus_cases(graph):
+        key = f"{alg}@{tag}"
+        got = run_case(graph, alg, tag)
+        want = expected_cases[key]
+        if got["length"] != pytest.approx(want["length"], abs=1e-9):
+            mismatches.append(
+                f"{key}: length {got['length']} != {want['length']}")
+            continue
+        if set(got["placements"]) != set(want["placements"]):
+            mismatches.append(f"{key}: scheduled node set differs")
+            continue
+        for node, (proc, start, finish) in got["placements"].items():
+            wproc, wstart, wfinish = want["placements"][node]
+            if (proc != wproc or abs(start - wstart) > 1e-9
+                    or abs(finish - wfinish) > 1e-9):
+                mismatches.append(
+                    f"{key}: node {node} placed (P{proc}, {start}, {finish})"
+                    f" vs golden (P{wproc}, {wstart}, {wfinish})"
+                )
+                break
+    assert not mismatches, (
+        "schedules diverged from the golden corpus:\n  "
+        + "\n  ".join(mismatches)
+    )
+
+
+def test_every_corpus_graph_has_a_golden_file():
+    missing = [g.name for g in _GRAPHS if not os.path.exists(golden_path(g))]
+    assert not missing, f"graphs without goldens: {missing}"

@@ -49,6 +49,31 @@ class TestReadyTracker:
         assert rt.is_ready(0)
         assert not rt.is_ready(3)
 
+    def test_ready_view_is_frozen(self, diamond):
+        # Regression: ``ready`` used to leak the internal mutable set —
+        # a caller could .add()/.discard() and corrupt the tracker.
+        rt = ReadyTracker(diamond)
+        view = rt.ready
+        assert isinstance(view, frozenset)
+        with pytest.raises(AttributeError):
+            view.add(3)
+        with pytest.raises(AttributeError):
+            view.discard(0)
+
+    def test_ready_view_does_not_alias_tracker_state(self, diamond):
+        rt = ReadyTracker(diamond)
+        before = rt.ready
+        rt.mark_scheduled(0)
+        # The snapshot taken earlier must not mutate under the caller...
+        assert before == {0}
+        # ...and a fresh view reflects the new state.
+        assert rt.ready == {1, 2}
+
+    def test_iter_ready_matches_view(self, diamond):
+        rt = ReadyTracker(diamond)
+        rt.mark_scheduled(0)
+        assert set(rt.iter_ready()) == rt.ready == {1, 2}
+
 
 class TestCandidateProcs:
     def test_empty_schedule_single_candidate(self, diamond):

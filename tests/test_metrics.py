@@ -110,3 +110,47 @@ class TestRanking:
         assert summary["A"]["count"] == 2
         assert summary["A"]["mean_length"] == 150.0
         assert summary["A"]["mean_nsl"] == pytest.approx(1.5)
+
+    def test_empty_results(self):
+        assert average_ranks([]) == []
+        assert summarize_by_algorithm([]) == {}
+
+    def test_three_way_tie_shares_rank(self):
+        rows = [_mk(a, "g1", 100) for a in ("A", "B", "C")]
+        ranks = dict(average_ranks(rows))
+        # Average of ranks 1..3 for all three.
+        assert ranks == {"A": 2.0, "B": 2.0, "C": 2.0}
+
+    def test_near_tie_within_epsilon_is_a_tie(self):
+        # Lengths within 1e-9 are treated as equal (competition ranking
+        # would exaggerate float noise the paper treats as ties).
+        rows = [_mk("A", "g1", 100.0), _mk("B", "g1", 100.0 + 1e-12)]
+        ranks = dict(average_ranks(rows))
+        assert ranks["A"] == ranks["B"] == 1.5
+
+    def test_tie_then_strict_winner(self):
+        rows = [
+            _mk("A", "g1", 100), _mk("B", "g1", 100), _mk("C", "g1", 90),
+        ]
+        ranks = dict(average_ranks(rows))
+        assert ranks["C"] == 1.0
+        assert ranks["A"] == ranks["B"] == 2.5
+
+    def test_algorithms_missing_on_some_graphs(self):
+        # B only ran on g1; its average is over its own runs alone.
+        rows = [
+            _mk("A", "g1", 100), _mk("B", "g1", 90),
+            _mk("A", "g2", 100),
+        ]
+        ranks = dict(average_ranks(rows))
+        assert ranks["B"] == 1.0
+        assert ranks["A"] == pytest.approx(1.5)  # (2 + 1) / 2
+
+    def test_rank_by_alternate_key(self):
+        rows = [
+            RunResult("A", "BNP", "g1", 10, 100.0, 1.0, 7, 0.0),
+            RunResult("B", "BNP", "g1", 10, 110.0, 1.1, 2, 0.0),
+        ]
+        ranks = dict(average_ranks(rows, key="procs_used"))
+        assert ranks["B"] == 1.0
+        assert ranks["A"] == 2.0
