@@ -56,6 +56,27 @@ def test_smoke_scenario_compile(benchmark):
     assert compiled.num_cells > 0
 
 
+def test_smoke_sim_monte_carlo(benchmark):
+    """Discrete-event sim: 100-trial Monte-Carlo over the BNP suite.
+
+    Every BNP algorithm's schedule for every peer-set-suite graph is
+    executed 100 times under lognormal duration noise — the acceptance
+    bar for the sim engine's hot path (heap event loop + noise draws).
+    """
+    from repro.bench.runner import BNP_ALGORITHMS
+    from repro.bench.suites import psg_suite
+    from repro.sim import PerturbationModel, SimConfig, run_sim_grid
+
+    graphs = psg_suite()
+    sim = SimConfig(perturb=PerturbationModel.lognormal(0.3),
+                    trials=100, seed=7)
+    rows = benchmark.pedantic(
+        run_sim_grid, args=(list(BNP_ALGORITHMS), graphs),
+        kwargs={"sim": sim}, rounds=1, iterations=1)
+    assert len(rows) == len(graphs) * len(BNP_ALGORITHMS)
+    assert all(r.trials == 100 and r.mean >= 0 for r in rows)
+
+
 def test_smoke_ladder_1200(benchmark):
     """Top rung of the scalability ladder: the flat-array kernel gate.
 

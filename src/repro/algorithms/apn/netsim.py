@@ -1,25 +1,23 @@
 """Fixed-mapping simulation under the link-contention model.
 
-Given a mapping of tasks to network processors and a per-processor
-execution order, compute actual start times while scheduling every
-inter-processor message on the links (store-and-forward, one message per
-directed channel at a time).  Used as the timing engine of BU and BSA
-and by integration tests that need a reference executor.
-
-Messages are committed receiver-side in a deterministic order: nodes in
-combined (precedence + processor-sequence) readiness order; a node's
-parent messages in ascending (parent finish, parent id).
+Thin compatibility wrapper: the executor itself now lives in
+:func:`repro.sim.netmodel.execute_fixed_order`, where the discrete-event
+simulator's contention backend absorbed it as its reference
+implementation.  BU and BSA (and the integration tests) keep importing
+:func:`simulate_on_network` from here; the timing contract — messages
+committed receiver-side in deterministic (readiness, parent finish,
+parent id) order — is unchanged and pinned by the golden corpus plus a
+differential test against the sim package.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import List
 
-from ...core.exceptions import ScheduleError
 from ...core.graph import TaskGraph
 from ...core.schedule import Schedule
-from ...network.contention import LinkSchedule
 from ...network.topology import Topology
+from ...sim.netmodel import execute_fixed_order
 
 __all__ = ["simulate_on_network"]
 
@@ -28,66 +26,8 @@ def simulate_on_network(graph: TaskGraph, topology: Topology,
                         sequences: List[List[int]]) -> Schedule:
     """Schedule ``graph`` with fixed per-processor ``sequences``.
 
-    ``sequences[p]`` lists the tasks of processor ``p`` in execution
-    order; orders must be consistent with the precedence order (callers
-    keep sequences topologically sorted).  Returns a complete
-    :class:`Schedule` with all message records attached.
+    See :func:`repro.sim.netmodel.execute_fixed_order` for the
+    semantics; this alias keeps the APN package's historical entry
+    point stable.
     """
-    n = graph.num_nodes
-    proc_of: Dict[int, int] = {}
-    pos: Dict[int, int] = {}
-    for p, seq in enumerate(sequences):
-        for i, node in enumerate(seq):
-            if node in proc_of:
-                raise ScheduleError(f"node {node} appears twice in sequences")
-            proc_of[node] = p
-            pos[node] = i
-    if len(proc_of) != n:
-        raise ScheduleError("sequences must cover every node exactly once")
-
-    links = LinkSchedule(topology)
-    schedule = Schedule(graph, topology.num_procs)
-    remaining = [graph.in_degree(i) for i in range(n)]
-    next_slot = [0] * len(sequences)
-    ready = [i for i in range(n) if remaining[i] == 0]
-    placed = 0
-    while placed < n:
-        progress = False
-        new_ready: List[int] = []
-        for node in sorted(ready):
-            p = proc_of[node]
-            if pos[node] != next_slot[p]:
-                continue
-            arrival = 0.0
-            parents = sorted(
-                graph.predecessors(node),
-                key=lambda q: (schedule.finish_of(q), q),
-            )
-            for parent in parents:
-                cost = graph.comm_cost(parent, node)
-                src = proc_of[parent]
-                if src == p:
-                    arr = schedule.finish_of(parent)
-                else:
-                    msg = links.commit(parent, node, src, p,
-                                       schedule.finish_of(parent), cost)
-                    schedule.record_message(msg)
-                    arr = msg.arrival
-                if arr > arrival:
-                    arrival = arr
-            start = max(schedule.proc_ready_time(p), arrival)
-            schedule.place(node, p, start)
-            ready.remove(node)
-            next_slot[p] += 1
-            placed += 1
-            progress = True
-            for child in graph.successors(node):
-                remaining[child] -= 1
-                if remaining[child] == 0:
-                    new_ready.append(child)
-        ready.extend(new_ready)
-        if not progress:
-            raise ScheduleError(
-                "per-processor sequences deadlock against the precedence order"
-            )
-    return schedule
+    return execute_fixed_order(graph, topology, sequences)

@@ -18,6 +18,18 @@ scenario engine (:mod:`repro.scenarios`)::
 ``results/scenarios/<name>/``) so ``--resume`` replays cached cells
 verbatim; ``--format``/``--out`` mirror the artifact flags.
 
+The ``sim`` verbs execute schedules in the discrete-event simulator
+(:mod:`repro.sim`) instead of trusting their predicted times::
+
+    repro-bench sim run robustness-bnp --jobs 4
+    repro-bench sim run my_spec.toml --noise lognormal:0.3 --trials 200
+    repro-bench sim compare nightly-grid --noise uniform:0.2
+
+``sim run`` prints each cell's executed-makespan distribution plus the
+robustness ranking; ``sim compare`` prints just the ranking (predicted
+vs simulated average ranks).  Rows persist to ``results/sim/<name>/``
+by default and resume like any grid run.
+
 Reduced-scale suites run in seconds; ``--full`` (or ``REPRO_FULL=1``)
 switches to the paper's exact grids.
 
@@ -57,7 +69,7 @@ from typing import Callable, Dict, List, Optional
 from . import figures, tables
 from .store import OptimaStore, ResultStore, ensure_writable
 
-__all__ = ["main", "scenario_main"]
+__all__ = ["main", "scenario_main", "sim_main"]
 
 
 def _fail(message: str) -> int:
@@ -145,6 +157,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     try:
         if argv and argv[0] == "scenario":
             return scenario_main(argv[1:])
+        if argv and argv[0] == "sim":
+            return sim_main(argv[1:])
         return _artifact_main(argv)
     except BrokenPipeError:
         # Downstream pipe (e.g. `repro-bench ... | head`) closed early;
@@ -340,6 +354,173 @@ def scenario_main(argv: Optional[List[str]] = None) -> int:
           f"scenario_{spec.name}_summary", args.out, args.fmt)
     if store is not None:
         print(f"[{len(store)} rows persisted under {store.directory}]")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# sim verbs
+# ----------------------------------------------------------------------
+def _parse_noise(text: str, flag: str):
+    """``dist:param`` (e.g. ``lognormal:0.3``) -> perturb-block dict."""
+    kind, sep, param = text.partition(":")
+    if not sep:
+        raise ValueError(f"{flag}: expected DIST:PARAM, got {text!r}")
+    try:
+        value = float(param)
+    except ValueError:
+        raise ValueError(f"{flag}: parameter {param!r} is not a number"
+                         ) from None
+    return {"dist": kind, "param": value}
+
+
+def sim_main(argv: Optional[List[str]] = None) -> int:
+    """``repro-bench sim {run,compare}``.
+
+    Both verbs execute a scenario's schedules through the discrete-event
+    Monte-Carlo layer (:mod:`repro.sim`); ``run`` prints the per-cell
+    distribution table plus the robustness ranking, ``compare`` only the
+    ranking.  The spec's ``simulate:`` block configures the execution
+    model; the flags below override it ad hoc.
+    """
+    from ..sim.netmodel import NETWORK_KINDS
+
+    parser = argparse.ArgumentParser(
+        prog="repro-bench sim",
+        description="Execute scheduled graphs in the discrete-event "
+                    "simulator under stochastic runtimes and rank the "
+                    "algorithms by robustness (see repro.sim).",
+    )
+    sub = parser.add_subparsers(dest="verb", required=True)
+    for verb, text in (
+        ("run", "Monte-Carlo a scenario; print distributions + ranking"),
+        ("compare", "Monte-Carlo a scenario; print only the robustness "
+                    "ranking"),
+    ):
+        p = sub.add_parser(verb, help=text)
+        p.add_argument("spec", help="spec file (.json/.toml) or "
+                                    "registered scenario name")
+        p.add_argument("--trials", type=int, default=None, metavar="N",
+                       help="Monte-Carlo trials per cell "
+                            "(default: spec value or 100)")
+        p.add_argument("--seed", type=int, default=None,
+                       help="noise-stream seed (default: spec value or 0)")
+        p.add_argument("--noise", default=None, metavar="DIST:PARAM",
+                       help="duration noise, e.g. lognormal:0.3 or "
+                            "uniform:0.2 (overrides the spec)")
+        p.add_argument("--speed-noise", default=None, metavar="DIST:PARAM",
+                       help="per-processor speed jitter per trial")
+        p.add_argument("--comm-noise", default=None, metavar="DIST:PARAM",
+                       help="message-latency noise")
+        p.add_argument("--network", default=None, choices=NETWORK_KINDS,
+                       help="transport backend (default: spec value or "
+                            "'auto' — each schedule's own model)")
+        p.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="worker processes (0 = one per CPU)")
+        p.add_argument("--results", default=None, metavar="DIR",
+                       help="ResultStore directory (default: "
+                            "results/sim/<name>)")
+        p.add_argument("--no-store", action="store_true",
+                       help="do not persist rows")
+        p.add_argument("--resume", action="store_true",
+                       help="reuse rows cached by previous runs")
+        p.add_argument("--format", default="text",
+                       choices=sorted(_EXTENSIONS), dest="fmt",
+                       metavar="{text,json,csv}",
+                       help="output format (default: text)")
+        p.add_argument("--out", default=None, metavar="DIR",
+                       help="also write the tables to DIR")
+        p.add_argument("--full", action="store_true",
+                       help="paper-scale suites for 'graphs.suite' axes")
+    args = parser.parse_args(argv)
+
+    from ..scenarios import (
+        SpecError,
+        compile_scenario,
+        load_spec,
+        run_sim_scenario,
+        sim_tables,
+        validate_spec,
+    )
+    from ..sim import sim_store
+
+    try:
+        spec = load_spec(args.spec)
+    except SpecError as exc:
+        return _fail(str(exc))
+    except OSError as exc:
+        return _fail(f"cannot read {args.spec!r} ({exc.strerror or exc})")
+
+    # Fold the CLI's execution-model overrides back into the document and
+    # re-validate, so flag errors surface as the same one-line dotted
+    # diagnostics as spec errors.  An override of a *swept* simulate
+    # field cannot win (the sweep replaces the field per variant), so
+    # that combination is an explicit error, never a silent no-op.
+    doc = spec.to_dict()
+    block = dict(doc.get("simulate", {}))
+    perturb = dict(block.get("perturb", {}))
+    overridden = []
+    try:
+        if args.trials is not None:
+            block["trials"] = args.trials
+            overridden.append(("--trials", "trials"))
+        if args.seed is not None:
+            block["seed"] = args.seed
+            overridden.append(("--seed", "seed"))
+        if args.network is not None:
+            block["network"] = args.network
+            overridden.append(("--network", "network"))
+        for flag, source, text in (
+            ("--noise", "duration", args.noise),
+            ("--speed-noise", "speed", args.speed_noise),
+            ("--comm-noise", "comm", args.comm_noise),
+        ):
+            if text is not None:
+                perturb[source] = _parse_noise(text, flag)
+                overridden.append((flag, "perturb"))
+    except ValueError as exc:
+        return _fail(str(exc))
+    for flag, leaf in overridden:
+        for axis in spec.sweep:
+            if (axis == "simulate"
+                    or axis == f"simulate.{leaf}"
+                    or axis.startswith(f"simulate.{leaf}.")):
+                return _fail(
+                    f"{flag} conflicts with the spec's sweep axis "
+                    f"{axis!r} — drop the flag or remove the axis")
+    if perturb:
+        block["perturb"] = perturb
+    if block:
+        doc["simulate"] = block
+    try:
+        spec = validate_spec(doc)
+        compiled = compile_scenario(spec, full=True if args.full else None)
+    except SpecError as exc:
+        return _fail(str(exc))
+
+    store = None
+    if not args.no_store:
+        results_dir = args.results or os.path.join(
+            "results", "sim", spec.name)
+        try:
+            ensure_writable(results_dir)
+            store = sim_store(results_dir)
+        except ValueError as exc:
+            return _fail(str(exc))
+    try:
+        result = run_sim_scenario(compiled, jobs=args.jobs, store=store,
+                                  resume=args.resume)
+    except ValueError as exc:
+        # e.g. a contention backend whose topology is smaller than the
+        # scenario's machine — a config error, not a crash.
+        return _fail(str(exc))
+    detail, ranking = sim_tables(result)
+    if args.verb == "run":
+        _emit(_render_table(detail, args.fmt), f"sim_{spec.name}",
+              args.out, args.fmt)
+    _emit(_render_table(ranking, args.fmt), f"sim_{spec.name}_ranking",
+          args.out, args.fmt)
+    if store is not None:
+        print(f"[{len(store)} sim rows persisted under {store.directory}]")
     return 0
 
 

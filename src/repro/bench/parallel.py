@@ -30,7 +30,7 @@ from ..core.graph import TaskGraph
 from ..metrics.measures import RunResult
 from .store import ResultStore
 
-__all__ = ["grid_cells", "run_grid", "default_jobs"]
+__all__ = ["grid_cells", "execute_cells", "run_grid", "default_jobs"]
 
 # One cell of work: (algorithm name, graph, requested optimum or None).
 Cell = Tuple[str, TaskGraph, Optional[float]]
@@ -68,6 +68,70 @@ def _run_cell(args) -> RunResult:
     return runner.run_one(name, graph, config=config, optimal=optimal)
 
 
+def execute_cells(keys: Sequence[Tuple[str, str]], work: Sequence,
+                  worker, fingerprint: str,
+                  jobs: Optional[int] = None,
+                  store: Optional[ResultStore] = None,
+                  resume: bool = False,
+                  rebase=None) -> List:
+    """The grid executor every cell-shaped benchmark shares.
+
+    ``keys[i] = (algorithm, graph name)`` is cell *i*'s store cache key
+    (with ``fingerprint``); ``work[i]`` is the picklable argument tuple
+    handed to the module-level ``worker`` function.  Rows land at their
+    serial indices regardless of ``jobs``; cached rows are reused under
+    ``resume`` (optionally adapted by ``rebase(row, i)``, e.g. to point
+    degradation at the currently requested optimum); computed rows are
+    written back and checkpointed every :data:`SAVE_EVERY` cells plus
+    once at the end.  Both the static grid (:func:`run_grid`) and the
+    Monte-Carlo sim grid (:func:`repro.sim.bench.run_sim_grid`) run on
+    this one implementation.
+    """
+    rows: List = [None] * len(keys)
+    todo: List[int] = []
+    for i, (alg, gname) in enumerate(keys):
+        cached = (store.get(alg, gname, fingerprint)
+                  if store is not None and resume else None)
+        if cached is not None:
+            rows[i] = rebase(cached, i) if rebase is not None else cached
+        else:
+            todo.append(i)
+
+    unsaved = 0
+
+    def record(row) -> None:
+        nonlocal unsaved
+        if store is None:
+            return
+        store.put(row, fingerprint)
+        unsaved += 1
+        if unsaved >= SAVE_EVERY:
+            store.save()
+            unsaved = 0
+
+    jobs = default_jobs() if jobs == 0 else max(1, int(jobs or 1))
+    try:
+        if jobs > 1 and len(todo) > 1:
+            batch = [work[i] for i in todo]
+            processes = min(jobs, len(batch))
+            chunksize = max(1, len(batch) // (processes * 4))
+            with multiprocessing.Pool(processes=processes) as pool:
+                # imap preserves submission order: rows land at their
+                # serial indices no matter which worker finishes first.
+                for i, row in zip(todo, pool.imap(worker, batch,
+                                                  chunksize=chunksize)):
+                    rows[i] = row
+                    record(row)
+        else:
+            for i in todo:
+                rows[i] = worker(work[i])
+                record(rows[i])
+    finally:
+        if store is not None and unsaved:
+            store.save()
+    return rows
+
+
 def run_grid(names: Sequence[str], graphs: Iterable[TaskGraph],
              config=None,
              optima: Optional[Dict[str, float]] = None,
@@ -98,55 +162,13 @@ def run_grid(names: Sequence[str], graphs: Iterable[TaskGraph],
 
     config = config or runner.BenchConfig()
     cells = grid_cells(names, graphs, optima)
-    rows: List[Optional[RunResult]] = [None] * len(cells)
-
-    fingerprint = config.fingerprint()
-    todo: List[int] = []
-    for i, (name, graph, opt) in enumerate(cells):
-        cached = (store.get(name, graph.name, fingerprint)
-                  if store is not None and resume else None)
-        if cached is not None:
-            rows[i] = dataclasses.replace(cached, optimal=opt)
-        else:
-            todo.append(i)
-
-    # Persist incrementally: rows are written back (and the store saved
-    # every SAVE_EVERY cells, plus once in the finally) as they arrive,
-    # so an interrupted --full grid resumes from the last checkpoint
-    # instead of from cell 0.
-    unsaved = 0
-
-    def record(row: RunResult) -> None:
-        nonlocal unsaved
-        if store is None:
-            return
-        store.put(row, fingerprint)
-        unsaved += 1
-        if unsaved >= SAVE_EVERY:
-            store.save()
-            unsaved = 0
-
-    jobs = default_jobs() if jobs == 0 else max(1, int(jobs or 1))
-    try:
-        if jobs > 1 and len(todo) > 1:
-            work = [(cells[i][0], cells[i][1], config, cells[i][2])
-                    for i in todo]
-            processes = min(jobs, len(work))
-            chunksize = max(1, len(work) // (processes * 4))
-            with multiprocessing.Pool(processes=processes) as pool:
-                # imap preserves submission order: rows land at their
-                # serial indices no matter which worker finishes first.
-                for i, row in zip(todo, pool.imap(_run_cell, work,
-                                                  chunksize=chunksize)):
-                    rows[i] = row
-                    record(row)
-        else:
-            for i in todo:
-                name, graph, opt = cells[i]
-                rows[i] = runner.run_one(name, graph, config=config,
-                                         optimal=opt)
-                record(rows[i])
-    finally:
-        if store is not None and unsaved:
-            store.save()
-    return rows
+    keys = [(name, graph.name) for name, graph, _opt in cells]
+    work = [(name, graph, config, opt) for name, graph, opt in cells]
+    return execute_cells(
+        keys, work, _run_cell, config.fingerprint(),
+        jobs=jobs, store=store, resume=resume,
+        # Cached rows rebase onto the currently requested optimum: the
+        # optimum feeds only the degradation measure, never the schedule.
+        rebase=lambda row, i: dataclasses.replace(row,
+                                                  optimal=cells[i][2]),
+    )

@@ -38,6 +38,9 @@ from ..metrics.measures import RunResult
 __all__ = [
     "SCHEMA_VERSION",
     "RESULT_FIELDS",
+    "row_fields",
+    "row_to_dict",
+    "row_from_dict",
     "result_to_dict",
     "result_from_dict",
     "ensure_writable",
@@ -74,20 +77,36 @@ RESULT_FIELDS: Tuple[str, ...] = tuple(f.name for f in fields(RunResult))
 Key = Tuple[str, str, str]  # (algorithm, graph name, config fingerprint)
 
 
-def result_to_dict(row: RunResult) -> Dict:
-    """Serialize one row to a plain JSON-compatible dict."""
+def row_fields(row_type: type) -> Tuple[str, ...]:
+    """Stable column order of any dataclass row type."""
+    return tuple(f.name for f in fields(row_type))
+
+
+def row_to_dict(row) -> Dict:
+    """Serialize one dataclass row to a plain JSON-compatible dict."""
     return asdict(row)
 
 
-def result_from_dict(data: Dict) -> RunResult:
-    """Rebuild a :class:`RunResult` from :func:`result_to_dict` output.
+def row_from_dict(data: Dict, row_type: type):
+    """Rebuild a dataclass row from :func:`row_to_dict` output.
 
     Unknown keys (e.g. the store's ``fingerprint`` column, or fields
     added by a future schema) are ignored, so old code can read newer
     stores as long as the known columns keep their meaning.
     """
-    kwargs = {name: data[name] for name in RESULT_FIELDS if name in data}
-    return RunResult(**kwargs)
+    names = row_fields(row_type)
+    kwargs = {name: data[name] for name in names if name in data}
+    return row_type(**kwargs)
+
+
+def result_to_dict(row: RunResult) -> Dict:
+    """Serialize one row to a plain JSON-compatible dict."""
+    return row_to_dict(row)
+
+
+def result_from_dict(data: Dict) -> RunResult:
+    """Rebuild a :class:`RunResult` from :func:`result_to_dict` output."""
+    return row_from_dict(data, RunResult)
 
 
 class ResultStore:
@@ -102,11 +121,22 @@ class ResultStore:
     basename:
         Stem of the two files (default ``results``), letting several
         stores share one directory.
+    row_type:
+        Dataclass the rows deserialize into.  The default is the grid
+        engine's :class:`~repro.metrics.measures.RunResult`; the sim
+        bench layer stores :class:`~repro.sim.robustness.RobustnessRow`
+        cells under a different basename with exactly the same caching,
+        checkpointing and merge semantics.  Rows must expose
+        ``algorithm`` and ``graph`` attributes (the first two key
+        parts).
     """
 
-    def __init__(self, directory: str, basename: str = "results"):
+    def __init__(self, directory: str, basename: str = "results",
+                 row_type: type = RunResult):
         self.directory = directory
         self.basename = basename
+        self.row_type = row_type
+        self._fields = row_fields(row_type)
         self._rows: Dict[Key, Dict] = {}
         if os.path.exists(self.json_path):
             self.load()
@@ -139,26 +169,27 @@ class ResultStore:
             fingerprint: str) -> Optional[RunResult]:
         """The cached row for a cell, or ``None`` on a miss."""
         data = self._rows.get(self.key(algorithm, graph, fingerprint))
-        return result_from_dict(data) if data is not None else None
+        return (row_from_dict(data, self.row_type)
+                if data is not None else None)
 
-    def put(self, row: RunResult, fingerprint: str) -> None:
+    def put(self, row, fingerprint: str) -> None:
         """Insert or overwrite one cell."""
-        data = result_to_dict(row)
+        data = row_to_dict(row)
         data["fingerprint"] = str(fingerprint)
         self._rows[self.key(row.algorithm, row.graph, fingerprint)] = data
 
-    def update(self, rows: Iterable[RunResult], fingerprint: str) -> None:
+    def update(self, rows: Iterable, fingerprint: str) -> None:
         """Insert or overwrite many cells sharing one fingerprint."""
         for row in rows:
             self.put(row, fingerprint)
 
-    def rows(self, fingerprint: Optional[str] = None) -> List[RunResult]:
+    def rows(self, fingerprint: Optional[str] = None) -> List:
         """All rows (optionally only one fingerprint), in stable key order."""
         out = []
         for key in sorted(self._rows):
             if fingerprint is not None and key[2] != fingerprint:
                 continue
-            out.append(result_from_dict(self._rows[key]))
+            out.append(row_from_dict(self._rows[key], self.row_type))
         return out
 
     # ------------------------------------------------------------------
@@ -202,7 +233,7 @@ class ResultStore:
     def as_csv(self) -> str:
         """The whole store as CSV text (stable header and row order)."""
         buf = io.StringIO()
-        header = ("fingerprint",) + RESULT_FIELDS
+        header = ("fingerprint",) + self._fields
         writer = csv.writer(buf, lineterminator="\n")
         writer.writerow(header)
         for key in sorted(self._rows):

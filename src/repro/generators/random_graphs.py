@@ -15,8 +15,13 @@ layering the nodes (layer sizes jittered around the target width) and
 drawing children only from strictly later layers, with the immediately
 following layer guaranteed reachable so the width target is tight.
 
-All draws use ``numpy.random.default_rng`` with explicit seeds — every
-graph in every suite is reproducible bit for bit.
+All draws come from an explicitly seeded ``numpy.random.Generator`` and
+no module holds global RNG state — every graph in every suite is
+reproducible bit for bit.  ``seed`` parameters accept either an ``int``
+(an independent stream per call, the historical behaviour) or a live
+``numpy.random.Generator`` (one shared stream threaded through several
+calls — how the simulator keeps graph generation and Monte-Carlo trials
+jointly reproducible, see :mod:`repro.core.rng`).
 """
 
 from __future__ import annotations
@@ -28,6 +33,7 @@ import numpy as np
 
 from ..core.exceptions import GeneratorError
 from ..core.graph import TaskGraph
+from ..core.rng import SeedLike, as_generator, seed_label
 
 __all__ = ["rgbos_graph", "rgnos_graph", "uniform_weights"]
 
@@ -47,7 +53,7 @@ def _comm_cost(rng: np.random.Generator, ccr: float) -> int:
     return int(rng.integers(1, high + 1))
 
 
-def rgbos_graph(v: int, ccr: float, seed: int = 0,
+def rgbos_graph(v: int, ccr: float, seed: SeedLike = 0,
                 name: str | None = None) -> TaskGraph:
     """One RGBOS-style random graph (paper Section 5.2).
 
@@ -59,13 +65,14 @@ def rgbos_graph(v: int, ccr: float, seed: int = 0,
         Target communication-to-computation ratio (0.1, 1.0 or 10.0 in
         the paper).
     seed:
-        RNG seed; graphs are deterministic in (v, ccr, seed).
+        RNG seed — graphs are deterministic in (v, ccr, seed) — or a
+        live ``numpy.random.Generator`` to draw from a shared stream.
     """
     if v < 2:
         raise GeneratorError("need at least two nodes")
     if ccr <= 0:
         raise GeneratorError("ccr must be positive")
-    rng = np.random.default_rng(seed)
+    rng = as_generator(seed)
     weights = uniform_weights(rng, v)
     mean_children = max(1.0, v / 10.0)
     edges: Dict[Tuple[int, int], float] = {}
@@ -91,7 +98,7 @@ def rgbos_graph(v: int, ccr: float, seed: int = 0,
             edges[(parent, node)] = _comm_cost(rng, ccr)
     return TaskGraph(
         weights, edges,
-        name=name or f"rgbos-v{v}-ccr{ccr:g}-s{seed}",
+        name=name or f"rgbos-v{v}-ccr{ccr:g}-s{seed_label(seed)}",
     )
 
 
@@ -107,18 +114,19 @@ def _layer_sizes(rng: np.random.Generator, v: int, width: float) -> List[int]:
     return sizes
 
 
-def rgnos_graph(v: int, ccr: float, parallelism: int, seed: int = 0,
+def rgnos_graph(v: int, ccr: float, parallelism: int, seed: SeedLike = 0,
                 name: str | None = None) -> TaskGraph:
     """One RGNOS-style random graph (paper Section 5.4).
 
     ``parallelism`` of ``k`` targets an average width of ``k * sqrt(v)``
-    (the paper uses 1..5).
+    (the paper uses 1..5).  ``seed`` accepts an int or a live
+    ``numpy.random.Generator``.
     """
     if v < 2:
         raise GeneratorError("need at least two nodes")
     if ccr <= 0 or parallelism < 1:
         raise GeneratorError("ccr must be positive, parallelism >= 1")
-    rng = np.random.default_rng(seed)
+    rng = as_generator(seed)
     width = min(float(v), parallelism * math.sqrt(v))
     sizes = _layer_sizes(rng, v, width)
     layer_of: List[int] = []
@@ -153,5 +161,6 @@ def rgnos_graph(v: int, ccr: float, parallelism: int, seed: int = 0,
             edges[(parent, node)] = _comm_cost(rng, ccr)
     return TaskGraph(
         weights, edges,
-        name=name or f"rgnos-v{v}-ccr{ccr:g}-par{parallelism}-s{seed}",
+        name=name or (f"rgnos-v{v}-ccr{ccr:g}-par{parallelism}"
+                      f"-s{seed_label(seed)}"),
     )

@@ -32,6 +32,7 @@ import numpy as np
 
 from ..core.exceptions import GeneratorError
 from ..core.graph import TaskGraph
+from ..core.rng import SeedLike, as_generator, seed_label
 from ..core.schedule import Schedule
 
 __all__ = ["RGPOSInstance", "rgpos_instance"]
@@ -58,7 +59,8 @@ class RGPOSInstance:
         return sched
 
 
-def rgpos_instance(v: int, ccr: float, num_procs: int = 8, seed: int = 0,
+def rgpos_instance(v: int, ccr: float, num_procs: int = 8,
+                   seed: SeedLike = 0,
                    ensure_chains: bool = True,
                    extra_edge_factor: float = 1.5,
                    chain_processors: int | None = None,
@@ -91,7 +93,7 @@ def rgpos_instance(v: int, ccr: float, num_procs: int = 8, seed: int = 0,
         raise GeneratorError("need at least one task per processor")
     if ccr <= 0:
         raise GeneratorError("ccr must be positive")
-    rng = np.random.default_rng(seed)
+    rng = as_generator(seed)
 
     # Spread tasks over processors: mean v/p each, at least 1.
     counts = rng.multinomial(v - num_procs, [1.0 / num_procs] * num_procs)
@@ -164,6 +166,7 @@ def rgpos_instance(v: int, ccr: float, num_procs: int = 8, seed: int = 0,
 
     graph = TaskGraph(
         weights, edges,
-        name=name or f"rgpos-v{v}-ccr{ccr:g}-p{num_procs}-s{seed}",
+        name=name or (f"rgpos-v{v}-ccr{ccr:g}-p{num_procs}"
+                      f"-s{seed_label(seed)}"),
     )
     return RGPOSInstance(graph, float(l_opt), num_procs, reference)

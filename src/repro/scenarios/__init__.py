@@ -19,10 +19,13 @@ CLI verbs ``python -m repro.bench scenario {list,validate,run}``.
 from .compile import (
     CompiledScenario,
     ScenarioResult,
+    SimScenarioResult,
     Variant,
     compile_scenario,
     run_scenario,
+    run_sim_scenario,
     scenario_tables,
+    sim_tables,
 )
 from .registry import SCENARIOS, get_scenario, scenario_names
 from .spec import (
@@ -49,7 +52,10 @@ __all__ = [
     "Variant",
     "CompiledScenario",
     "ScenarioResult",
+    "SimScenarioResult",
     "compile_scenario",
     "run_scenario",
+    "run_sim_scenario",
     "scenario_tables",
+    "sim_tables",
 ]

@@ -39,9 +39,12 @@ __all__ = [
     "Variant",
     "CompiledScenario",
     "ScenarioResult",
+    "SimScenarioResult",
     "compile_scenario",
     "run_scenario",
+    "run_sim_scenario",
     "scenario_tables",
+    "sim_tables",
 ]
 
 
@@ -130,6 +133,23 @@ def _build_topology(apn: Mapping) -> Topology:
     return topo
 
 
+def _build_sim(simulate: Mapping):
+    """Lower a validated ``simulate:`` block to a ``SimConfig``."""
+    if not simulate:
+        return None
+    from ..sim.bench import SimConfig
+    from ..sim.perturb import perturbation_from_dict
+
+    return SimConfig(
+        perturb=perturbation_from_dict(simulate.get("perturb", {})),
+        network=simulate.get("network", "auto"),
+        trials=int(simulate.get("trials", 100)),
+        seed=int(simulate.get("seed", 0)),
+        net_scale=float(simulate.get("scale", 1.0)),
+        net_latency=float(simulate.get("latency", 0.0)),
+    )
+
+
 def _build_config(machine: Mapping) -> BenchConfig:
     procs = machine.get("bnp_procs")
     speeds = machine.get("bnp_speeds")
@@ -147,7 +167,12 @@ def _build_config(machine: Mapping) -> BenchConfig:
 # ----------------------------------------------------------------------
 @dataclass
 class Variant:
-    """One sweep point, ready for a ``run_grid`` call."""
+    """One sweep point, ready for a ``run_grid`` call.
+
+    ``sim`` is present when the spec carries a ``simulate:`` block —
+    the same variant then also compiles to one
+    :func:`repro.sim.bench.run_sim_grid` call.
+    """
 
     label: str
     overrides: Dict[str, object]
@@ -155,6 +180,7 @@ class Variant:
     config: BenchConfig
     algorithms: Tuple[str, ...]
     optima: Optional[Dict[str, float]] = None
+    sim: Optional[object] = None  # repro.sim.bench.SimConfig
 
     @property
     def num_cells(self) -> int:
@@ -207,6 +233,7 @@ def compile_scenario(spec: ScenarioSpec,
             config=_build_config(sub.machine),
             algorithms=expand_algorithms(sub.algorithms),
             optima=optima,
+            sim=_build_sim(sub.simulate),
         ))
     return CompiledScenario(spec=spec, variants=variants)
 
@@ -225,6 +252,45 @@ class ScenarioResult:
     @property
     def spec(self) -> ScenarioSpec:
         return self.compiled.spec
+
+
+@dataclass
+class SimScenarioResult:
+    """Monte-Carlo rows of every variant of one simulated scenario run."""
+
+    compiled: CompiledScenario
+    rows: List[Tuple[Variant, List]] = field(default_factory=list)
+
+    @property
+    def spec(self) -> ScenarioSpec:
+        return self.compiled.spec
+
+    def all_rows(self) -> List:
+        return [row for _, rows in self.rows for row in rows]
+
+
+def run_sim_scenario(compiled: CompiledScenario,
+                     jobs: Optional[int] = None,
+                     store=None,
+                     resume: bool = False) -> SimScenarioResult:
+    """Execute every variant's schedules through the sim grid.
+
+    Variants without their own ``simulate`` axis inherit the spec's
+    block; a scenario with no ``simulate:`` block at all still runs,
+    deterministically (zero noise) — useful as a sanity anchor.  The
+    shared ``store`` keys rows by the combined bench|sim fingerprint.
+    """
+    from ..sim.bench import SimConfig, run_sim_grid
+
+    result = SimScenarioResult(compiled)
+    for variant in compiled.variants:
+        rows = run_sim_grid(
+            list(variant.algorithms), variant.graphs,
+            config=variant.config, sim=variant.sim or SimConfig(),
+            jobs=jobs, store=store, resume=resume,
+        )
+        result.rows.append((variant, rows))
+    return result
 
 
 def run_scenario(compiled: CompiledScenario,
@@ -311,3 +377,57 @@ def scenario_tables(result: ScenarioResult) -> Tuple[Table, Table]:
         notes=[f"variant axes: {', '.join(spec.sweep) or '(none)'}"],
     )
     return detail, summary
+
+
+def sim_tables(result: SimScenarioResult) -> Tuple[Table, Table]:
+    """Render a sim run as (per-cell detail, robustness ranking) tables.
+
+    The detail table lists every Monte-Carlo cell's distribution
+    statistics; the ranking table shows, per variant, each algorithm's
+    paper-style average rank by *predicted* vs *simulated mean*
+    makespan and the shift between them — positive shift means the
+    algorithm looks worse once its schedules actually execute.
+    """
+    from ..sim.robustness import robustness_ranking
+
+    spec = result.spec
+    detail_rows: List[List[str]] = []
+    for variant, rows in result.rows:
+        for r in rows:
+            detail_rows.append([
+                variant.label, r.graph, str(r.num_nodes), r.algorithm,
+                f"{r.predicted:g}", f"{r.mean:.1f}", f"{r.std:.1f}",
+                f"{r.p95:.1f}", f"{r.worst:.1f}",
+                f"{r.mean_degradation_pct:+.2f}",
+                f"{r.p95_degradation_pct:+.2f}", f"{r.slack:.3f}",
+            ])
+    trials = {r.trials for _, rows in result.rows for r in rows}
+    detail = Table(
+        f"sim:{spec.name}",
+        spec.description or f"Simulated scenario {spec.name}",
+        ["variant", "graph", "v", "algorithm", "predicted", "mean",
+         "std", "p95", "worst", "degr%", "p95degr%", "slack"],
+        detail_rows,
+        notes=[f"{'/'.join(str(t) for t in sorted(trials)) or '?'} "
+               "Monte-Carlo trial(s) per cell; degr% is change of the "
+               "mean (p95) executed makespan vs the predicted one"],
+    )
+
+    ranking_rows: List[List[str]] = []
+    for variant, rows in result.rows:
+        for alg, pred, sim, shift in robustness_ranking(rows):
+            ranking_rows.append([
+                variant.label, alg, f"{pred:.2f}", f"{sim:.2f}",
+                f"{shift:+.2f}",
+            ])
+    ranking = Table(
+        f"sim:{spec.name}:ranking",
+        f"Robustness ranking over {len(result.rows)} variant(s)",
+        ["variant", "algorithm", "rank(predicted)", "rank(simulated)",
+         "shift"],
+        ranking_rows,
+        notes=["average per-graph ranks (1 = best); positive shift = "
+               "ranked worse under execution noise than the static "
+               "comparison suggests"],
+    )
+    return detail, ranking

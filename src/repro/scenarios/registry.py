@@ -142,7 +142,42 @@ SCENARIOS: Dict[str, dict] = {
         "machine": {"bnp_procs": 8},
         "metrics": ["length", "degradation", "procs_used"],
     },
-    # 10 — the nightly reduced full grid (all 15 algorithms, RGNOS).
+    # 10 — Monte-Carlo robustness of the BNP class (the nightly sim run).
+    "robustness-bnp": {
+        "name": "robustness-bnp",
+        "description": "Monte-Carlo execution of BNP schedules under "
+                       "lognormal duration noise across the paper's CCR "
+                       "range — does the predicted ranking survive "
+                       "runtime jitter?",
+        "graphs": {"generator": "rgnos", "sizes": [40, 80],
+                   "ccrs": [0.1, 1.0, 10.0], "parallelisms": [3],
+                   "seed": 101},
+        "algorithms": [{"class": "BNP"}],
+        "metrics": ["length", "nsl"],
+        "simulate": {"trials": 100, "seed": 7,
+                     "perturb": {"duration": {"dist": "lognormal",
+                                              "param": 0.3}}},
+    },
+    # 11 — noise-level sweep: how fast does each BNP ranking decay?
+    "noise-ladder": {
+        "name": "noise-ladder",
+        "description": "BNP robustness as lognormal duration noise grows "
+                       "from none to sigma 0.5, with per-processor speed "
+                       "jitter at the top rung",
+        "graphs": {"generator": "rgnos", "sizes": [60],
+                   "ccrs": [1.0], "parallelisms": [3], "seed": 113},
+        "algorithms": [{"class": "BNP"}],
+        "metrics": ["length"],
+        "simulate": {"trials": 50, "seed": 7},
+        "sweep": {"simulate.perturb": [
+            {},
+            {"duration": {"dist": "lognormal", "param": 0.1}},
+            {"duration": {"dist": "lognormal", "param": 0.3}},
+            {"duration": {"dist": "lognormal", "param": 0.5},
+             "speed": {"dist": "uniform", "param": 0.2}},
+        ]},
+    },
+    # 12 — the nightly reduced full grid (all 15 algorithms, RGNOS).
     "nightly-grid": {
         "name": "nightly-grid",
         "description": "Reduced paper-style grid: all 15 algorithms on "

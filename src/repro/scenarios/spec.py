@@ -25,6 +25,10 @@ Document shape
         "validate": true
       },
       "metrics": ["length", "nsl"],         # subset of METRICS
+      "simulate": {                         # optional: execution layer
+        "trials": 100, "seed": 7, "network": "auto",
+        "perturb": {"duration": {"dist": "lognormal", "param": 0.3}}
+      },
       "sweep": {"machine.bnp_procs": [2, 4, 8]}   # cartesian product
     }
 
@@ -325,7 +329,66 @@ def _validate_metrics(data, path: str = "metrics") -> Tuple[str, ...]:
     return tuple(out)
 
 
-_SWEEPABLE_ROOTS = ("machine", "graphs")
+def _sim_networks() -> Tuple[str, ...]:
+    """Backend names, from the sim package's single source of truth."""
+    from ..sim.netmodel import NETWORK_KINDS
+
+    return NETWORK_KINDS
+
+
+def _validate_simulate(data, path: str = "simulate") -> Dict[str, Any]:
+    """Schema-check a ``simulate:`` block (the sim-sweep axis).
+
+    The block configures the discrete-event execution layer
+    (:mod:`repro.sim`): Monte-Carlo trial count and seed, the transport
+    backend, and up to three noise sources, each a mean-1 distribution
+    ``{"dist": "uniform"|"normal"|"lognormal", "param": x}``.
+    """
+    data = dict(_expect_mapping(data, path))
+    out: Dict[str, Any] = {}
+    if "trials" in data:
+        out["trials"] = _expect_int(data.pop("trials"), f"{path}.trials")
+    if "seed" in data:
+        seed = data.pop("seed")
+        _expect(isinstance(seed, int) and not isinstance(seed, bool)
+                and seed >= 0, f"{path}.seed",
+                "expected a non-negative integer (numpy seed streams "
+                "reject negative seeds)")
+        out["seed"] = seed
+    if "network" in data:
+        net = _expect_str(data.pop("network"), f"{path}.network")
+        kinds = _sim_networks()
+        _expect(net in kinds, f"{path}.network",
+                f"unknown network {net!r}; expected one of "
+                f"{', '.join(kinds)}")
+        out["network"] = net
+    for key in ("scale", "latency"):
+        if key in data:
+            out[key] = _expect_number(data.pop(key), f"{path}.{key}",
+                                      positive=False)
+            _expect(out[key] >= 0, f"{path}.{key}",
+                    f"expected a number >= 0, got {out[key]}")
+            # Only the fixed-delay backend consumes these; accepting
+            # them elsewhere would silently simulate a different model.
+            _expect(out.get("network") == "fixed", f"{path}.{key}",
+                    "only applies to network: 'fixed' — set it or drop "
+                    f"'{key}'")
+    if "perturb" in data:
+        perturb = dict(_expect_mapping(data.pop("perturb"),
+                                       f"{path}.perturb"))
+        from ..sim.perturb import perturbation_from_dict
+
+        try:
+            perturbation_from_dict(perturb)
+        except ValueError as exc:
+            raise SpecError(f"{path}.perturb", str(exc)) from None
+        out["perturb"] = perturb
+    _expect(not data, path,
+            f"unknown keys: {', '.join(sorted(map(str, data)))}")
+    return out
+
+
+_SWEEPABLE_ROOTS = ("machine", "graphs", "simulate")
 
 
 def _validate_sweep(data, path: str = "sweep") -> Dict[str, Tuple]:
@@ -333,10 +396,11 @@ def _validate_sweep(data, path: str = "sweep") -> Dict[str, Tuple]:
     out: Dict[str, Tuple] = {}
     for key, values in data.items():
         kpath = f"{path}[{key!r}]"
+        roots = "/".join(f"'{r}'" for r in _SWEEPABLE_ROOTS)
         _expect(isinstance(key, str) and key.split(".")[0]
                 in _SWEEPABLE_ROOTS, kpath,
-                "sweep paths must start with 'machine.' or 'graphs.' "
-                "(or be exactly 'machine'/'graphs')")
+                f"sweep paths must start with one of {roots} "
+                "(dotted or bare)")
         _expect(isinstance(values, Sequence) and not isinstance(values, str),
                 kpath, "expected a list of values to sweep")
         _expect(len(values) > 0, kpath, "expected a non-empty list")
@@ -363,6 +427,7 @@ class ScenarioSpec:
     machine: Mapping[str, Any] = field(default_factory=dict)
     metrics: Tuple[str, ...] = _DEFAULT_METRICS
     sweep: Mapping[str, Tuple] = field(default_factory=dict)
+    simulate: Mapping[str, Any] = field(default_factory=dict)
 
     @property
     def algorithm_names(self) -> Tuple[str, ...]:
@@ -386,6 +451,8 @@ class ScenarioSpec:
         if self.machine:
             doc["machine"] = _plain(self.machine)
         doc["metrics"] = list(self.metrics)
+        if self.simulate:
+            doc["simulate"] = _plain(self.simulate)
         if self.sweep:
             doc["sweep"] = {k: _plain(list(v))
                             for k, v in self.sweep.items()}
@@ -423,6 +490,8 @@ def validate_spec(data: Mapping) -> ScenarioSpec:
                if "machine" in data else {})
     metrics = (_validate_metrics(data.pop("metrics"))
                if "metrics" in data else _DEFAULT_METRICS)
+    simulate = (_validate_simulate(data.pop("simulate"))
+                if "simulate" in data else {})
     sweep = (_validate_sweep(data.pop("sweep"))
              if "sweep" in data else {})
     _expect(not data, "",
@@ -430,7 +499,7 @@ def validate_spec(data: Mapping) -> ScenarioSpec:
     spec = ScenarioSpec(
         name=name, graphs=graphs, algorithms=algorithms,
         description=description, machine=machine, metrics=metrics,
-        sweep=sweep,
+        sweep=sweep, simulate=simulate,
     )
     _check_variants(spec)
     _check_speed_algorithms(spec)

@@ -1,0 +1,194 @@
+"""The discrete-event engine: *execute* a static schedule.
+
+The paper ranks schedulers by the makespan their schedules *predict*;
+this engine measures the makespan a schedule *achieves* when durations
+and message latencies deviate from the prediction.  The replay contract
+is the standard one for static schedules (estee's fixed-assignment
+mode): the task-to-processor mapping and each processor's execution
+order are kept exactly as scheduled, while every start time is
+recomputed eagerly — a task starts the moment its processor is free,
+it is next in the processor's sequence, and all its input data has
+arrived.
+
+The loop is a single binary heap of timestamped events:
+
+* **task-finish** — the running task on a processor completes: record
+  its executed interval, hand each outgoing edge to the network backend
+  (same-processor data is available immediately), and try to start the
+  processor's next task;
+* **message-arrival** — an inter-processor transfer completes at the
+  destination: mark the input satisfied and try to start the waiting
+  task.
+
+Task *starts* need no event of their own: a task becomes startable only
+while handling one of the two events above, at exactly the current
+simulation time.  Ties are broken by event insertion order, which is
+itself deterministic, so a trial is a pure function of ``(schedule,
+perturbation draw, network backend)``.
+
+Because the combined order (precedence edges + per-processor sequence
+edges) is topologically sorted by the original start times, replay can
+never deadlock, whatever the noise does to durations.
+
+Under :data:`~repro.sim.perturb.DETERMINISTIC` noise and the
+:func:`~repro.sim.netmodel.replay_network` backend, the executed
+timeline equals the static schedule placement-for-placement — the
+differential anchor the sim test-suite pins on the golden corpus.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..core.exceptions import ScheduleError
+from ..core.rng import SeedLike, as_generator
+from ..core.schedule import Schedule
+from .netmodel import NetworkModel, replay_network
+from .perturb import DETERMINISTIC, PerturbationModel
+
+__all__ = ["SimResult", "simulate"]
+
+_FINISH = 0
+_ARRIVAL = 1
+
+
+@dataclass
+class SimResult:
+    """One executed trial of a static schedule.
+
+    ``schedule`` is the executed timeline — a real
+    :class:`~repro.core.schedule.Schedule` (with per-task duration
+    overrides), so every downstream tool (gantt rendering, metrics,
+    validation with ``check_durations=False``) applies unchanged.
+    """
+
+    schedule: Schedule
+    predicted: float
+    makespan: float
+    num_events: int
+
+    @property
+    def degradation_pct(self) -> float:
+        """Executed makespan over predicted, as a percentage change."""
+        if self.predicted <= 0:
+            return 0.0
+        return 100.0 * (self.makespan - self.predicted) / self.predicted
+
+
+def simulate(schedule: Schedule,
+             perturb: PerturbationModel = DETERMINISTIC,
+             network: Optional[NetworkModel] = None,
+             rng: SeedLike = None) -> SimResult:
+    """Execute ``schedule`` once under a perturbation model.
+
+    Parameters
+    ----------
+    schedule:
+        A complete static schedule (any algorithm, any machine model).
+    perturb:
+        Noise configuration; :data:`~repro.sim.perturb.DETERMINISTIC`
+        replays the prediction exactly.
+    network:
+        Transport backend; ``None`` picks
+        :func:`~repro.sim.netmodel.replay_network` (the backend that
+        makes zero-noise replay exact for this schedule).
+    rng:
+        Seed or generator for the noise draws.
+    """
+    if not schedule.is_complete():
+        raise ScheduleError("can only simulate a complete schedule")
+    graph = schedule.graph
+    n = graph.num_nodes
+    num_procs = schedule.num_procs
+    noise = perturb.begin_trial(as_generator(rng), n, num_procs)
+    net = network if network is not None else replay_network(schedule)
+    net.reset()
+
+    # Static replay state, all derived from the input schedule.
+    proc_of = [schedule.proc_of(v) for v in range(n)]
+    sequences: List[List[int]] = [
+        [pl.node for pl in schedule.tasks_on(p)] for p in range(num_procs)
+    ]
+    missing = [graph.in_degree(v) for v in range(n)]
+    ready_time = [0.0] * n          # latest input arrival so far
+    next_idx = [0] * len(sequences)  # head of each processor's sequence
+    proc_free = [0.0] * num_procs
+    running = [False] * num_procs
+
+    executed = Schedule(graph, num_procs, speeds=schedule.speeds)
+    heap: List[tuple] = []  # (time, insertion seq, kind, payload)
+    seq_counter = 0
+    num_events = 0
+
+    def push(time: float, kind: int, payload: int) -> None:
+        nonlocal seq_counter
+        heapq.heappush(heap, (time, seq_counter, kind, payload))
+        seq_counter += 1
+
+    def try_start(p: int) -> None:
+        if running[p] or next_idx[p] >= len(sequences[p]):
+            return
+        node = sequences[p][next_idx[p]]
+        if missing[node]:
+            return
+        start = max(proc_free[p], ready_time[node])
+        duration = noise.duration(node, p, schedule.duration_of(node, p))
+        executed.place(node, p, start, duration=duration)
+        running[p] = True
+        next_idx[p] += 1
+        push(start + duration, _FINISH, node)
+
+    for p in range(num_procs):
+        try_start(p)
+
+    while heap:
+        now, _, kind, payload = heapq.heappop(heap)
+        num_events += 1
+        if kind == _FINISH:
+            node, p = payload, proc_of[payload]
+            running[p] = False
+            proc_free[p] = now
+            children, costs = graph.succ_pairs(node)
+            for child, cost in zip(children, costs):
+                dst = proc_of[child]
+                if dst == p:
+                    # Local data is available immediately; no event
+                    # needed — resolve in place.
+                    missing[child] -= 1
+                    if now > ready_time[child]:
+                        ready_time[child] = now
+                    if missing[child] == 0:
+                        try_start(dst)
+                else:
+                    # Every cross-processor edge goes through the
+                    # backend, zero-cost ones included: a backend with
+                    # per-message latency charges them too (the clique
+                    # default adds nothing, keeping zero-noise replay
+                    # exact).
+                    factor = noise.comm_factor()
+                    arrival, msg = net.arrival(node, child, p, dst, now,
+                                               cost, factor)
+                    if msg is not None:
+                        executed.record_message(msg)
+                    push(arrival, _ARRIVAL, child)
+            try_start(p)
+        else:  # _ARRIVAL
+            child = payload
+            missing[child] -= 1
+            if now > ready_time[child]:
+                ready_time[child] = now
+            if missing[child] == 0:
+                try_start(proc_of[child])
+
+    if not executed.is_complete():
+        raise ScheduleError(
+            "replay stalled before completing the schedule "
+            "(inconsistent processor sequences)")
+    return SimResult(
+        schedule=executed,
+        predicted=schedule.length,
+        makespan=executed.length,
+        num_events=num_events,
+    )

@@ -1,0 +1,222 @@
+"""Perturbation models: how executed times deviate from predicted ones.
+
+A static schedule predicts each task's duration from its weight and the
+machine model; real executions jitter.  A :class:`PerturbationModel`
+bundles up to three independent noise sources, each described by a
+:class:`Dist` with **mean 1** (so zero-noise and noisy runs agree in
+expectation):
+
+* **duration noise** — an i.i.d. factor per task execution;
+* **per-processor speed jitter** — one factor per processor per trial
+  (a "slow node" for the whole run), multiplying every duration on it;
+* **message-latency noise** — an i.i.d. factor per inter-processor
+  message's transport time.
+
+All draws come from the seeded ``numpy.random.Generator`` handed to
+:meth:`PerturbationModel.begin_trial`; the model itself is immutable
+state-free configuration, so one instance can drive any number of
+concurrent trials.  :data:`DETERMINISTIC` (no noise at all) is the
+identity model under which the simulator must reproduce the static
+schedule exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional
+
+import numpy as np
+
+__all__ = [
+    "Dist",
+    "PerturbationModel",
+    "TrialNoise",
+    "DETERMINISTIC",
+    "perturbation_from_dict",
+]
+
+#: Distribution kinds a :class:`Dist` understands.
+_KINDS = ("uniform", "normal", "lognormal")
+
+#: Executed durations never drop below this fraction of the prediction —
+#: keeps pathological normal draws from going non-positive.
+_FLOOR = 1e-3
+
+
+@dataclass(frozen=True)
+class Dist:
+    """A mean-1 multiplicative noise distribution.
+
+    * ``uniform(spread)`` — ``U(1 - spread, 1 + spread)``, ``spread < 1``;
+    * ``normal(sigma)`` — ``N(1, sigma)``, clamped positive;
+    * ``lognormal(sigma)`` — ``LogN(-sigma^2 / 2, sigma)`` (mean exactly
+      1, right-skewed — the empirical shape of runtime noise).
+    """
+
+    kind: str
+    param: float
+
+    def __post_init__(self):
+        if self.kind not in _KINDS:
+            raise ValueError(
+                f"unknown distribution {self.kind!r}; "
+                f"expected one of {', '.join(_KINDS)}")
+        if not 0 <= self.param:
+            raise ValueError(f"{self.kind} parameter must be >= 0")
+        if self.kind == "uniform" and not self.param < 1:
+            raise ValueError("uniform spread must be < 1")
+
+    def sample(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        """``size`` mean-1 factors, floored at a small positive value."""
+        if self.param == 0:
+            return np.ones(size)
+        if self.kind == "uniform":
+            out = rng.uniform(1 - self.param, 1 + self.param, size)
+        elif self.kind == "normal":
+            out = rng.normal(1.0, self.param, size)
+        else:  # lognormal
+            out = rng.lognormal(-self.param ** 2 / 2, self.param, size)
+        return np.maximum(out, _FLOOR)
+
+    def sample_one(self, rng: np.random.Generator) -> float:
+        """One factor as a scalar — the per-message hot path.
+
+        Consumes the stream exactly like ``sample(rng, 1)[0]`` (scalar
+        and size-1 draws read the same words), without the temporary
+        arrays.
+        """
+        if self.param == 0:
+            return 1.0
+        if self.kind == "uniform":
+            x = rng.uniform(1 - self.param, 1 + self.param)
+        elif self.kind == "normal":
+            x = rng.normal(1.0, self.param)
+        else:  # lognormal
+            x = rng.lognormal(-self.param ** 2 / 2, self.param)
+        return max(float(x), _FLOOR)
+
+    def spec(self) -> str:
+        """Stable text form (part of the sim fingerprint)."""
+        return f"{self.kind}:{self.param:g}"
+
+
+@dataclass(frozen=True)
+class TrialNoise:
+    """The noise realisation of one trial, drawn up front.
+
+    ``duration_factor[i]`` scales task ``i``'s execution time,
+    ``speed_factor[p]`` scales every execution on processor ``p`` for
+    the whole trial (a factor of 2 means the processor runs twice as
+    slow; drawn directly as a mean-1 duration multiplier, so the
+    documented zero-bias contract holds — the reciprocal of a mean-1
+    speed would *not* be mean-1), and :meth:`comm_factor` draws one
+    factor per message on demand (messages are not enumerable up front
+    under contention).
+    """
+
+    duration_factor: np.ndarray
+    speed_factor: np.ndarray
+    _rng: np.random.Generator
+    _comm: Optional[Dist]
+
+    def duration(self, node: int, proc: int, base: float) -> float:
+        """Executed duration of ``node`` on ``proc``."""
+        return (base * float(self.duration_factor[node])
+                * float(self.speed_factor[proc]))
+
+    def comm_factor(self) -> float:
+        """Noise factor for one message's transport time."""
+        if self._comm is None:
+            return 1.0
+        return self._comm.sample_one(self._rng)
+
+
+@dataclass(frozen=True)
+class PerturbationModel:
+    """Configuration of the three noise sources (any may be ``None``)."""
+
+    duration: Optional[Dist] = None
+    speed: Optional[Dist] = None
+    comm: Optional[Dist] = None
+
+    @property
+    def is_deterministic(self) -> bool:
+        return (self.duration is None and self.speed is None
+                and self.comm is None)
+
+    def begin_trial(self, rng: np.random.Generator, num_nodes: int,
+                    num_procs: int) -> TrialNoise:
+        """Draw one trial's noise realisation from ``rng``.
+
+        Draw order is fixed (durations, then speeds) so a trial is a
+        pure function of the generator's state.
+        """
+        dur = (self.duration.sample(rng, num_nodes)
+               if self.duration is not None else np.ones(num_nodes))
+        spd = (self.speed.sample(rng, num_procs)
+               if self.speed is not None else np.ones(num_procs))
+        return TrialNoise(dur, spd, rng, self.comm)
+
+    def fingerprint(self) -> str:
+        """Stable identity for result-store cache keys."""
+        parts = []
+        for label, dist in (("dur", self.duration), ("spd", self.speed),
+                            ("comm", self.comm)):
+            if dist is not None:
+                parts.append(f"{label}={dist.spec()}")
+        return ",".join(parts) or "deterministic"
+
+    def to_dict(self) -> Dict[str, Dict[str, object]]:
+        """JSON-compatible form (inverse of :func:`perturbation_from_dict`)."""
+        out: Dict[str, Dict[str, object]] = {}
+        for label, dist in (("duration", self.duration),
+                            ("speed", self.speed), ("comm", self.comm)):
+            if dist is not None:
+                out[label] = {"dist": dist.kind, "param": dist.param}
+        return out
+
+    # convenience constructors -----------------------------------------
+    @classmethod
+    def uniform(cls, spread: float) -> "PerturbationModel":
+        return cls(duration=Dist("uniform", spread))
+
+    @classmethod
+    def normal(cls, sigma: float) -> "PerturbationModel":
+        return cls(duration=Dist("normal", sigma))
+
+    @classmethod
+    def lognormal(cls, sigma: float) -> "PerturbationModel":
+        return cls(duration=Dist("lognormal", sigma))
+
+
+#: The zero-noise identity model: executed == predicted.
+DETERMINISTIC = PerturbationModel()
+
+
+def perturbation_from_dict(data: Mapping) -> PerturbationModel:
+    """Build a model from ``{"duration": {"dist": ..., "param": ...}, ...}``.
+
+    The scenario engine's ``simulate.perturb`` block parses through
+    here; raises ``ValueError`` with the offending key on bad input.
+    """
+    dists: Dict[str, Optional[Dist]] = {
+        "duration": None, "speed": None, "comm": None}
+    for key, value in data.items():
+        if key not in dists:
+            raise ValueError(
+                f"unknown perturbation source {key!r}; expected one of "
+                f"{', '.join(dists)}")
+        if not isinstance(value, Mapping):
+            raise ValueError(f"{key}: expected an object with "
+                             "'dist' and 'param'")
+        extra = set(value) - {"dist", "param"}
+        if extra:
+            raise ValueError(
+                f"{key}: unknown keys {', '.join(sorted(extra))}")
+        try:
+            dists[key] = Dist(str(value.get("dist", "")),
+                              float(value.get("param", -1.0)))
+        except (TypeError, ValueError) as exc:
+            raise ValueError(f"{key}: {exc}") from None
+    return PerturbationModel(duration=dists["duration"],
+                             speed=dists["speed"], comm=dists["comm"])

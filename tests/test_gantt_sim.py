@@ -1,0 +1,92 @@
+"""Gantt round-trip on *simulated* timelines.
+
+The sim engine returns real :class:`~repro.core.schedule.Schedule`
+objects (with executed durations), so ``repro.io.gantt`` must render
+them unchanged.  These tests parse the ASCII output back and check it
+against the schedule that produced it: one overlap-free lane per
+non-empty processor, message arrows for contention runs, and the
+empty-processor / empty-schedule edge cases.
+"""
+
+import re
+
+import pytest
+
+from repro import Machine, NetworkMachine, Schedule, Topology, get_scheduler
+from repro.generators.psg import kwok_ahmad_9
+from repro.generators.random_graphs import rgnos_graph
+from repro.io import gantt
+from repro.sim import ContentionNetwork, PerturbationModel, simulate
+
+
+def _simulated(alg="MCP", noise=PerturbationModel.lognormal(0.3), rng=7):
+    graph = rgnos_graph(25, 1.0, 3, seed=5)
+    sched = get_scheduler(alg).schedule(graph, Machine(4))
+    return simulate(sched, perturb=noise, rng=rng)
+
+
+def _lanes(text):
+    """``{proc: row_string}`` parsed from a gantt chart."""
+    out = {}
+    for line in text.splitlines():
+        m = re.match(r"^P(\d+)\s*\|(.*)\|$", line)
+        if m:
+            out[int(m.group(1))] = m.group(2)
+    return out
+
+
+class TestSimulatedGantt:
+    def test_one_lane_per_used_processor(self):
+        res = _simulated()
+        lanes = _lanes(gantt(res.schedule))
+        assert set(lanes) == set(res.schedule.used_proc_ids())
+
+    def test_lane_cells_are_overlap_free(self):
+        # Bars may only abut, never interleave: scanning a lane, every
+        # task label appears exactly once, in start-time order.
+        res = _simulated()
+        text = gantt(res.schedule, width=400)  # wide => labels disjoint
+        for proc, row in _lanes(text).items():
+            labels = [int(tok) for tok in re.findall(r"\d+", row)]
+            expected = [pl.node for pl in res.schedule.tasks_on(proc)]
+            assert labels == expected
+
+    def test_header_reports_simulated_length(self):
+        res = _simulated()
+        assert res.makespan != pytest.approx(res.predicted)  # noise real
+        assert f"length={res.makespan:g}" in gantt(res.schedule)
+
+    def test_message_arrows_for_contention_runs(self):
+        graph = kwok_ahmad_9()
+        topo = Topology.hypercube(2)
+        sched = get_scheduler("MH").schedule(graph, NetworkMachine(topo))
+        res = simulate(sched, network=ContentionNetwork(topo))
+        text = gantt(res.schedule, show_messages=True)
+        assert "messages:" in text
+        arrows = [l for l in text.splitlines() if "via" in l]
+        committed = [m for m in res.schedule.messages.values() if m.hops]
+        assert len(arrows) == len(committed)
+        for line in arrows:
+            assert re.search(r"\d+->\d+@\[", line)  # hop reservations
+            assert "arr=" in line
+
+    def test_empty_processor_is_skipped_not_blank(self):
+        # A 6-processor machine whose schedule uses fewer lanes: empty
+        # processors contribute no row at all.
+        graph = rgnos_graph(12, 1.0, 1, seed=2)
+        sched = get_scheduler("MCP").schedule(graph, Machine(6))
+        res = simulate(sched)
+        text = gantt(res.schedule)
+        lanes = _lanes(text)
+        assert len(lanes) == res.schedule.processors_used() < 6
+        for row in lanes.values():
+            assert row.strip()  # no rendered lane is empty
+
+    def test_empty_schedule_renders_placeholder(self):
+        assert "empty" in gantt(Schedule(kwok_ahmad_9(), 2))
+
+    def test_zero_noise_chart_matches_static_chart(self):
+        graph = rgnos_graph(25, 1.0, 3, seed=5)
+        sched = get_scheduler("MCP").schedule(graph, Machine(4))
+        res = simulate(sched)
+        assert gantt(res.schedule) == gantt(sched)

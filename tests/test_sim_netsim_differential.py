@@ -1,0 +1,109 @@
+"""Differential proof: the absorbed fixed-order executor is unchanged.
+
+``algorithms/apn/netsim.py`` is now a thin wrapper over
+``repro.sim.netmodel.execute_fixed_order``.  This module pins the move
+two ways:
+
+1. a **reference copy** of the historical netsim loop (kept verbatim
+   here, independent of the production code) must produce identical
+   timings — placements *and* message schedules — on every small golden
+   corpus graph, for per-processor sequences drawn from real APN runs;
+2. the wrapper must hand back exactly what the sim implementation does.
+
+(The golden corpus JSON files additionally pin BU/BSA end-to-end, since
+both schedulers time through this executor.)
+"""
+
+import pytest
+
+import differential_corpus as dc
+from repro import NetworkMachine, Topology, get_scheduler
+from repro.algorithms.apn.netsim import simulate_on_network
+from repro.core.schedule import Schedule
+from repro.network.contention import LinkSchedule
+from repro.sim import execute_fixed_order
+
+
+def _reference_fixed_order(graph, topology, sequences):
+    """The pre-refactor netsim loop, preserved as the reference."""
+    n = graph.num_nodes
+    proc_of, pos = {}, {}
+    for p, seq in enumerate(sequences):
+        for i, node in enumerate(seq):
+            proc_of[node] = p
+            pos[node] = i
+    links = LinkSchedule(topology)
+    schedule = Schedule(graph, topology.num_procs)
+    remaining = [graph.in_degree(i) for i in range(n)]
+    next_slot = [0] * len(sequences)
+    ready = [i for i in range(n) if remaining[i] == 0]
+    placed = 0
+    while placed < n:
+        new_ready = []
+        for node in sorted(ready):
+            p = proc_of[node]
+            if pos[node] != next_slot[p]:
+                continue
+            arrival = 0.0
+            parents = sorted(
+                graph.predecessors(node),
+                key=lambda q: (schedule.finish_of(q), q),
+            )
+            for parent in parents:
+                cost = graph.comm_cost(parent, node)
+                src = proc_of[parent]
+                if src == p:
+                    arr = schedule.finish_of(parent)
+                else:
+                    msg = links.commit(parent, node, src, p,
+                                       schedule.finish_of(parent), cost)
+                    schedule.record_message(msg)
+                    arr = msg.arrival
+                arrival = max(arrival, arr)
+            schedule.place(node, p, max(schedule.proc_ready_time(p),
+                                        arrival))
+            ready.remove(node)
+            next_slot[p] += 1
+            placed += 1
+            for child in graph.successors(node):
+                remaining[child] -= 1
+                if remaining[child] == 0:
+                    new_ready.append(child)
+        ready.extend(new_ready)
+    return schedule
+
+
+def _small_corpus():
+    return [g for g in dc.corpus_graphs()
+            if g.num_nodes <= dc.APN_MAX_NODES]
+
+
+def _sequences_from(schedule, num_procs):
+    return [[pl.node for pl in schedule.tasks_on(p)]
+            for p in range(num_procs)]
+
+
+@pytest.mark.parametrize("alg", ["MH", "BSA"])
+def test_identical_timings_on_golden_corpus(alg):
+    topo = Topology.hypercube(2)
+    for graph in _small_corpus():
+        planned = get_scheduler(alg).schedule(graph, NetworkMachine(topo))
+        sequences = _sequences_from(planned, topo.num_procs)
+        ours = execute_fixed_order(graph, topo, sequences)
+        ref = _reference_fixed_order(graph, topo, sequences)
+        assert ours.to_dict() == ref.to_dict(), graph.name
+        assert set(ours.messages) == set(ref.messages)
+        for key, msg in ours.messages.items():
+            other = ref.messages[key]
+            assert msg.arrival == pytest.approx(other.arrival)
+            assert msg.hops == other.hops
+            assert msg.route == other.route
+
+
+def test_wrapper_delegates_verbatim():
+    graph = _small_corpus()[0]
+    topo = Topology.hypercube(2)
+    planned = get_scheduler("MH").schedule(graph, NetworkMachine(topo))
+    sequences = _sequences_from(planned, topo.num_procs)
+    assert (simulate_on_network(graph, topo, sequences).to_dict()
+            == execute_fixed_order(graph, topo, sequences).to_dict())
