@@ -11,12 +11,13 @@ from setuptools import find_packages, setup
 
 setup(
     name="repro-kwok-ahmad-ipps98",
-    version="0.2.0",
+    version="0.3.0",
     description=(
         "Reproduction of Kwok & Ahmad, 'Benchmarking the Task Graph "
         "Scheduling Algorithms' (IPPS 1998): 15 schedulers, 5 suites, "
-        "a parallel persisted benchmark engine and a declarative "
-        "scenario engine"
+        "a parallel persisted benchmark engine, a declarative "
+        "scenario engine, a discrete-event execution simulator and a "
+        "PISA-style adversarial instance search"
     ),
     packages=find_packages("src"),
     package_dir={"": "src"},
@@ -24,6 +25,8 @@ setup(
     install_requires=[
         "numpy",
         "networkx",
+        # TOML scenario specs: stdlib tomllib from 3.11, backport below.
+        'tomli; python_version < "3.11"',
     ],
     extras_require={
         "test": [

@@ -1,0 +1,53 @@
+"""Adversarial instance search: find graphs where schedulers lose.
+
+The paper (and every average-case suite in this repository) ranks
+schedulers by mean makespan over fixed random graphs; PISA-style
+analysis (Coleman & Krishnamachari, arXiv:2403.07120) shows those
+averages hide large per-instance gaps — for almost any pair of
+heuristics there are graphs where one loses badly.  This package
+*searches* graph space for such instances instead of sampling it:
+
+* :mod:`repro.adversarial.mutate` — DAG- and connectivity-preserving
+  graph mutations (edge add/remove, weight and CCR rescaling, node
+  split/merge);
+* :mod:`repro.adversarial.objective` — maximisable scores over an
+  ordered scheduler pair: makespan ratio, normalized-slack gap, or
+  simulated-vs-predicted degradation via :mod:`repro.sim`;
+* :mod:`repro.adversarial.search` — seeded simulated-annealing chains
+  run through the parallel, persisted grid engine, each finished chain
+  cached as a :class:`~repro.adversarial.search.SearchRow` (score,
+  mutation lineage, and the instance itself in STG form);
+* :mod:`repro.adversarial.frontier` — per-pair Pareto fronts over
+  instance size vs score, persisted as ``frontier.json``.
+
+>>> from repro.adversarial import SearchConfig, run_search
+>>> from repro.generators.random_graphs import rgnos_graph
+>>> cfg = SearchConfig(pair=("LAST", "MCP"), steps=30, chains=2,
+...                    temperature=0.0, seed=5)
+>>> rows = run_search(cfg, [rgnos_graph(30, 1.0, 3, seed=131)])
+>>> rows[0].score >= rows[0].start_score
+True
+
+CLI: ``python -m repro.bench adv search/show/export`` (see README);
+scenario specs opt in with an ``adversarial:`` block.
+"""
+
+from .frontier import FrontierPoint, ParetoFrontier
+from .mutate import MUTATIONS, mutate, mutation_names
+from .objective import OBJECTIVES, Objective, ObjectiveValue
+from .search import SearchConfig, SearchRow, adv_store, run_search
+
+__all__ = [
+    "MUTATIONS",
+    "mutate",
+    "mutation_names",
+    "OBJECTIVES",
+    "Objective",
+    "ObjectiveValue",
+    "SearchConfig",
+    "SearchRow",
+    "adv_store",
+    "run_search",
+    "FrontierPoint",
+    "ParetoFrontier",
+]

@@ -1,0 +1,153 @@
+"""Per-pair Pareto fronts over (instance size, objective score).
+
+A single worst case answers "how badly can A lose to B", but the more
+useful artifact is the trade-off curve: the smallest instance achieving
+each level of badness.  :class:`ParetoFrontier` keeps, for every
+ordered scheduler pair, the set of non-dominated ``(num_nodes, score)``
+points — a point is dominated when another instance is at least as bad
+*and* no larger.  Fronts persist as ``frontier.json`` next to the
+chain store, merge monotonically (feeding the same rows twice is a
+no-op), and carry each instance's STG text so ``adv export`` can
+re-emit every frontier graph as a reusable file.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import asdict, dataclass
+from typing import Dict, Iterable, List
+
+__all__ = ["FrontierPoint", "ParetoFrontier"]
+
+SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class FrontierPoint:
+    """One non-dominated instance of one pair's front."""
+
+    pair: str
+    num_nodes: int
+    score: float
+    instance: str   # graph name (also the export file stem)
+    chain: str      # chain label that found it
+    objective: str
+    stg: str        # the instance itself, STG text
+
+
+def _dominates(a: FrontierPoint, b: FrontierPoint) -> bool:
+    """True when ``a`` makes ``b`` redundant (>= score, <= size).
+
+    Scores of different objectives are incomparable, so domination
+    never crosses objective kinds — a pair searched under several
+    objectives keeps one front per objective.
+    """
+    return (a.objective == b.objective
+            and a.score >= b.score and a.num_nodes <= b.num_nodes
+            and (a.score > b.score or a.num_nodes < b.num_nodes))
+
+
+class ParetoFrontier:
+    """Non-dominated ``(size, score)`` points per scheduler pair.
+
+    Parameters
+    ----------
+    path:
+        Optional JSON file; when it exists the frontier loads eagerly,
+        and :meth:`save` writes back atomically (the store pattern).
+    """
+
+    def __init__(self, path: str = ""):
+        self.path = path
+        self._fronts: Dict[str, List[FrontierPoint]] = {}
+        if path and os.path.exists(path):
+            self.load(path)
+
+    def __len__(self) -> int:
+        return sum(len(points) for points in self._fronts.values())
+
+    def pairs(self) -> List[str]:
+        """Pair labels with at least one frontier point, sorted."""
+        return sorted(self._fronts)
+
+    def front(self, pair: str) -> List[FrontierPoint]:
+        """The pair's front: grouped by objective, smallest first."""
+        return sorted(self._fronts.get(pair, ()),
+                      key=lambda p: (p.objective, p.num_nodes, -p.score))
+
+    def add(self, point: FrontierPoint) -> bool:
+        """Offer one point; returns True when it joins the front."""
+        front = self._fronts.setdefault(point.pair, [])
+        for existing in front:
+            if _dominates(existing, point) or (
+                    existing.objective == point.objective
+                    and existing.score == point.score
+                    and existing.num_nodes == point.num_nodes):
+                return False
+        front[:] = [p for p in front if not _dominates(point, p)]
+        front.append(point)
+        return True
+
+    def update(self, rows: Iterable) -> int:
+        """Fold finished :class:`SearchRow` chains in; returns adds."""
+        added = 0
+        for row in rows:
+            added += self.add(FrontierPoint(
+                pair=row.algorithm,
+                num_nodes=row.num_nodes,
+                score=row.score,
+                instance=row.instance,
+                chain=row.graph,
+                objective=row.objective,
+                stg=row.stg,
+            ))
+        return added
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+    def load(self, path: str) -> int:
+        with open(path) as fh:
+            try:
+                doc = json.load(fh)
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"{path}: not valid JSON ({exc})") from exc
+        if doc.get("schema") != SCHEMA_VERSION:
+            raise ValueError(f"{path}: unsupported frontier schema "
+                             f"{doc.get('schema')!r}")
+        count = 0
+        for pair, points in doc.get("fronts", {}).items():
+            for data in points:
+                self.add(FrontierPoint(**{**data, "pair": pair}))
+                count += 1
+        return count
+
+    def save(self, path: str = "") -> None:
+        path = path or self.path
+        if not path:
+            raise ValueError("frontier has no path to save to")
+        doc = {
+            "schema": SCHEMA_VERSION,
+            "fronts": {
+                pair: [
+                    {k: v for k, v in asdict(p).items() if k != "pair"}
+                    for p in self.front(pair)
+                ]
+                for pair in self.pairs()
+            },
+        }
+        directory = os.path.dirname(path) or "."
+        os.makedirs(directory, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=directory, prefix=".frontier-",
+                                   suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(doc, fh, indent=1)
+                fh.write("\n")
+            os.replace(tmp, path)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise

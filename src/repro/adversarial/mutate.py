@@ -1,0 +1,262 @@
+"""DAG-preserving mutations over task graphs.
+
+The adversarial search (:mod:`repro.adversarial.search`) walks graph
+space by applying one small mutation per step.  Every mutation here
+maintains two invariants the rest of the system depends on:
+
+* **DAG-ness** — edges are only ever added from a node to one strictly
+  later in the current topological order, node splits hang the new node
+  below its origin, and merges contract an edge only when no alternate
+  directed path connects its endpoints (the one case where contraction
+  would close a cycle).  ``TaskGraph`` re-validates acyclicity on
+  construction, so a violation would raise, never propagate.
+* **connectivity** — no mutation strands a node with zero edges: edge
+  removal skips edges whose loss would isolate an endpoint, merges
+  require the merged node to keep at least one external edge, and
+  splits connect the new node to its origin.  (Graphs of one node, or
+  inputs that already contain isolated nodes, are left no worse.)
+
+Mutations are pure functions of ``(graph, rng)``: given the same graph
+and the same generator state they produce the same result, which is
+what makes a whole search chain replayable from one seed.  A mutation
+that finds no applicable site returns ``None`` and the dispatcher
+:func:`mutate` falls through to another operator.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..core.graph import TaskGraph
+
+__all__ = ["MUTATIONS", "mutation_names", "mutate"]
+
+#: Weight/cost scale factors stay inside this band per application, so a
+#: single step never teleports across graph space.
+_SCALE_LOW, _SCALE_HIGH = 0.5, 2.0
+
+#: Floor for computation costs after rescaling (must stay positive).
+_MIN_WEIGHT = 1.0
+
+
+def _degree(graph: TaskGraph, node: int) -> int:
+    return graph.in_degree(node) + graph.out_degree(node)
+
+
+def _mean_comm(graph: TaskGraph) -> float:
+    """Mean communication cost, falling back to the mean weight."""
+    if graph.num_edges:
+        return graph.total_communication / graph.num_edges
+    return graph.total_computation / graph.num_nodes
+
+
+def _rebuild(graph: TaskGraph, weights, edges, name: str) -> TaskGraph:
+    return TaskGraph(weights, edges, name=name)
+
+
+def add_edge(graph: TaskGraph, rng: np.random.Generator,
+             name: str) -> Optional[TaskGraph]:
+    """Insert one precedence edge between topologically ordered nodes.
+
+    The endpoints are drawn as two distinct positions in the graph's
+    topological order (earlier position becomes the source), so the
+    new edge can never close a cycle.
+    """
+    n = graph.num_nodes
+    if n < 2:
+        return None
+    topo = graph.topological_order
+    for _ in range(8):  # a dense graph may need a few draws
+        i, j = sorted(rng.choice(n, size=2, replace=False))
+        u, v = topo[int(i)], topo[int(j)]
+        if not graph.has_edge(u, v):
+            cost = max(1.0, _mean_comm(graph)
+                       * rng.uniform(_SCALE_LOW, _SCALE_HIGH))
+            edges = graph.edges() + [(u, v, cost)]
+            return _rebuild(graph, graph.weights, edges, name)
+    return None
+
+
+def remove_edge(graph: TaskGraph, rng: np.random.Generator,
+                name: str) -> Optional[TaskGraph]:
+    """Drop one edge whose removal leaves both endpoints connected."""
+    candidates = [
+        (u, v) for u, v, _ in graph.edges()
+        if _degree(graph, u) > 1 and _degree(graph, v) > 1
+    ]
+    if not candidates:
+        return None
+    u, v = candidates[int(rng.integers(len(candidates)))]
+    edges = [(a, b, c) for a, b, c in graph.edges() if (a, b) != (u, v)]
+    return _rebuild(graph, graph.weights, edges, name)
+
+
+def rescale_weight(graph: TaskGraph, rng: np.random.Generator,
+                   name: str) -> Optional[TaskGraph]:
+    """Scale one node's computation cost by a factor in [0.5, 2]."""
+    node = int(rng.integers(graph.num_nodes))
+    factor = rng.uniform(_SCALE_LOW, _SCALE_HIGH)
+    weights = np.array(graph.weights, dtype=float)
+    weights[node] = max(_MIN_WEIGHT, weights[node] * factor)
+    return _rebuild(graph, weights, graph.edges(), name)
+
+
+def rescale_comm(graph: TaskGraph, rng: np.random.Generator,
+                 name: str) -> Optional[TaskGraph]:
+    """Scale one edge's communication cost by a factor in [0.5, 2]."""
+    if not graph.num_edges:
+        return None
+    edges = graph.edges()
+    idx = int(rng.integers(len(edges)))
+    factor = rng.uniform(_SCALE_LOW, _SCALE_HIGH)
+    u, v, c = edges[idx]
+    edges[idx] = (u, v, max(1.0, c * factor))
+    return _rebuild(graph, graph.weights, edges, name)
+
+
+def ccr_shift(graph: TaskGraph, rng: np.random.Generator,
+              name: str) -> Optional[TaskGraph]:
+    """Scale *every* communication cost — shift the global CCR."""
+    if not graph.num_edges:
+        return None
+    factor = rng.uniform(_SCALE_LOW, _SCALE_HIGH)
+    edges = [(u, v, max(1.0, c * factor)) for u, v, c in graph.edges()]
+    return _rebuild(graph, graph.weights, edges, name)
+
+
+def split_node(graph: TaskGraph, rng: np.random.Generator,
+               name: str) -> Optional[TaskGraph]:
+    """Split one node into a chained pair sharing its cost.
+
+    The origin keeps its predecessors; a random subset of its
+    successors moves to the new node, which is tied back to the origin
+    by a fresh edge — both halves therefore stay connected and the new
+    node (appended as the highest id) can only deepen the DAG.
+    """
+    candidates = [u for u in graph.nodes() if graph.weight(u) >= 2.0]
+    if not candidates:
+        return None
+    u = candidates[int(rng.integers(len(candidates)))]
+    new = graph.num_nodes
+    weights = list(graph.weights)
+    half = weights[u] / 2.0
+    weights[u] = half
+    weights.append(half)
+    succ = graph.successors(u)
+    moved = {v for v in succ if rng.random() < 0.5}
+    edges: List[Tuple[int, int, float]] = []
+    for a, b, c in graph.edges():
+        if a == u and b in moved:
+            edges.append((new, b, c))
+        else:
+            edges.append((a, b, c))
+    link = max(1.0, _mean_comm(graph)
+               * rng.uniform(_SCALE_LOW, _SCALE_HIGH))
+    edges.append((u, new, link))
+    return _rebuild(graph, weights, edges, name)
+
+
+def merge_nodes(graph: TaskGraph, rng: np.random.Generator,
+                name: str) -> Optional[TaskGraph]:
+    """Contract one precedence edge into a single combined node.
+
+    Contracting ``(u, v)`` closes a cycle exactly when a second
+    directed path ``u -> ... -> v`` exists, so such edges are skipped;
+    the merged node keeps every other edge of both endpoints (parallel
+    edges collapse to their maximum cost) and must keep at least one.
+    """
+    if graph.num_nodes < 3 or not graph.num_edges:
+        return None
+    edges = graph.edges()
+    order = rng.permutation(len(edges))
+    for idx in order[:12]:  # bounded probing keeps a step cheap
+        u, v, _ = edges[int(idx)]
+        if _degree(graph, u) + _degree(graph, v) <= 2:
+            continue  # merged node would be isolated
+        if _has_alternate_path(graph, u, v):
+            continue
+        return _contract(graph, u, v, name)
+    return None
+
+
+def _has_alternate_path(graph: TaskGraph, u: int, v: int) -> bool:
+    """True when a directed path u -> v exists besides the edge itself."""
+    stack = [s for s in graph.successors(u) if s != v]
+    seen = set(stack)
+    while stack:
+        x = stack.pop()
+        if x == v:
+            return True
+        for s in graph.successors(x):
+            if s not in seen:
+                seen.add(s)
+                stack.append(s)
+    return False
+
+
+def _contract(graph: TaskGraph, u: int, v: int, name: str) -> TaskGraph:
+    n = graph.num_nodes
+    # v disappears; higher ids shift down to keep ids consecutive.
+    remap = {}
+    for node in range(n):
+        if node == v:
+            remap[node] = u if u < v else u - 1
+        else:
+            remap[node] = node if node < v else node - 1
+    weights = [
+        graph.weight(node) + (graph.weight(v) if node == u else 0.0)
+        for node in range(n) if node != v
+    ]
+    merged: Dict[Tuple[int, int], float] = {}
+    for a, b, c in graph.edges():
+        if (a, b) == (u, v):
+            continue
+        ra, rb = remap[a], remap[b]
+        if ra == rb:
+            continue  # both endpoints folded into the merged node
+        key = (ra, rb)
+        merged[key] = max(merged.get(key, 0.0), c)
+    return _rebuild(graph, weights, merged, name)
+
+
+#: Operator registry, in a fixed order (part of search fingerprints).
+MUTATIONS: Dict[str, Callable[..., Optional[TaskGraph]]] = {
+    "add-edge": add_edge,
+    "remove-edge": remove_edge,
+    "rescale-weight": rescale_weight,
+    "rescale-comm": rescale_comm,
+    "ccr-shift": ccr_shift,
+    "split-node": split_node,
+    "merge-nodes": merge_nodes,
+}
+
+
+def mutation_names() -> Tuple[str, ...]:
+    """All operator names, in registry order."""
+    return tuple(MUTATIONS)
+
+
+def mutate(graph: TaskGraph, rng: np.random.Generator,
+           ops: Optional[Tuple[str, ...]] = None,
+           name: Optional[str] = None
+           ) -> Optional[Tuple[TaskGraph, str]]:
+    """Apply one randomly chosen operator; returns ``(graph, op name)``.
+
+    Starts from a random operator and falls through the rest in
+    registry order until one applies; ``None`` only when no operator in
+    ``ops`` has an applicable site (tiny or degenerate graphs).
+    """
+    names = list(ops) if ops else list(MUTATIONS)
+    unknown = [op for op in names if op not in MUTATIONS]
+    if unknown:
+        raise ValueError(f"unknown mutation(s): {', '.join(unknown)}; "
+                         f"known: {', '.join(MUTATIONS)}")
+    start = int(rng.integers(len(names)))
+    for offset in range(len(names)):
+        op = names[(start + offset) % len(names)]
+        out = MUTATIONS[op](graph, rng, name or f"{graph.name}~{op}")
+        if out is not None:
+            return out, op
+    return None

@@ -1,0 +1,117 @@
+"""Search objectives over scheduler pairs.
+
+PISA-style adversarial analysis (Coleman & Krishnamachari, 2024) ranks
+schedulers not by their average makespan but by how badly each can lose
+to another on *some* instance.  An :class:`Objective` scores one graph
+for one ordered pair ``(A, B)``; the search engine maximises it:
+
+* ``ratio`` — executed makespan ratio ``L_A / L_B``: a score of 1.3
+  means the search found a graph where A's schedule is 30% longer than
+  B's.  The headline PISA number.
+* ``slack`` — normalized-slack gap ``slack_B - slack_A`` (each from
+  :func:`repro.sim.robustness.schedule_slack`, already a fraction of
+  the makespan): graphs where A's schedule is far more brittle than
+  B's, even if the predicted lengths agree.
+* ``sim`` — simulated-vs-predicted degradation of A under lognormal
+  duration noise via :mod:`repro.sim`: ``mean executed / predicted``
+  makespan, so a score of 1.2 means A's prediction underestimates its
+  own execution by 20%.  B's makespan is still reported for context.
+
+Scoring a graph is a pure function of ``(objective, graph)`` — both
+schedulers are deterministic and the sim noise stream is derived from
+the objective's seed and the graph name — which is what lets whole
+search chains persist in a :class:`~repro.bench.store.ResultStore`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..bench.runner import BenchConfig
+from ..core.graph import TaskGraph
+
+__all__ = ["OBJECTIVES", "ObjectiveValue", "Objective"]
+
+#: Objective kinds understood by the search layer and the spec schema.
+OBJECTIVES = ("ratio", "slack", "sim")
+
+
+@dataclass(frozen=True)
+class ObjectiveValue:
+    """One scored instance: the score plus the raw pair measurements."""
+
+    score: float
+    length_a: float
+    length_b: float
+
+
+@dataclass(frozen=True)
+class Objective:
+    """A maximisable score for ordered pair ``(alg_a, alg_b)``.
+
+    ``config`` supplies the machine model exactly as in any benchmark
+    run; ``trials``/``noise``/``seed`` only matter for ``kind="sim"``.
+    """
+
+    alg_a: str
+    alg_b: str
+    kind: str = "ratio"
+    config: BenchConfig = field(default_factory=BenchConfig)
+    trials: int = 25
+    noise: float = 0.3
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.kind not in OBJECTIVES:
+            raise ValueError(f"unknown objective {self.kind!r}; expected "
+                             f"one of {', '.join(OBJECTIVES)}")
+
+    @property
+    def pair(self) -> str:
+        """The store's row label for this ordered pair."""
+        return f"{self.alg_a}/{self.alg_b}"
+
+    def fingerprint(self) -> str:
+        """Cache-key part identifying the scoring function."""
+        fp = f"obj:{self.kind};pair={self.pair}"
+        if self.kind == "sim":
+            fp += f";trials={self.trials};noise={self.noise:g}" \
+                  f";seed={self.seed}"
+        return fp
+
+    def _schedules(self, graph: TaskGraph):
+        from ..algorithms import get_scheduler
+
+        out = []
+        for name in (self.alg_a, self.alg_b):
+            scheduler = get_scheduler(name)
+            machine = self.config.machine_for(name, graph)
+            out.append(scheduler.schedule(graph, machine))
+        return out
+
+    def evaluate(self, graph: TaskGraph) -> ObjectiveValue:
+        """Score one graph (larger = worse for A relative to B)."""
+        sched_a, sched_b = self._schedules(graph)
+        if self.kind == "ratio":
+            score = (sched_a.length / sched_b.length
+                     if sched_b.length > 0 else 0.0)
+        elif self.kind == "slack":
+            from ..sim.robustness import schedule_slack
+
+            score = schedule_slack(sched_b) - schedule_slack(sched_a)
+        else:  # sim
+            from ..sim.perturb import PerturbationModel
+            from ..sim.robustness import monte_carlo
+
+            row, _ = monte_carlo(
+                sched_a,
+                perturb=PerturbationModel.lognormal(self.noise),
+                trials=self.trials,
+                seed=self.seed,
+                algorithm=self.alg_a,
+            )
+            score = (row.mean / row.predicted
+                     if row.predicted > 0 else 0.0)
+        return ObjectiveValue(score=float(score),
+                              length_a=sched_a.length,
+                              length_b=sched_b.length)

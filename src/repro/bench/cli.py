@@ -30,6 +30,21 @@ robustness ranking; ``sim compare`` prints just the ranking (predicted
 vs simulated average ranks).  Rows persist to ``results/sim/<name>/``
 by default and resume like any grid run.
 
+The ``adv`` verbs run the PISA-style adversarial instance search
+(:mod:`repro.adversarial`) instead of sampling graph space::
+
+    repro-bench adv search adversarial-bnp --jobs 4
+    repro-bench adv search my_spec.json --pair LAST MCP --steps 300
+    repro-bench adv show adversarial-bnp
+    repro-bench adv export adversarial-bnp --out instances/
+
+``adv search`` anneals mutation chains that maximise a scheduler
+pair's gap, persisting every chain plus a per-pair Pareto front
+(instance size vs score) under ``results/adv/<name>`` by default;
+``show`` re-renders a finished search from the store, and ``export``
+writes the frontier instances as ``.stg`` files that
+:func:`repro.generators.load_graph` reads back.
+
 Reduced-scale suites run in seconds; ``--full`` (or ``REPRO_FULL=1``)
 switches to the paper's exact grids.
 
@@ -69,7 +84,7 @@ from typing import Callable, Dict, List, Optional
 from . import figures, tables
 from .store import OptimaStore, ResultStore, ensure_writable
 
-__all__ = ["main", "scenario_main", "sim_main"]
+__all__ = ["main", "scenario_main", "sim_main", "adv_main"]
 
 
 def _fail(message: str) -> int:
@@ -78,16 +93,33 @@ def _fail(message: str) -> int:
     return 2
 
 
+def _open_results(directory: str, opener):
+    """The one validated store-opening path shared by every verb family.
+
+    The artifact flags, ``scenario run``, ``sim run/compare`` and the
+    ``adv`` verbs all funnel their ``--results`` directory through
+    here: :func:`repro.bench.store.ensure_writable` turns an
+    unwritable or invalid path into a ``ValueError`` whose one-line
+    message every caller prints as the exit-2 diagnostic, and
+    ``opener`` then loads — and thereby validates — the family's store
+    files, so a corrupt store fails the same way on every verb.
+    """
+    ensure_writable(directory)
+    return opener(directory)
+
+
 def _open_store(directory: str) -> ResultStore:
     """A validated, writable ResultStore (optima sidecar checked too).
 
     Raises ``ValueError`` with a one-line message on an unwritable or
     invalid path, or on corrupt/unsupported store files.
     """
-    ensure_writable(directory)
-    store = ResultStore(directory)
-    OptimaStore(directory)  # validate the sidecar up front
-    return store
+    def opener(d: str) -> ResultStore:
+        store = ResultStore(d)
+        OptimaStore(d)  # validate the sidecar up front
+        return store
+
+    return _open_results(directory, opener)
 
 _TABLE_BUILDERS: Dict[str, Callable] = {
     "table1": tables.table1,
@@ -159,6 +191,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return scenario_main(argv[1:])
         if argv and argv[0] == "sim":
             return sim_main(argv[1:])
+        if argv and argv[0] == "adv":
+            return adv_main(argv[1:])
         return _artifact_main(argv)
     except BrokenPipeError:
         # Downstream pipe (e.g. `repro-bench ... | head`) closed early;
@@ -502,8 +536,7 @@ def sim_main(argv: Optional[List[str]] = None) -> int:
         results_dir = args.results or os.path.join(
             "results", "sim", spec.name)
         try:
-            ensure_writable(results_dir)
-            store = sim_store(results_dir)
+            store = _open_results(results_dir, sim_store)
         except ValueError as exc:
             return _fail(str(exc))
     try:
@@ -521,6 +554,267 @@ def sim_main(argv: Optional[List[str]] = None) -> int:
           args.out, args.fmt)
     if store is not None:
         print(f"[{len(store)} sim rows persisted under {store.directory}]")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# adv verbs
+# ----------------------------------------------------------------------
+def _adv_load(args):
+    """Shared front half of the adv verbs: spec + results directory.
+
+    Returns ``(spec, results_dir)`` or raises ``ValueError`` with the
+    one-line diagnostic.  ``search`` additionally folds the CLI's
+    override flags into the ``adversarial:`` block and re-validates.
+    """
+    from ..scenarios import SpecError, load_spec, validate_spec
+
+    try:
+        spec = load_spec(args.spec)
+    except SpecError as exc:
+        raise ValueError(str(exc)) from None
+    except OSError as exc:
+        raise ValueError(
+            f"cannot read {args.spec!r} ({exc.strerror or exc})") from None
+
+    overrides = {
+        leaf: getattr(args, attr, None)
+        for leaf, attr in (("pair", "pair"), ("objective", "objective"),
+                           ("steps", "steps"), ("chains", "chains"),
+                           ("temperature", "temperature"),
+                           ("seed", "seed"))
+        if getattr(args, attr, None) is not None
+    }
+    if overrides:
+        doc = spec.to_dict()
+        block = dict(doc.get("adversarial", {}))
+        block.update(overrides)
+        doc["adversarial"] = block
+        for leaf in overrides:
+            for axis in spec.sweep:
+                if (axis == "adversarial"
+                        or axis == f"adversarial.{leaf}"
+                        or axis.startswith(f"adversarial.{leaf}.")):
+                    raise ValueError(
+                        f"--{leaf} conflicts with the spec's sweep axis "
+                        f"{axis!r} — drop the flag or remove the axis")
+        try:
+            spec = validate_spec(doc)
+        except SpecError as exc:
+            raise ValueError(str(exc)) from None
+    # Only `search` needs the block; `show`/`export` work off the
+    # persisted store alone (e.g. after an ad-hoc --pair search).
+    if (args.verb == "search" and not spec.adversarial
+            and not spec.sweep):
+        raise ValueError(
+            f"scenario {spec.name!r} has no adversarial block — add one "
+            "to the spec, or pass --pair A B (plus optional --objective/"
+            "--steps/...) to search it ad hoc")
+    results_dir = args.results or os.path.join("results", "adv", spec.name)
+    return spec, results_dir
+
+
+def adv_main(argv: Optional[List[str]] = None) -> int:
+    """``repro-bench adv {search,show,export}``.
+
+    ``search`` anneals mutation chains over graph space to maximise a
+    scheduler pair's gap (see :mod:`repro.adversarial`), persisting
+    every finished chain plus the per-pair Pareto front; ``show``
+    re-renders a previous search's store without recomputing; and
+    ``export`` writes the frontier instances out as reloadable ``.stg``
+    graph files (:func:`repro.generators.load_graph` reads them back).
+    """
+    from ..adversarial import OBJECTIVES
+
+    parser = argparse.ArgumentParser(
+        prog="repro-bench adv",
+        description="Search graph space for adversarial instances — "
+                    "graphs where one scheduler loses maximally to "
+                    "another (see repro.adversarial).",
+    )
+    sub = parser.add_subparsers(dest="verb", required=True)
+
+    p_search = sub.add_parser(
+        "search", help="run the annealing search for a scenario's pair")
+    p_search.add_argument("spec", help="spec file (.json/.toml) or "
+                                       "registered scenario name")
+    p_search.add_argument("--pair", nargs=2, default=None,
+                          metavar=("A", "B"),
+                          help="ordered scheduler pair to maximise "
+                               "against (overrides the spec)")
+    p_search.add_argument("--objective", default=None, choices=OBJECTIVES,
+                          help="score to maximise (default: spec value "
+                               "or 'ratio')")
+    p_search.add_argument("--steps", type=int, default=None, metavar="N",
+                          help="mutations per chain")
+    p_search.add_argument("--chains", type=int, default=None, metavar="N",
+                          help="independent annealing chains")
+    p_search.add_argument("--temperature", type=float, default=None,
+                          metavar="T",
+                          help="initial acceptance temperature (0 = "
+                               "greedy hill climb)")
+    p_search.add_argument("--seed", type=int, default=None,
+                          help="search seed (chains derive their own "
+                               "streams from it)")
+    p_search.add_argument("--jobs", type=int, default=1, metavar="N",
+                          help="worker processes (0 = one per CPU)")
+    p_search.add_argument("--results", default=None, metavar="DIR",
+                          help="ResultStore directory (default: "
+                               "results/adv/<name>)")
+    p_search.add_argument("--no-store", action="store_true",
+                          help="do not persist chains or the frontier")
+    p_search.add_argument("--resume", action="store_true",
+                          help="replay chains cached by previous runs")
+    p_search.add_argument("--format", default="text",
+                          choices=sorted(_EXTENSIONS), dest="fmt",
+                          metavar="{text,json,csv}",
+                          help="output format (default: text)")
+    p_search.add_argument("--out", default=None, metavar="DIR",
+                          help="also write the tables to DIR")
+    p_search.add_argument("--full", action="store_true",
+                          help="paper-scale suites for 'graphs.suite' "
+                               "axes")
+
+    p_show = sub.add_parser(
+        "show", help="re-render a previous search's store and frontier")
+    p_show.add_argument("spec", help="spec file or registered name "
+                                     "(locates the default store)")
+    p_show.add_argument("--results", default=None, metavar="DIR",
+                        help="ResultStore directory (default: "
+                             "results/adv/<name>)")
+    p_show.add_argument("--format", default="text",
+                        choices=sorted(_EXTENSIONS), dest="fmt",
+                        metavar="{text,json,csv}",
+                        help="output format (default: text)")
+    p_show.add_argument("--out", default=None, metavar="DIR",
+                        help="also write the tables to DIR")
+
+    p_exp = sub.add_parser(
+        "export", help="write found instances as reloadable .stg files")
+    p_exp.add_argument("spec", help="spec file or registered name "
+                                    "(locates the default store)")
+    p_exp.add_argument("--results", default=None, metavar="DIR",
+                       help="ResultStore directory (default: "
+                            "results/adv/<name>)")
+    p_exp.add_argument("--out", required=True, metavar="DIR",
+                       help="directory for the .stg files")
+    p_exp.add_argument("--all", action="store_true",
+                       help="export every chain's best instance, not "
+                            "just the Pareto front")
+    args = parser.parse_args(argv)
+
+    from ..adversarial import ParetoFrontier, adv_store
+    from ..scenarios import (
+        SpecError,
+        adv_tables,
+        compile_scenario,
+        run_adv_scenario,
+    )
+    from ..scenarios.compile import AdvScenarioResult, CompiledScenario
+
+    try:
+        spec, results_dir = _adv_load(args)
+    except ValueError as exc:
+        return _fail(str(exc))
+    frontier_path = os.path.join(results_dir, "frontier.json")
+
+    if args.verb == "search":
+        try:
+            compiled = compile_scenario(
+                spec, full=True if args.full else None)
+        except SpecError as exc:
+            return _fail(str(exc))
+        store = None
+        frontier = ParetoFrontier()
+        if not args.no_store:
+            try:
+                store = _open_results(results_dir, adv_store)
+                frontier = ParetoFrontier(frontier_path)
+            except ValueError as exc:
+                return _fail(str(exc))
+        try:
+            result = run_adv_scenario(compiled, jobs=args.jobs,
+                                      store=store, resume=args.resume)
+        except (SpecError, ValueError) as exc:
+            return _fail(str(exc))
+        frontier.update(result.all_rows())
+        if store is not None:
+            frontier.save(frontier_path)
+        detail, front = adv_tables(result, frontier)
+        _emit(_render_table(detail, args.fmt), f"adv_{spec.name}",
+              args.out, args.fmt)
+        _emit(_render_table(front, args.fmt), f"adv_{spec.name}_frontier",
+              args.out, args.fmt)
+        if store is not None:
+            print(f"[{len(store)} chain(s) persisted under "
+                  f"{store.directory}; frontier: {len(frontier)} "
+                  "point(s)]")
+        return 0
+
+    # show / export work off the persisted store alone — no search runs.
+    try:
+        store = _open_results(results_dir, adv_store)
+        frontier = ParetoFrontier(frontier_path)
+    except ValueError as exc:
+        return _fail(str(exc))
+    rows = store.rows()
+    if not rows:
+        return _fail(f"no chains stored under {results_dir!r} — run "
+                     f"'adv search {args.spec}' first")
+    if not len(frontier):
+        frontier.update(rows)
+
+    if args.verb == "show":
+        from .runner import BenchConfig
+        from ..scenarios.compile import Variant
+
+        stub = Variant(label="store", overrides={}, graphs=[],
+                       config=BenchConfig(), algorithms=())
+        result = AdvScenarioResult(
+            CompiledScenario(spec=spec, variants=[stub]),
+            rows=[(stub, rows)])
+        detail, front = adv_tables(result, frontier)
+        _emit(_render_table(detail, args.fmt), f"adv_{spec.name}",
+              args.out, args.fmt)
+        _emit(_render_table(front, args.fmt), f"adv_{spec.name}_frontier",
+              args.out, args.fmt)
+        return 0
+
+    # export
+    import hashlib
+
+    points = []
+    if args.all:
+        points = [(r.instance, r.stg) for r in rows]
+    else:
+        for pair in frontier.pairs():
+            points.extend((p.instance, p.stg) for p in frontier.front(pair))
+    # Instance names encode pair/objective/chain but not the search
+    # knobs, so one store can hold several *different* graphs under one
+    # name (e.g. reruns with other --steps).  Identical content dedups;
+    # colliding content gets a short content-hash suffix — nothing is
+    # silently dropped or overwritten.
+    exported: Dict[str, str] = {}  # file stem -> content
+    os.makedirs(args.out, exist_ok=True)
+    written = []
+    for instance, stg in points:
+        if not stg:
+            continue
+        name = instance
+        if exported.get(name, stg) != stg:  # same name, different graph
+            digest = hashlib.sha256(stg.encode()).hexdigest()[:8]
+            name = f"{instance}-{digest}"
+        if name in exported:  # identical content already written
+            continue
+        exported[name] = stg
+        path = os.path.join(args.out, f"{name}.stg")
+        with open(path, "w") as fh:
+            fh.write(stg)
+        written.append(path)
+    for path in written:
+        print(path)
+    print(f"[{len(written)} instance(s) exported to {args.out}; reload "
+          "with repro.generators.load_graph]")
     return 0
 
 

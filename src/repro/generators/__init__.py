@@ -4,8 +4,18 @@
 * :mod:`.random_graphs` — RGBOS / RGNOS random constructions;
 * :mod:`.rgpos` — random graphs with pre-determined optimal schedules;
 * :mod:`.traced` — numerical-application graphs (Cholesky and friends).
+
+Beyond the generated families, :func:`load_graph` reads a graph back
+from an STG-format file — the interchange path for instances found by
+the adversarial search (``repro-bench adv export``) or produced by
+external tools.
 """
 
+from __future__ import annotations
+
+import os
+
+from ..core.graph import TaskGraph
 from .psg import peer_set_graphs
 from .random_graphs import rgbos_graph, rgnos_graph
 from .rgpos import RGPOSInstance, rgpos_instance
@@ -26,4 +36,18 @@ __all__ = [
     "gaussian_elimination_graph",
     "fft_graph",
     "laplace_graph",
+    "load_graph",
 ]
+
+
+def load_graph(path: str, name: str | None = None) -> TaskGraph:
+    """Load a task graph from an ``.stg`` file (see :mod:`repro.io.stg`).
+
+    The graph's name defaults to the file's stem, so exported
+    adversarial instances keep their identity through a round trip.
+    """
+    from ..io.stg import load_stg
+
+    stem = os.path.splitext(os.path.basename(path))[0]
+    with open(path) as fh:
+        return load_stg(fh, name=name or stem)

@@ -17,11 +17,14 @@ CLI verbs ``python -m repro.bench scenario {list,validate,run}``.
 """
 
 from .compile import (
+    AdvScenarioResult,
     CompiledScenario,
     ScenarioResult,
     SimScenarioResult,
     Variant,
+    adv_tables,
     compile_scenario,
+    run_adv_scenario,
     run_scenario,
     run_sim_scenario,
     scenario_tables,
@@ -53,9 +56,12 @@ __all__ = [
     "CompiledScenario",
     "ScenarioResult",
     "SimScenarioResult",
+    "AdvScenarioResult",
     "compile_scenario",
     "run_scenario",
     "run_sim_scenario",
+    "run_adv_scenario",
     "scenario_tables",
     "sim_tables",
+    "adv_tables",
 ]

@@ -40,11 +40,14 @@ __all__ = [
     "CompiledScenario",
     "ScenarioResult",
     "SimScenarioResult",
+    "AdvScenarioResult",
     "compile_scenario",
     "run_scenario",
     "run_sim_scenario",
+    "run_adv_scenario",
     "scenario_tables",
     "sim_tables",
+    "adv_tables",
 ]
 
 
@@ -150,6 +153,26 @@ def _build_sim(simulate: Mapping):
     )
 
 
+def _build_adv(adversarial: Mapping):
+    """Lower a validated ``adversarial:`` block to a ``SearchConfig``."""
+    if not adversarial:
+        return None
+    from ..adversarial.search import SearchConfig
+
+    return SearchConfig(
+        pair=tuple(adversarial["pair"]),
+        objective=adversarial.get("objective", "ratio"),
+        steps=int(adversarial.get("steps", 200)),
+        chains=int(adversarial.get("chains", 4)),
+        temperature=float(adversarial.get("temperature", 0.02)),
+        cooling=float(adversarial.get("cooling", 0.97)),
+        seed=int(adversarial.get("seed", 0)),
+        ops=tuple(adversarial.get("ops", ())),
+        trials=int(adversarial.get("trials", 25)),
+        noise=float(adversarial.get("noise", 0.3)),
+    )
+
+
 def _build_config(machine: Mapping) -> BenchConfig:
     procs = machine.get("bnp_procs")
     speeds = machine.get("bnp_speeds")
@@ -181,6 +204,7 @@ class Variant:
     algorithms: Tuple[str, ...]
     optima: Optional[Dict[str, float]] = None
     sim: Optional[object] = None  # repro.sim.bench.SimConfig
+    adv: Optional[object] = None  # repro.adversarial.search.SearchConfig
 
     @property
     def num_cells(self) -> int:
@@ -234,6 +258,7 @@ def compile_scenario(spec: ScenarioSpec,
             algorithms=expand_algorithms(sub.algorithms),
             optima=optima,
             sim=_build_sim(sub.simulate),
+            adv=_build_adv(sub.adversarial),
         ))
     return CompiledScenario(spec=spec, variants=variants)
 
@@ -287,6 +312,49 @@ def run_sim_scenario(compiled: CompiledScenario,
         rows = run_sim_grid(
             list(variant.algorithms), variant.graphs,
             config=variant.config, sim=variant.sim or SimConfig(),
+            jobs=jobs, store=store, resume=resume,
+        )
+        result.rows.append((variant, rows))
+    return result
+
+
+@dataclass
+class AdvScenarioResult:
+    """Finished search chains of every variant of one scenario run."""
+
+    compiled: CompiledScenario
+    rows: List[Tuple[Variant, List]] = field(default_factory=list)
+
+    @property
+    def spec(self) -> ScenarioSpec:
+        return self.compiled.spec
+
+    def all_rows(self) -> List:
+        return [row for _, rows in self.rows for row in rows]
+
+
+def run_adv_scenario(compiled: CompiledScenario,
+                     jobs: Optional[int] = None,
+                     store=None,
+                     resume: bool = False) -> AdvScenarioResult:
+    """Run every variant's adversarial search over its graph axis.
+
+    The spec must carry an ``adversarial:`` block (directly or via a
+    sweep override); each variant's graphs become the chains' seed
+    instances.  The shared ``store`` caches chains keyed by the search
+    fingerprint, so ``resume`` replays a finished search verbatim.
+    """
+    from ..adversarial.search import run_search
+
+    result = AdvScenarioResult(compiled)
+    for variant in compiled.variants:
+        if variant.adv is None:
+            raise SpecError(
+                "adversarial",
+                f"variant {variant.label!r} has no adversarial block — "
+                "add one to the spec (or to every sweep point)")
+        rows = run_search(
+            variant.adv, variant.graphs, bench=variant.config,
             jobs=jobs, store=store, resume=resume,
         )
         result.rows.append((variant, rows))
@@ -377,6 +445,61 @@ def scenario_tables(result: ScenarioResult) -> Tuple[Table, Table]:
         notes=[f"variant axes: {', '.join(spec.sweep) or '(none)'}"],
     )
     return detail, summary
+
+
+def adv_tables(result: AdvScenarioResult,
+               frontier=None) -> Tuple[Table, Table]:
+    """Render a search run as (per-chain detail, Pareto front) tables.
+
+    The detail table lists every chain's best instance; the front
+    table the non-dominated (size, score) points per pair — pass the
+    run's updated :class:`~repro.adversarial.frontier.ParetoFrontier`,
+    or omit it to build one from this run's rows alone.
+    """
+    from ..adversarial.frontier import ParetoFrontier
+
+    spec = result.spec
+    detail_rows: List[List[str]] = []
+    for variant, rows in result.rows:
+        for r in rows:
+            detail_rows.append([
+                variant.label, r.algorithm, r.graph, r.objective,
+                f"{r.start_score:.3f}", f"{r.score:.3f}",
+                f"{r.length_a:g}", f"{r.length_b:g}",
+                str(r.num_nodes), str(r.num_edges),
+                f"{r.accepted}/{r.steps}",
+                ">".join(r.lineage[-4:]) or "-",
+            ])
+    detail = Table(
+        f"adv:{spec.name}",
+        spec.description or f"Adversarial search {spec.name}",
+        ["variant", "pair", "chain", "objective", "seed score",
+         "best score", "len(A)", "len(B)", "v", "e", "accepted",
+         "lineage tail"],
+        detail_rows,
+        notes=["score: ratio = makespan(A)/makespan(B); slack = "
+               "slack(B)-slack(A); sim = executed/predicted makespan "
+               "of A — larger is always worse for A"],
+    )
+
+    if frontier is None:
+        frontier = ParetoFrontier()
+        frontier.update(result.all_rows())
+    front_rows: List[List[str]] = []
+    for pair in frontier.pairs():
+        for p in frontier.front(pair):
+            front_rows.append([pair, str(p.num_nodes), f"{p.score:.3f}",
+                               p.objective, p.instance, p.chain])
+    front = Table(
+        f"adv:{spec.name}:frontier",
+        f"Pareto front over instance size vs score "
+        f"({len(frontier.pairs())} pair(s))",
+        ["pair", "v", "score", "objective", "instance", "chain"],
+        front_rows,
+        notes=["non-dominated points only: no kept instance is both "
+               "smaller and worse than another"],
+    )
+    return detail, front
 
 
 def sim_tables(result: SimScenarioResult) -> Tuple[Table, Table]:

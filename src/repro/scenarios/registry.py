@@ -177,7 +177,37 @@ SCENARIOS: Dict[str, dict] = {
              "speed": {"dist": "uniform", "param": 0.2}},
         ]},
     },
-    # 12 — the nightly reduced full grid (all 15 algorithms, RGNOS).
+    # 12 — adversarial instance search over a BNP pair (PISA-style).
+    "adversarial-bnp": {
+        "name": "adversarial-bnp",
+        "description": "Search 50-node graph space for instances where "
+                       "LAST's schedule is maximally longer than MCP's "
+                       "— the worst-case gap behind the paper's "
+                       "average-case BNP ranking",
+        "graphs": {"generator": "rgnos", "sizes": [50],
+                   "ccrs": [1.0], "parallelisms": [3], "seed": 131},
+        "algorithms": ["LAST", "MCP"],
+        "metrics": ["length", "nsl"],
+        "adversarial": {"pair": ["LAST", "MCP"], "objective": "ratio",
+                        "steps": 150, "chains": 4,
+                        "temperature": 0.02, "cooling": 0.97, "seed": 5},
+    },
+    # 13 — adversarial instance search over an APN pair.
+    "adversarial-apn": {
+        "name": "adversarial-apn",
+        "description": "Search small-graph space for instances where "
+                       "BU loses maximally to BSA on the hypercube — "
+                       "per-message network walks keep the instances "
+                       "small",
+        "graphs": {"generator": "rgnos", "sizes": [18],
+                   "ccrs": [1.0], "parallelisms": [3], "seed": 137},
+        "algorithms": ["BU", "BSA"],
+        "metrics": ["length", "nsl"],
+        "adversarial": {"pair": ["BU", "BSA"], "objective": "ratio",
+                        "steps": 60, "chains": 2,
+                        "temperature": 0.02, "cooling": 0.97, "seed": 7},
+    },
+    # 14 — the nightly reduced full grid (all 15 algorithms, RGNOS).
     "nightly-grid": {
         "name": "nightly-grid",
         "description": "Reduced paper-style grid: all 15 algorithms on "

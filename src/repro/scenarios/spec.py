@@ -29,6 +29,10 @@ Document shape
         "trials": 100, "seed": 7, "network": "auto",
         "perturb": {"duration": {"dist": "lognormal", "param": 0.3}}
       },
+      "adversarial": {                      # optional: instance search
+        "pair": ["LAST", "MCP"], "objective": "ratio",
+        "steps": 150, "chains": 4, "temperature": 0.02, "seed": 5
+      },
       "sweep": {"machine.bnp_procs": [2, 4, 8]}   # cartesian product
     }
 
@@ -388,7 +392,84 @@ def _validate_simulate(data, path: str = "simulate") -> Dict[str, Any]:
     return out
 
 
-_SWEEPABLE_ROOTS = ("machine", "graphs", "simulate")
+def _validate_adversarial(data, path: str = "adversarial"
+                          ) -> Dict[str, Any]:
+    """Schema-check an ``adversarial:`` block (the instance-search axis).
+
+    The block configures the PISA-style search layer
+    (:mod:`repro.adversarial`): the ordered scheduler pair whose gap is
+    maximised, the objective kind, and the annealing knobs.  The
+    scenario's ``graphs`` axis supplies the chains' seed instances.
+    """
+    from ..adversarial.mutate import mutation_names
+    from ..adversarial.objective import OBJECTIVES
+    from ..algorithms import get_scheduler, list_schedulers
+
+    data = dict(_expect_mapping(data, path))
+    pair = data.pop("pair", None)
+    _expect(isinstance(pair, Sequence) and not isinstance(pair, str)
+            and len(pair) == 2, f"{path}.pair",
+            "expected a list of exactly two algorithm names")
+    names = []
+    for i, item in enumerate(pair):
+        name = _expect_str(item, f"{path}.pair[{i}]")
+        try:
+            names.append(get_scheduler(name).name)
+        except KeyError:
+            raise SpecError(
+                f"{path}.pair[{i}]",
+                f"unknown algorithm {name!r}; known: "
+                f"{', '.join(list_schedulers())}") from None
+    klasses = {get_scheduler(n).klass for n in names}
+    _expect(len(klasses) == 1, f"{path}.pair",
+            "the pair must come from one class (BNP/UNC/APN) — "
+            f"{names[0]} and {names[1]} use different machine models")
+    out: Dict[str, Any] = {"pair": names}
+    if "objective" in data:
+        obj = _expect_str(data.pop("objective"), f"{path}.objective")
+        _expect(obj in OBJECTIVES, f"{path}.objective",
+                f"unknown objective {obj!r}; expected one of "
+                f"{', '.join(OBJECTIVES)}")
+        out["objective"] = obj
+    for key in ("steps", "chains", "trials"):
+        if key in data:
+            out[key] = _expect_int(data.pop(key), f"{path}.{key}")
+    if "temperature" in data:
+        out["temperature"] = _expect_number(
+            data.pop("temperature"), f"{path}.temperature", positive=False)
+        _expect(out["temperature"] >= 0, f"{path}.temperature",
+                f"expected a number >= 0, got {out['temperature']}")
+    if "cooling" in data:
+        out["cooling"] = _expect_number(data.pop("cooling"),
+                                        f"{path}.cooling")
+        _expect(out["cooling"] <= 1, f"{path}.cooling",
+                f"expected a number in (0, 1], got {out['cooling']}")
+    if "noise" in data:
+        out["noise"] = _expect_number(data.pop("noise"), f"{path}.noise")
+    if "seed" in data:
+        seed = data.pop("seed")
+        _expect(isinstance(seed, int) and not isinstance(seed, bool)
+                and seed >= 0, f"{path}.seed",
+                "expected a non-negative integer")
+        out["seed"] = seed
+    if "ops" in data:
+        ops = data.pop("ops")
+        _expect(isinstance(ops, Sequence) and not isinstance(ops, str)
+                and len(ops) > 0, f"{path}.ops",
+                "expected a non-empty list of mutation names")
+        known = mutation_names()
+        for i, op in enumerate(ops):
+            _expect(isinstance(op, str) and op in known,
+                    f"{path}.ops[{i}]",
+                    f"unknown mutation {op!r}; expected one of "
+                    f"{', '.join(known)}")
+        out["ops"] = list(dict.fromkeys(ops))
+    _expect(not data, path,
+            f"unknown keys: {', '.join(sorted(map(str, data)))}")
+    return out
+
+
+_SWEEPABLE_ROOTS = ("machine", "graphs", "simulate", "adversarial")
 
 
 def _validate_sweep(data, path: str = "sweep") -> Dict[str, Tuple]:
@@ -428,6 +509,7 @@ class ScenarioSpec:
     metrics: Tuple[str, ...] = _DEFAULT_METRICS
     sweep: Mapping[str, Tuple] = field(default_factory=dict)
     simulate: Mapping[str, Any] = field(default_factory=dict)
+    adversarial: Mapping[str, Any] = field(default_factory=dict)
 
     @property
     def algorithm_names(self) -> Tuple[str, ...]:
@@ -453,6 +535,8 @@ class ScenarioSpec:
         doc["metrics"] = list(self.metrics)
         if self.simulate:
             doc["simulate"] = _plain(self.simulate)
+        if self.adversarial:
+            doc["adversarial"] = _plain(self.adversarial)
         if self.sweep:
             doc["sweep"] = {k: _plain(list(v))
                             for k, v in self.sweep.items()}
@@ -492,6 +576,8 @@ def validate_spec(data: Mapping) -> ScenarioSpec:
                if "metrics" in data else _DEFAULT_METRICS)
     simulate = (_validate_simulate(data.pop("simulate"))
                 if "simulate" in data else {})
+    adversarial = (_validate_adversarial(data.pop("adversarial"))
+                   if "adversarial" in data else {})
     sweep = (_validate_sweep(data.pop("sweep"))
              if "sweep" in data else {})
     _expect(not data, "",
@@ -499,7 +585,7 @@ def validate_spec(data: Mapping) -> ScenarioSpec:
     spec = ScenarioSpec(
         name=name, graphs=graphs, algorithms=algorithms,
         description=description, machine=machine, metrics=metrics,
-        sweep=sweep, simulate=simulate,
+        sweep=sweep, simulate=simulate, adversarial=adversarial,
     )
     _check_variants(spec)
     _check_speed_algorithms(spec)
@@ -585,9 +671,13 @@ def load_spec(source: str) -> ScenarioSpec:
             try:
                 import tomllib
             except ImportError:  # pragma: no cover - python < 3.11
-                raise SpecError(
-                    "", f"{source}: TOML specs need Python >= 3.11 "
-                    "(stdlib tomllib); use JSON instead") from None
+                try:
+                    import tomli as tomllib  # type: ignore[no-redef]
+                except ImportError:
+                    raise SpecError(
+                        "", f"{source}: TOML specs need Python >= 3.11 "
+                        "(stdlib tomllib) or the 'tomli' backport; "
+                        "use JSON instead") from None
             with open(source, "rb") as fh:
                 try:
                     data = tomllib.load(fh)

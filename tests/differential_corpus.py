@@ -16,12 +16,19 @@ Regenerate the goldens (after an *intentional* behaviour change only —
 review the diff consciously) with::
 
     PYTHONPATH=src:tests python -m differential_corpus
+
+Verify that the committed goldens still match the live kernel — the
+CI ``golden-sync`` job — with::
+
+    PYTHONPATH=src:tests python -m differential_corpus --check
 """
 
 from __future__ import annotations
 
+import argparse
 import json
 import os
+import sys
 from typing import Dict, List, Tuple
 
 from repro import Machine, NetworkMachine, Topology, get_scheduler
@@ -126,17 +133,22 @@ def golden_path(graph: TaskGraph) -> str:
     return os.path.join(GOLDEN_DIR, _graph_key(graph) + ".json")
 
 
+def _corpus_document(graph: TaskGraph) -> Dict:
+    """The golden document for one corpus graph, freshly computed."""
+    return {
+        "graph": {"name": graph.name, "nodes": graph.num_nodes,
+                  "edges": graph.num_edges},
+        "cases": {
+            f"{alg}@{tag}": run_case(graph, alg, tag)
+            for alg, tag in corpus_cases(graph)
+        },
+    }
+
+
 def generate() -> None:  # pragma: no cover - developer/regen tool
     os.makedirs(GOLDEN_DIR, exist_ok=True)
     for graph in corpus_graphs():
-        doc = {
-            "graph": {"name": graph.name, "nodes": graph.num_nodes,
-                      "edges": graph.num_edges},
-            "cases": {
-                f"{alg}@{tag}": run_case(graph, alg, tag)
-                for alg, tag in corpus_cases(graph)
-            },
-        }
+        doc = _corpus_document(graph)
         path = golden_path(graph)
         with open(path, "w") as fh:
             json.dump(doc, fh, indent=None, separators=(",", ":"),
@@ -145,5 +157,59 @@ def generate() -> None:  # pragma: no cover - developer/regen tool
         print(f"wrote {path} ({len(doc['cases'])} cases)")
 
 
-if __name__ == "__main__":  # pragma: no cover
+def check() -> int:
+    """Verify the committed goldens against the live kernel.
+
+    Recomputes every corpus case and compares it to ``tests/golden/``;
+    prints one line per drifted or missing file and returns the number
+    of problems (0 = in sync).  This is what the CI ``golden-sync``
+    job runs: a kernel change that shifts any schedule fails CI until
+    the goldens are regenerated — and reviewed — deliberately.
+    """
+    problems = 0
+    graphs = corpus_graphs()
+    for graph in graphs:
+        path = golden_path(graph)
+        if not os.path.exists(path):
+            print(f"MISSING {path}")
+            problems += 1
+            continue
+        with open(path) as fh:
+            committed = json.load(fh)
+        current = _corpus_document(graph)
+        if committed == current:
+            continue
+        problems += 1
+        drifted = sorted(
+            case for case in set(committed["cases"]) | set(current["cases"])
+            if committed["cases"].get(case) != current["cases"].get(case)
+        )
+        print(f"DRIFT   {path}: {len(drifted)} case(s) differ "
+              f"({', '.join(drifted[:4])}"
+              f"{', ...' if len(drifted) > 4 else ''})")
+    if problems:
+        print(f"\n{problems} golden file(s) out of sync with the kernel; "
+              "regenerate with 'python -m differential_corpus' and "
+              "review the diff", file=sys.stderr)
+    else:
+        print(f"all {len(graphs)} golden files in sync with the kernel")
+    return problems
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Regenerate (default) or --check the golden "
+                    "differential corpus under tests/golden/.")
+    parser.add_argument("--check", action="store_true",
+                        help="verify the committed goldens against the "
+                             "live kernel instead of rewriting them; "
+                             "exit 1 on drift")
+    args = parser.parse_args(argv)
+    if args.check:
+        return 1 if check() else 0
     generate()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

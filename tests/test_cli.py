@@ -189,3 +189,150 @@ class TestScenarioCLI:
         assert main(["scenario", "run", SCENARIO_SPEC,
                      "--results", "/dev/null/x"]) == 2
         assert "repro-bench: error:" in capsys.readouterr().err
+
+
+class TestAdvCLI:
+    ARGS = ["adv", "search", "adversarial-bnp", "--steps", "8",
+            "--chains", "2", "--temperature", "0"]
+
+    def test_search_persists_frontier_and_resume_replays(
+            self, tmp_path, capsys, monkeypatch):
+        res_dir = tmp_path / "store"
+        argv = self.ARGS + ["--results", str(res_dir)]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "adv:adversarial-bnp" in first
+        assert "LAST/MCP" in first
+        assert (res_dir / "adv.json").exists()
+        assert (res_dir / "frontier.json").exists()
+
+        import repro.adversarial.search as search_mod
+
+        def boom(args):
+            raise AssertionError("chain re-run despite --resume")
+
+        monkeypatch.setattr(search_mod, "_run_chain", boom)
+        assert main(argv + ["--resume"]) == 0
+        assert capsys.readouterr().out == first
+
+    def test_search_ad_hoc_pair_override(self, tmp_path, capsys):
+        assert main(["adv", "search", "graph-shapes", "--pair", "LAST",
+                     "MCP", "--steps", "5", "--chains", "1",
+                     "--temperature", "0", "--no-store"]) == 0
+        assert "LAST/MCP" in capsys.readouterr().out
+
+    def test_show_and_export_work_after_ad_hoc_search(self, tmp_path,
+                                                      capsys):
+        """A spec without an adversarial block still shows/exports the
+        store an ad-hoc --pair search persisted into it."""
+        res_dir = tmp_path / "store"
+        assert main(["adv", "search", "graph-shapes", "--pair", "LAST",
+                     "MCP", "--steps", "5", "--chains", "1",
+                     "--temperature", "0",
+                     "--results", str(res_dir)]) == 0
+        capsys.readouterr()
+        assert main(["adv", "show", "graph-shapes",
+                     "--results", str(res_dir)]) == 0
+        assert "LAST/MCP" in capsys.readouterr().out
+        out_dir = tmp_path / "inst"
+        assert main(["adv", "export", "graph-shapes",
+                     "--results", str(res_dir),
+                     "--out", str(out_dir)]) == 0
+        assert list(out_dir.glob("*.stg"))
+
+    def test_search_without_block_exits_2(self, capsys):
+        assert main(["adv", "search", "graph-shapes",
+                     "--no-store"]) == 2
+        assert "no adversarial block" in capsys.readouterr().err
+
+    def test_show_and_export_round_trip(self, tmp_path, capsys):
+        res_dir = tmp_path / "store"
+        assert main(self.ARGS + ["--results", str(res_dir)]) == 0
+        capsys.readouterr()
+        assert main(["adv", "show", "adversarial-bnp",
+                     "--results", str(res_dir)]) == 0
+        assert "LAST/MCP" in capsys.readouterr().out
+
+        out_dir = tmp_path / "instances"
+        assert main(["adv", "export", "adversarial-bnp",
+                     "--results", str(res_dir),
+                     "--out", str(out_dir)]) == 0
+        files = sorted(out_dir.glob("*.stg"))
+        assert files
+        from repro.generators import load_graph
+
+        graph = load_graph(str(files[0]))
+        assert graph.num_nodes > 1
+
+    def test_export_disambiguates_same_name_different_graphs(
+            self, tmp_path, capsys):
+        """Reruns with other knobs share instance names but not graphs;
+        export must write both, never silently drop one."""
+        res_dir = tmp_path / "store"
+        base = ["adv", "search", "adversarial-bnp", "--chains", "1",
+                "--temperature", "0", "--results", str(res_dir)]
+        assert main(base + ["--steps", "5"]) == 0
+        assert main(base + ["--steps", "9"]) == 0
+        capsys.readouterr()
+        out_dir = tmp_path / "inst"
+        assert main(["adv", "export", "adversarial-bnp", "--all",
+                     "--results", str(res_dir),
+                     "--out", str(out_dir)]) == 0
+        files = list(out_dir.glob("*.stg"))
+        assert len(files) == 2
+        assert len({f.read_text() for f in files}) == 2
+
+    def test_show_empty_store_exits_2(self, tmp_path, capsys):
+        assert main(["adv", "show", "adversarial-bnp",
+                     "--results", str(tmp_path)]) == 2
+        assert "no chains stored" in capsys.readouterr().err
+
+    def test_unknown_spec_exits_2(self, capsys):
+        assert main(["adv", "search", "no-such-scenario"]) == 2
+        assert "registered" in capsys.readouterr().err
+
+
+class TestResultsValidationUnified:
+    """Every verb family funnels --results through one validated path.
+
+    Regression tests for the PR-2 exit-2 diagnostics, which were wired
+    (but never exercised) for the sim verbs and now also guard adv:
+    an unwritable path or a corrupt store is a one-line `repro-bench:
+    error:` on stderr and exit code 2 — never a traceback — on
+    scenario, sim and adv alike.
+    """
+
+    def _assert_one_line_error(self, capsys, needle):
+        err = capsys.readouterr().err
+        assert err.startswith("repro-bench: error:")
+        assert needle in err
+        assert len(err.strip().splitlines()) == 1
+
+    def test_sim_unwritable_results_exits_2(self, capsys):
+        assert main(["sim", "run", "noise-ladder", "--trials", "2",
+                     "--results", "/dev/null/nope"]) == 2
+        self._assert_one_line_error(capsys, "/dev/null/nope")
+
+    def test_sim_corrupt_store_exits_2(self, tmp_path, capsys):
+        (tmp_path / "sim.json").write_text("{broken")
+        assert main(["sim", "run", "noise-ladder", "--trials", "2",
+                     "--results", str(tmp_path)]) == 2
+        self._assert_one_line_error(capsys, "not valid JSON")
+
+    def test_adv_unwritable_results_exits_2(self, capsys):
+        assert main(["adv", "search", "adversarial-bnp",
+                     "--results", "/dev/null/nope"]) == 2
+        self._assert_one_line_error(capsys, "/dev/null/nope")
+
+    def test_adv_corrupt_store_exits_2(self, tmp_path, capsys):
+        (tmp_path / "adv.json").write_text("{broken")
+        assert main(["adv", "search", "adversarial-bnp",
+                     "--results", str(tmp_path)]) == 2
+        self._assert_one_line_error(capsys, "not valid JSON")
+
+    def test_scenario_results_over_file_exits_2(self, tmp_path, capsys):
+        target = tmp_path / "plain-file"
+        target.write_text("not a directory")
+        assert main(["scenario", "run", SCENARIO_SPEC,
+                     "--results", str(target)]) == 2
+        self._assert_one_line_error(capsys, "not a writable directory")

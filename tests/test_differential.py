@@ -84,3 +84,60 @@ def test_schedules_match_golden_corpus(graph):
 def test_every_corpus_graph_has_a_golden_file():
     missing = [g.name for g in _GRAPHS if not os.path.exists(golden_path(g))]
     assert not missing, f"graphs without goldens: {missing}"
+
+
+class TestCheckMode:
+    """The CI golden-sync gate: ``python -m differential_corpus --check``.
+
+    The corpus is shrunk to its two smallest graphs here: the full
+    recomputation already happens per graph in
+    ``test_schedules_match_golden_corpus`` above (and once more in the
+    dedicated CI ``golden-sync`` job), so these tests only need to
+    exercise the check/drift/missing *reporting* paths cheaply.
+    """
+
+    @pytest.fixture(autouse=True)
+    def small_corpus(self, monkeypatch):
+        import differential_corpus as dc
+
+        subset = sorted(_GRAPHS, key=lambda g: g.num_nodes)[:2]
+        monkeypatch.setattr(dc, "corpus_graphs", lambda: subset)
+        return subset
+
+    def test_check_passes_on_committed_goldens(self, capsys):
+        import differential_corpus as dc
+
+        assert dc.main(["--check"]) == 0
+        assert "in sync" in capsys.readouterr().out
+
+    def test_check_fails_on_drift(self, capsys, monkeypatch, tmp_path,
+                                  small_corpus):
+        import shutil
+
+        import differential_corpus as dc
+
+        # Copy the goldens, corrupt one case, point the checker at it.
+        golden_copy = tmp_path / "golden"
+        golden_copy.mkdir()
+        for graph in small_corpus:
+            shutil.copy(dc.golden_path(graph), golden_copy)
+        monkeypatch.setattr(dc, "GOLDEN_DIR", str(golden_copy))
+        victim = dc.golden_path(small_corpus[0])
+        doc = json.loads(open(victim).read())
+        case = sorted(doc["cases"])[0]
+        doc["cases"][case]["length"] += 1.0
+        with open(victim, "w") as fh:
+            fh.write(json.dumps(doc))
+
+        assert dc.main(["--check"]) == 1
+        captured = capsys.readouterr()
+        assert "DRIFT" in captured.out
+        assert "out of sync" in captured.err
+
+    def test_check_fails_on_missing_file(self, capsys, monkeypatch,
+                                         tmp_path):
+        import differential_corpus as dc
+
+        monkeypatch.setattr(dc, "GOLDEN_DIR", str(tmp_path / "empty"))
+        assert dc.main(["--check"]) == 1
+        assert "MISSING" in capsys.readouterr().out
