@@ -56,7 +56,7 @@ class Objective:
     alg_a: str
     alg_b: str
     kind: str = "ratio"
-    config: BenchConfig = field(default_factory=BenchConfig)
+    config: BenchConfig = field(default_factory=BenchConfig)  # repro: noqa-RPR003 SearchConfig.fingerprint appends config.fingerprint() itself
     trials: int = 25
     noise: float = 0.3
     seed: int = 0

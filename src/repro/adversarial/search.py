@@ -90,7 +90,7 @@ class SearchConfig:
     pair: Tuple[str, str]
     objective: str = "ratio"
     steps: int = 200
-    chains: int = 4
+    chains: int = 4  # repro: noqa-RPR003 rows are keyed per chain label, not via the shared fingerprint
     temperature: float = 0.02
     cooling: float = 0.97
     seed: int = 0

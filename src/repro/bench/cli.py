@@ -45,6 +45,20 @@ pair's gap, persisting every chain plus a per-pair Pareto front
 writes the frontier instances as ``.stg`` files that
 :func:`repro.generators.load_graph` reads back.
 
+The ``check`` verb runs the domain-aware static analysis
+(:mod:`repro.check`) over the repo's own source::
+
+    repro-bench check
+    repro-bench check --format=github
+    repro-bench check --rules RPR001,RPR005 --list-rules
+
+It exits 0 when the tree is clean and 1 with rule-coded findings
+otherwise (CI runs it as a blocking job).  Orthogonally, the global
+``--sanitize`` flag (equivalent to ``REPRO_SANITIZE=1`` in the
+environment) arms the runtime sanitizer for any verb: TaskGraph /
+Schedule arrays are frozen and kernel/simulator assertion hooks check
+CSR round-trips, timeline ordering and event-heap monotonicity.
+
 Reduced-scale suites run in seconds; ``--full`` (or ``REPRO_FULL=1``)
 switches to the paper's exact grids.
 
@@ -186,7 +200,15 @@ def _emit(text: str, name: str, out_dir: Optional[str],
 
 def main(argv: Optional[List[str]] = None) -> int:
     argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if "--sanitize" in argv:
+        # Arm the runtime sanitizer for this process (and any workers
+        # that inherit the environment) before any verb touches data.
+        argv = [a for a in argv if a != "--sanitize"]
+        os.environ["REPRO_SANITIZE"] = "1"
     try:
+        if argv and argv[0] == "check":
+            from ..check import check_main
+            return check_main(argv[1:])
         if argv and argv[0] == "scenario":
             return scenario_main(argv[1:])
         if argv and argv[0] == "sim":

@@ -23,7 +23,8 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 from ..algorithms import get_scheduler
 from ..core.graph import TaskGraph
 from ..core.machine import Machine, NetworkMachine
-from ..core.schedule import validate
+from ..core.exceptions import ScheduleError
+from ..core.schedule import render_violations, validate
 from ..metrics.measures import RunResult, nsl
 from ..network.topology import Topology
 from .suites import default_apn_topology
@@ -121,7 +122,14 @@ def run_one(name: str, graph: TaskGraph,
     elapsed = time.perf_counter() - t0
     if config.validate_schedules:
         network = machine.topology if isinstance(machine, NetworkMachine) else None
-        validate(schedule, network=network)
+        violations = validate(schedule, network=network, collect=True)
+        if violations:
+            # Collect mode gathers *every* violation so a broken
+            # scheduler fails with the full table, not just the first
+            # symptom; the CLI prints this message verbatim.
+            raise ScheduleError(
+                f"{scheduler.name} produced an invalid schedule for "
+                f"{graph.name}:\n{render_violations(violations)}")
     return RunResult(
         algorithm=scheduler.name,
         klass=scheduler.klass,

@@ -1,0 +1,66 @@
+"""Domain-aware static analysis and runtime sanitizer for the harness.
+
+The paper's methodology assumes every scheduler computes from the same
+immutable inputs under reproducible randomness.  This package turns
+those conventions into machine-checked rules:
+
+* **Static analysis** (``repro-bench check``, :mod:`repro.check.engine`)
+  — an AST pass over the repo's own source enforcing the RPR rules:
+
+  - RPR001 scheduler purity: scheduling code never writes to a
+    ``TaskGraph``/``Machine`` parameter;
+  - RPR002 RNG discipline: all randomness flows through
+    :mod:`repro.core.rng`;
+  - RPR003 fingerprint completeness: every config dataclass field
+    reaches its store fingerprint;
+  - RPR004 registry/CLI sync: scenario registry and CLI references
+    agree;
+  - RPR005 float equality: no ``==``/``!=`` on computed times.
+
+  A finding is suppressed by an inline ``# repro: noqa-RPR0xx`` comment
+  (see :mod:`repro.check.suppress`) — every suppression in the tree is
+  expected to carry a reason.
+
+* **Runtime sanitizer** (``REPRO_SANITIZE=1`` or the ``--sanitize``
+  CLI flag, :mod:`repro.check.sanitize`) — arms cheap assertion hooks
+  in the kernel, the schedule container and the discrete-event
+  simulator (CSR round-trips, arrival-profile oracles, timeline
+  ordering, event-heap monotonicity), so the differential corpus and
+  property suites double as a memory-corruption detector.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional, Sequence
+
+from .sanitize import SanitizeError, enabled as sanitize_enabled
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .engine import Finding
+
+__all__ = [
+    "SanitizeError",
+    "sanitize_enabled",
+    "run_check",
+    "check_main",
+]
+
+
+def run_check(src_root: Optional[str] = None,
+              repo_root: Optional[str] = None,
+              rules: Optional[Sequence[str]] = None) -> "List[Finding]":
+    """Run the static-analysis pass; see :func:`repro.check.engine.run_check`.
+
+    Imported lazily so that arming the sanitizer (which core modules
+    consult at import time) never drags the analyzer in.
+    """
+    from .engine import run_check as _run
+
+    return _run(src_root=src_root, repo_root=repo_root, rules=rules)
+
+
+def check_main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point for ``repro-bench check`` / ``python -m repro.check``."""
+    from .cli import main as _main
+
+    return _main(argv)

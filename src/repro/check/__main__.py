@@ -1,0 +1,5 @@
+"""``python -m repro.check`` — run the static-analysis pass."""
+
+from .cli import main
+
+raise SystemExit(main())

@@ -1,0 +1,91 @@
+"""Command line for the static-analysis pass.
+
+Reached three ways — ``repro-bench check ...``, ``python -m repro.bench
+check ...`` and ``python -m repro.check ...`` — all ending in
+:func:`main`.  Exit codes follow the repo convention: 0 clean, 1 when
+findings survive suppression, 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from .engine import available_rules, run_check
+from .report import FORMATS, render
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-bench check",
+        description="Static analysis of the repro source tree against the "
+                    "RPR scheduler-invariant rules.",
+    )
+    parser.add_argument(
+        "--src-root", metavar="DIR", default=None,
+        help="directory containing the 'repro' package "
+             "(default: the installed package's parent)")
+    parser.add_argument(
+        "--repo-root", metavar="DIR", default=None,
+        help="repository root for docs/workflows/tests cross-references "
+             "(default: parent of --src-root)")
+    parser.add_argument(
+        "--rules", metavar="CODES", default=None,
+        help="comma-separated subset of rules to run, by code or name "
+             "(e.g. RPR001,rng-discipline); default: all")
+    parser.add_argument(
+        "--format", dest="fmt", choices=FORMATS, default="text",
+        help="output format (default: text)")
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="list the available rules and exit")
+    return parser
+
+
+def _list_rules() -> str:
+    lines = []
+    for cls in available_rules():
+        lines.append(f"{cls.code}  {cls.name:<26} {cls.summary()}")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    try:
+        args = parser.parse_args(argv)
+    except SystemExit as exc:
+        # argparse exits 2 on usage errors, 0 on --help; keep both.
+        return int(exc.code or 0)
+
+    if args.list_rules:
+        print(_list_rules())
+        return 0
+
+    rules = None
+    if args.rules:
+        rules = [tok for tok in args.rules.split(",") if tok.strip()]
+
+    try:
+        findings = run_check(src_root=args.src_root,
+                             repo_root=args.repo_root, rules=rules)
+    except (KeyError, FileNotFoundError) as exc:
+        message = exc.args[0] if exc.args else exc
+        print(f"repro-bench check: error: {message}", file=sys.stderr)
+        return 2
+
+    if args.repo_root:
+        base: Optional[str] = args.repo_root
+    elif args.src_root:
+        base = str(Path(args.src_root).resolve().parent)
+    else:
+        base = str(Path.cwd())
+    print(render(findings, args.fmt, base=base))
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,249 @@
+"""The analysis engine: file discovery, rule dispatch, suppression.
+
+:func:`run_check` parses every ``repro`` source file once, hands each
+:class:`FileContext` to the per-file rules that apply to its path, runs
+the project-level rules (which see the whole tree plus the repo's docs,
+workflows and tests via :class:`Project`), filters findings through the
+inline ``# repro: noqa`` tables and returns them sorted by location.
+
+The engine knows nothing about individual invariants — those live in
+:mod:`repro.check.rules` as :class:`Rule` subclasses.  Pointing
+``src_root`` at a fixture tree (as the self-tests do) analyses that
+tree instead of the installed package.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from .suppress import is_suppressed, suppressions
+
+__all__ = ["Finding", "FileContext", "Project", "Rule", "run_check"]
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at a concrete source location."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+
+@dataclass
+class FileContext:
+    """A parsed source file handed to per-file rules."""
+
+    path: Path
+    relpath: str  # posix path relative to src_root, e.g. "repro/core/graph.py"
+    source: str
+    tree: ast.AST
+    suppress: Dict[int, frozenset] = field(default_factory=dict)
+
+    def finding(self, rule: "Rule", node: ast.AST, message: str) -> Finding:
+        """A finding anchored at ``node``'s location in this file."""
+        return Finding(
+            path=str(self.path),
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            code=rule.code,
+            message=message,
+        )
+
+
+class Project:
+    """Whole-tree view for project-level rules (RPR004).
+
+    Besides the parsed source files it exposes
+    :meth:`reference_lines` — every line of the repo's docs, CI
+    workflows, examples and tests, plus the analysed sources — so
+    cross-reference rules can check both directions of a registry.
+    """
+
+    #: Path components that are never scanned for references.
+    SKIP_PARTS = ("fixtures", "__pycache__", ".git", "results")
+    REFERENCE_SUFFIXES = (".md", ".rst", ".txt", ".py", ".sh",
+                          ".yml", ".yaml", ".toml", ".cfg", ".ini")
+
+    def __init__(self, src_root: Path, repo_root: Path,
+                 contexts: Sequence[FileContext]) -> None:
+        self.src_root = src_root
+        self.repo_root = repo_root
+        self.contexts = list(contexts)
+        self._by_relpath = {ctx.relpath: ctx for ctx in self.contexts}
+        self._reference_cache: Optional[List[Tuple[str, int, str]]] = None
+
+    def file(self, relpath: str) -> Optional[FileContext]:
+        """The parsed context for a src-relative posix path, if analysed."""
+        return self._by_relpath.get(relpath)
+
+    def reference_lines(self) -> List[Tuple[str, int, str]]:
+        """``(path, lineno, text)`` for every reference-bearing line."""
+        if self._reference_cache is None:
+            self._reference_cache = list(self._scan_references())
+        return self._reference_cache
+
+    def _scan_references(self) -> Iterator[Tuple[str, int, str]]:
+        seen: set = set()
+        for ctx in self.contexts:
+            seen.add(ctx.path.resolve())
+            for lineno, text in enumerate(ctx.source.splitlines(), start=1):
+                yield str(ctx.path), lineno, text
+        roots = [self.repo_root / name
+                 for name in ("README.md", "DESIGN.md", "EXPERIMENTS.md",
+                              "ROADMAP.md", "CHANGES.md")]
+        for directory in (self.repo_root / ".github",
+                          self.repo_root / "examples",
+                          self.repo_root / "docs",
+                          self.repo_root / "tests"):
+            if directory.is_dir():
+                roots.extend(sorted(directory.rglob("*")))
+        for path in roots:
+            if (not path.is_file()
+                    or path.suffix not in self.REFERENCE_SUFFIXES):
+                continue
+            try:
+                rel_parts = path.relative_to(self.repo_root).parts
+            except ValueError:  # pragma: no cover - symlinked root
+                rel_parts = path.parts
+            if any(part in self.SKIP_PARTS for part in rel_parts):
+                continue
+            resolved = path.resolve()
+            if resolved in seen:
+                continue
+            seen.add(resolved)
+            try:
+                text = path.read_text(encoding="utf-8")
+            except (OSError, UnicodeDecodeError):  # pragma: no cover
+                continue
+            for lineno, line in enumerate(text.splitlines(), start=1):
+                yield str(path), lineno, line
+
+
+class Rule:
+    """Base class for RPR rules.
+
+    Subclasses set :attr:`code` (``RPR0xx``) and :attr:`name`, and
+    override :meth:`check_file` (with :meth:`applies` scoping the paths
+    it sees) and/or :meth:`check_project`.  The class docstring is the
+    rule's documentation; its first line is the summary shown by
+    ``repro-bench check --list-rules``.
+    """
+
+    code: str = ""
+    name: str = ""
+
+    def applies(self, relpath: str) -> bool:
+        """Whether :meth:`check_file` should see this src-relative path."""
+        return False
+
+    def check_file(self, ctx: FileContext) -> Iterator[Finding]:
+        """Yield findings for one parsed file."""
+        return iter(())
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        """Yield findings that need the whole tree."""
+        return iter(())
+
+    @classmethod
+    def summary(cls) -> str:
+        """First line of the rule's docstring."""
+        doc = (cls.__doc__ or "").strip()
+        return doc.splitlines()[0] if doc else ""
+
+
+def _default_src_root() -> Path:
+    import repro
+
+    return Path(repro.__file__).resolve().parent.parent
+
+
+def available_rules() -> List[type]:
+    """The shipped rule classes, in code order."""
+    from .rules import ALL_RULES
+
+    return list(ALL_RULES)
+
+
+def select_rules(names: Optional[Sequence[str]] = None) -> List[Rule]:
+    """Instantiate rules by code or name (case-insensitive); all by default."""
+    classes = available_rules()
+    if names is None:
+        return [cls() for cls in classes]
+    by_key = {}
+    for cls in classes:
+        by_key[cls.code.lower()] = cls
+        by_key[cls.name.lower()] = cls
+    chosen: List[Rule] = []
+    for name in names:
+        key = name.strip().lower()
+        if key not in by_key:
+            known = ", ".join(cls.code for cls in classes)
+            raise KeyError(f"unknown rule {name!r} (known: {known})")
+        cls = by_key[key]
+        if all(type(r) is not cls for r in chosen):
+            chosen.append(cls())
+    return chosen
+
+
+def run_check(src_root: Optional[str] = None,
+              repo_root: Optional[str] = None,
+              rules: Optional[Sequence[str]] = None) -> List[Finding]:
+    """Run the static-analysis pass and return surviving findings.
+
+    ``src_root`` is the directory *containing* the ``repro`` package
+    (defaults to the installed package's parent, i.e. ``src/``);
+    ``repo_root`` is where docs/workflows/tests live (defaults to the
+    parent of ``src_root``); ``rules`` selects a subset by code or
+    name.  Findings suppressed by inline ``# repro: noqa`` comments are
+    dropped; the rest come back sorted by path, line and column.
+    """
+    root = Path(src_root).resolve() if src_root else _default_src_root()
+    repo = Path(repo_root).resolve() if repo_root else root.parent
+    package = root / "repro"
+    if not package.is_dir():
+        raise FileNotFoundError(f"no 'repro' package under {root}")
+
+    contexts: List[FileContext] = []
+    for path in sorted(package.rglob("*.py")):
+        if "__pycache__" in path.parts:
+            continue
+        source = path.read_text(encoding="utf-8")
+        tree = ast.parse(source, filename=str(path))
+        contexts.append(FileContext(
+            path=path,
+            relpath=path.relative_to(root).as_posix(),
+            source=source,
+            tree=tree,
+            suppress=suppressions(source),
+        ))
+
+    active = select_rules(rules)
+    project = Project(root, repo, contexts)
+    raw: List[Finding] = []
+    for rule in active:
+        for ctx in contexts:
+            if rule.applies(ctx.relpath):
+                raw.extend(rule.check_file(ctx))
+        raw.extend(rule.check_project(project))
+
+    tables: Dict[str, Dict[int, frozenset]] = {
+        str(ctx.path): ctx.suppress for ctx in contexts}
+    survivors: List[Finding] = []
+    for finding in raw:
+        table = tables.get(finding.path)
+        if table is None:
+            try:
+                table = suppressions(
+                    Path(finding.path).read_text(encoding="utf-8"))
+            except (OSError, UnicodeDecodeError):  # pragma: no cover
+                table = {}
+            tables[finding.path] = table
+        if not is_suppressed(table, finding.line, finding.code):
+            survivors.append(finding)
+    return sorted(set(survivors))

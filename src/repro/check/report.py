@@ -1,0 +1,116 @@
+"""Rendering findings: text, JSON and GitHub-annotation formats.
+
+The ``text`` format is the familiar ``path:line:col: CODE message``
+linter shape, followed by a per-rule tally.  ``json`` emits a single
+machine-readable document (for tooling and the self-tests).  ``github``
+emits ``::error`` workflow commands so a blocking CI job annotates the
+offending lines directly in the pull-request diff.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections import Counter
+from typing import Dict, List, Optional, Sequence
+
+from .engine import Finding
+
+__all__ = ["FORMATS", "render"]
+
+FORMATS = ("text", "json", "github")
+
+
+def _relativize(path: str, base: Optional[str]) -> str:
+    if base:
+        try:
+            return os.path.relpath(path, base)
+        except ValueError:  # pragma: no cover - different drive on win32
+            return path
+    return path
+
+
+def render_text(findings: Sequence[Finding],
+                base: Optional[str] = None) -> str:
+    """Classic linter output plus a per-rule tally."""
+    if not findings:
+        return "repro check: clean (0 findings)"
+    lines = [
+        f"{_relativize(f.path, base)}:{f.line}:{f.col}: {f.code} {f.message}"
+        for f in findings
+    ]
+    tally = Counter(f.code for f in findings)
+    counts = ", ".join(f"{code} x{n}" for code, n in sorted(tally.items()))
+    lines.append("")
+    lines.append(f"repro check: {len(findings)} finding"
+                 f"{'s' if len(findings) != 1 else ''} ({counts})")
+    return "\n".join(lines)
+
+
+def render_json(findings: Sequence[Finding],
+                base: Optional[str] = None) -> str:
+    """One JSON document: counts plus the full finding list."""
+    payload: Dict[str, object] = {
+        "clean": not findings,
+        "count": len(findings),
+        "by_rule": dict(sorted(Counter(f.code for f in findings).items())),
+        "findings": [
+            {
+                "path": _relativize(f.path, base),
+                "line": f.line,
+                "col": f.col,
+                "code": f.code,
+                "message": f.message,
+            }
+            for f in findings
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=False)
+
+
+def _escape_property(value: str) -> str:
+    """Escape a workflow-command property value per GitHub's rules."""
+    return (value.replace("%", "%25").replace("\r", "%0D")
+            .replace("\n", "%0A").replace(":", "%3A").replace(",", "%2C"))
+
+
+def _escape_data(value: str) -> str:
+    return value.replace("%", "%25").replace("\r", "%0D").replace("\n", "%0A")
+
+
+def render_github(findings: Sequence[Finding],
+                  base: Optional[str] = None) -> str:
+    """``::error`` workflow commands, one per finding."""
+    lines: List[str] = []
+    for f in findings:
+        path = _relativize(f.path, base)
+        lines.append(
+            f"::error file={_escape_property(path)},line={f.line},"
+            f"col={f.col},title={f.code}::{_escape_data(f.message)}")
+    lines.append(f"repro check: {len(findings)} finding"
+                 f"{'s' if len(findings) != 1 else ''}"
+                 if findings else "repro check: clean (0 findings)")
+    return "\n".join(lines)
+
+
+_RENDERERS = {
+    "text": render_text,
+    "json": render_json,
+    "github": render_github,
+}
+
+
+def render(findings: Sequence[Finding], fmt: str = "text",
+           base: Optional[str] = None) -> str:
+    """Render findings in one of :data:`FORMATS`.
+
+    ``base`` relativizes paths (usually the repo root) so output is
+    stable across checkouts.
+    """
+    try:
+        renderer = _RENDERERS[fmt]
+    except KeyError:
+        raise ValueError(
+            f"unknown format {fmt!r} (expected one of {', '.join(FORMATS)})"
+        ) from None
+    return renderer(findings, base)

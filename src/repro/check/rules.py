@@ -1,0 +1,631 @@
+"""The RPR rule set: domain invariants as pluggable AST checks.
+
+Every rule is a :class:`Rule` subclass with a stable code (``RPR001``
+...), a one-line summary and a docstring explaining *why* the invariant
+matters for the benchmark's trustworthiness.  Rules report
+:class:`~repro.check.engine.Finding` objects; an inline
+``# repro: noqa-RPR0xx <reason>`` comment on the reported line
+suppresses a finding (see :mod:`repro.check.suppress`).
+
+The rules are heuristic static analysis, not a type system: they
+resolve names syntactically (a parameter annotated or named like a
+``TaskGraph`` is treated as one) and deliberately prefer a rare,
+documented suppression over missing a real violation.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+from typing import (
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from .engine import FileContext, Finding, Project, Rule
+
+__all__ = [
+    "SchedulerPurity",
+    "RngDiscipline",
+    "FingerprintCompleteness",
+    "RegistryCliSync",
+    "FloatEquality",
+    "ALL_RULES",
+]
+
+
+def _root_name(node: ast.AST) -> Optional[str]:
+    """The base ``Name`` of an attribute/subscript chain, if any.
+
+    ``graph.weights[i]`` -> ``graph``; ``self.graph.x`` -> ``self``.
+    """
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        node = node.value
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def _annotation_text(node: Optional[ast.AST]) -> str:
+    if node is None:
+        return ""
+    try:
+        return ast.unparse(node)
+    except Exception:  # pragma: no cover - malformed annotation
+        return ""
+
+
+def _attr_chain(node: ast.AST) -> str:
+    """Dotted text of a pure attribute chain (``np.random.rand``), else ""."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return ""
+
+
+def _walk_preorder(node: ast.AST) -> Iterator[ast.AST]:
+    """Depth-first pre-order walk: children in source order."""
+    for child in ast.iter_child_nodes(node):
+        yield child
+        yield from _walk_preorder(child)
+
+
+def _annotation_nodes(tree: ast.AST) -> Set[int]:
+    """ids of every AST node living inside a type-annotation position."""
+    spots: Set[int] = set()
+
+    def mark(node: Optional[ast.AST]) -> None:
+        if node is None:
+            return
+        for sub in ast.walk(node):
+            spots.add(id(sub))
+
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            mark(node.returns)
+            args = node.args
+            for arg in (args.posonlyargs + args.args + args.kwonlyargs
+                        + ([args.vararg] if args.vararg else [])
+                        + ([args.kwarg] if args.kwarg else [])):
+                mark(arg.annotation)
+        elif isinstance(node, ast.AnnAssign):
+            mark(node.annotation)
+    return spots
+
+
+# ----------------------------------------------------------------------
+# RPR001 — scheduler purity
+# ----------------------------------------------------------------------
+class SchedulerPurity(Rule):
+    """Scheduling code must never mutate its ``TaskGraph``/``Machine``.
+
+    Every algorithm in the comparison reads the *same* graph object —
+    the grid engine, the scenario sweeps, the Monte-Carlo layer and the
+    adversarial search all hand one immutable instance to many
+    schedulers (often across worker processes and memo caches).  A
+    single in-place weight tweak or adjacency edit by one algorithm
+    silently corrupts every ranking computed after it.  This rule flags
+    any statement in scheduling code that assigns to, augments, deletes
+    from, or calls a mutating method on an attribute/index of a
+    parameter that is (by annotation or name) a ``TaskGraph`` or
+    ``Machine``.
+    """
+
+    code = "RPR001"
+    name = "scheduler-purity"
+
+    SCOPE_DIRS = ("repro/algorithms/", "repro/duplication/")
+    SCOPE_FILES = ("repro/core/listsched.py", "repro/core/kernel.py")
+
+    PARAM_TYPES = ("TaskGraph", "Machine", "NetworkMachine")
+    PARAM_NAMES = ("graph", "taskgraph", "machine", "seed_graph")
+    MUTATORS = (
+        "append", "extend", "insert", "remove", "pop", "clear", "sort",
+        "reverse", "update", "setdefault", "popitem", "fill", "setflags",
+        "add", "discard", "put", "resize", "sort_indices",
+    )
+
+    def applies(self, relpath: str) -> bool:
+        return (relpath in self.SCOPE_FILES
+                or any(relpath.startswith(d) for d in self.SCOPE_DIRS))
+
+    def check_file(self, ctx: FileContext) -> Iterator[Finding]:
+        for func in ast.walk(ctx.tree):
+            if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            tracked = self._tracked_params(func)
+            if tracked:
+                yield from self._scan_body(ctx, func, tracked)
+
+    def _tracked_params(self, func: ast.FunctionDef) -> Set[str]:
+        tracked: Set[str] = set()
+        args = func.args
+        for arg in args.posonlyargs + args.args + args.kwonlyargs:
+            note = _annotation_text(arg.annotation)
+            if any(t in note for t in self.PARAM_TYPES):
+                tracked.add(arg.arg)
+            elif not note and arg.arg.lower() in self.PARAM_NAMES:
+                tracked.add(arg.arg)
+        return tracked
+
+    def _scan_body(self, ctx: FileContext, func: ast.FunctionDef,
+                   tracked: Set[str]) -> Iterator[Finding]:
+        # Re-bound names stop being the parameter (graph = graph.copy()).
+        # Pre-order traversal keeps source order, so a rebinding only
+        # clears writes *after* it — ast.walk's breadth-first order
+        # would let a late rebinding mask an earlier nested mutation.
+        rebound: Set[str] = set()
+        for node in _walk_preorder(func):
+            targets: List[ast.AST] = []
+            if isinstance(node, ast.Assign):
+                targets = list(node.targets)
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                targets = [node.target]
+            elif isinstance(node, ast.Delete):
+                targets = list(node.targets)
+            for target in targets:
+                for leaf in self._flatten(target):
+                    if isinstance(leaf, ast.Name):
+                        if leaf.id in tracked:
+                            rebound.add(leaf.id)
+                        continue
+                    root = _root_name(leaf)
+                    if (root in tracked and root not in rebound
+                            and isinstance(leaf,
+                                           (ast.Attribute, ast.Subscript))):
+                        yield ctx.finding(
+                            self, leaf,
+                            f"statement writes to {root!r} "
+                            f"({ast.unparse(leaf)}) — scheduling code must "
+                            f"treat TaskGraph/Machine inputs as immutable",
+                        )
+            if isinstance(node, ast.Call):
+                fn = node.func
+                if (isinstance(fn, ast.Attribute)
+                        and fn.attr in self.MUTATORS
+                        and isinstance(fn.value,
+                                       (ast.Attribute, ast.Subscript))):
+                    root = _root_name(fn.value)
+                    if root in tracked and root not in rebound:
+                        yield ctx.finding(
+                            self, node,
+                            f"call mutates {root!r} in place "
+                            f"({ast.unparse(fn)}(...)) — scheduling code "
+                            f"must treat TaskGraph/Machine inputs as "
+                            f"immutable",
+                        )
+
+    @staticmethod
+    def _flatten(target: ast.AST) -> Iterator[ast.AST]:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                yield from SchedulerPurity._flatten(elt)
+        else:
+            yield target
+
+
+# ----------------------------------------------------------------------
+# RPR002 — RNG discipline
+# ----------------------------------------------------------------------
+class RngDiscipline(Rule):
+    """All randomness must flow through :mod:`repro.core.rng`.
+
+    Reproducibility rests on two contracts: no module keeps global RNG
+    state, and every stochastic entry point accepts a seed or a
+    ``numpy.random.Generator`` (so noise streams can be derived per
+    cell, order-independently).  A stray ``np.random.rand()`` or
+    ``import random`` reads hidden global state and silently breaks
+    cache keys, resume, and parallel/serial equivalence.  Outside
+    ``repro/core/rng.py`` this rule flags: any ``np.random.*`` /
+    ``numpy.random.*`` value use (the ``Generator``/``SeedSequence``
+    *types* in annotations and ``isinstance`` checks are fine), imports
+    of the stdlib ``random`` module or of ``numpy.random`` members, and
+    ``as_generator``/``derive_rng`` calls whose seed is a hard-coded
+    literal (which pins a stream the caller cannot reproduce or vary).
+    """
+
+    code = "RPR002"
+    name = "rng-discipline"
+
+    EXEMPT = ("repro/core/rng.py",)
+    #: np.random attributes that are types, legal anywhere.
+    TYPE_ATTRS = ("Generator", "SeedSequence", "BitGenerator")
+
+    def applies(self, relpath: str) -> bool:
+        return relpath not in self.EXEMPT
+
+    def check_file(self, ctx: FileContext) -> Iterator[Finding]:
+        anno = _annotation_nodes(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    top = alias.name.split(".")[0]
+                    if top == "random":
+                        yield ctx.finding(
+                            self, node,
+                            "stdlib 'random' uses hidden global state — "
+                            "use repro.core.rng (seeded numpy Generators)",
+                        )
+                    elif alias.name == "numpy.random":
+                        yield ctx.finding(
+                            self, node,
+                            "import numpy.random outside repro.core.rng — "
+                            "take a seed/Generator and canonicalise via "
+                            "repro.core.rng.as_generator",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                mod = node.module or ""
+                if mod == "random" or mod.startswith("random."):
+                    yield ctx.finding(
+                        self, node,
+                        "stdlib 'random' uses hidden global state — use "
+                        "repro.core.rng (seeded numpy Generators)",
+                    )
+                elif mod == "numpy.random" or (
+                        mod == "numpy" and any(a.name == "random"
+                                               for a in node.names)):
+                    names = {a.name for a in node.names}
+                    if not names <= set(self.TYPE_ATTRS):
+                        yield ctx.finding(
+                            self, node,
+                            "import from numpy.random outside "
+                            "repro.core.rng — route draws through "
+                            "as_generator/derive_rng",
+                        )
+            elif isinstance(node, ast.Attribute) and id(node) not in anno:
+                chain = _attr_chain(node)
+                if chain.startswith(("np.random.", "numpy.random.")):
+                    leaf = chain.rsplit(".", 1)[1]
+                    if leaf not in self.TYPE_ATTRS:
+                        yield ctx.finding(
+                            self, node,
+                            f"{chain} outside repro.core.rng — all draws "
+                            "must come from a seed/Generator passed in "
+                            "and canonicalised by as_generator/derive_rng",
+                        )
+            elif isinstance(node, ast.Call):
+                fn = node.func
+                fname = fn.id if isinstance(fn, ast.Name) else (
+                    fn.attr if isinstance(fn, ast.Attribute) else "")
+                if fname in ("as_generator", "derive_rng") and node.args:
+                    seed = node.args[0]
+                    if isinstance(seed, ast.Constant):
+                        yield ctx.finding(
+                            self, seed,
+                            f"{fname}() called with the hard-coded seed "
+                            f"{seed.value!r} — stochastic entry points "
+                            "must accept a seed/Generator parameter",
+                        )
+                elif fname == "default_rng" and isinstance(fn, ast.Name):
+                    yield ctx.finding(
+                        self, node,
+                        "bare default_rng() outside repro.core.rng — "
+                        "use as_generator(seed) so int, Generator and "
+                        "None seeds all canonicalise the same way",
+                    )
+
+
+# ----------------------------------------------------------------------
+# RPR003 — fingerprint completeness
+# ----------------------------------------------------------------------
+class FingerprintCompleteness(Rule):
+    """Every config dataclass field must flow into its fingerprint.
+
+    Result stores cache rows by ``(algorithm, graph, fingerprint)``;
+    ``--resume`` replays any cached row whose key matches.  A config
+    field that changes behaviour but not the fingerprint makes two
+    *different* experiments share cache rows — resumed results silently
+    come from the wrong configuration.  For every dataclass that
+    defines a ``fingerprint`` method, this rule collects the
+    ``self.<attr>`` reads reachable from ``fingerprint`` (following
+    same-class helper methods and properties transitively) and flags
+    any declared field that never feeds it.  Fields covered by a
+    different part of the cache key (e.g. a per-row label) carry a
+    ``# repro: noqa-RPR003 <why>`` on their definition line.
+    """
+
+    code = "RPR003"
+    name = "fingerprint-completeness"
+
+    def applies(self, relpath: str) -> bool:
+        return True
+
+    def check_file(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ClassDef) and self._is_dataclass(node):
+                yield from self._check_class(ctx, node)
+
+    @staticmethod
+    def _is_dataclass(cls: ast.ClassDef) -> bool:
+        for dec in cls.decorator_list:
+            target = dec.func if isinstance(dec, ast.Call) else dec
+            name = (target.id if isinstance(target, ast.Name)
+                    else target.attr if isinstance(target, ast.Attribute)
+                    else "")
+            if name == "dataclass":
+                return True
+        return False
+
+    def _check_class(self, ctx: FileContext,
+                     cls: ast.ClassDef) -> Iterator[Finding]:
+        methods = {
+            stmt.name: stmt
+            for stmt in cls.body
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+        }
+        if "fingerprint" not in methods:
+            return
+        fields: List[Tuple[str, ast.AnnAssign]] = []
+        for stmt in cls.body:
+            if (isinstance(stmt, ast.AnnAssign)
+                    and isinstance(stmt.target, ast.Name)
+                    and not stmt.target.id.startswith("_")
+                    and "ClassVar" not in _annotation_text(stmt.annotation)):
+                fields.append((stmt.target.id, stmt))
+        if not fields:
+            return
+        used = self._reachable_attrs(methods, "fingerprint")
+        for name, stmt in fields:
+            if name not in used:
+                yield ctx.finding(
+                    self, stmt,
+                    f"dataclass field {cls.name}.{name} never reaches "
+                    f"{cls.name}.fingerprint() — a config axis outside "
+                    "the cache key makes resumed rows lie",
+                )
+
+    @staticmethod
+    def _reachable_attrs(methods: Dict[str, ast.FunctionDef],
+                         start: str) -> Set[str]:
+        seen_methods: Set[str] = set()
+        attrs: Set[str] = set()
+        stack = [start]
+        while stack:
+            name = stack.pop()
+            if name in seen_methods or name not in methods:
+                continue
+            seen_methods.add(name)
+            for node in ast.walk(methods[name]):
+                if (isinstance(node, ast.Attribute)
+                        and isinstance(node.value, ast.Name)
+                        and node.value.id == "self"):
+                    attrs.add(node.attr)
+                    if node.attr in methods:
+                        stack.append(node.attr)
+        return attrs
+
+
+# ----------------------------------------------------------------------
+# RPR004 — registry/CLI sync
+# ----------------------------------------------------------------------
+class RegistryCliSync(Rule):
+    """The scenario registry and every CLI reference to it must agree.
+
+    Scenarios are addressed by name from the CLI (``scenario run``,
+    ``sim run/compare``, ``adv search/show/export``), from CI workflows
+    and from the docs.  A renamed or deleted registry entry leaves
+    stale references that fail at 2am in the nightly run; an entry
+    nobody references is dead weight that silently rots.  This rule
+    checks three directions: (a) every registry key equals its
+    document's ``name`` and validates against the spec schema, (b)
+    every ``repro-bench``/``repro.bench`` invocation of a bare scenario
+    name — in source docstrings, README/DESIGN/EXPERIMENTS, workflows
+    and examples — names a registered scenario, and (c) every registry
+    entry is referenced at least once outside the registry itself.
+    """
+
+    code = "RPR004"
+    name = "registry-cli-sync"
+
+    REGISTRY = "repro/scenarios/registry.py"
+    _INVOKE = re.compile(
+        r"(?:repro-bench|repro\.bench)\s+"
+        r"(?:scenario\s+(?:run|validate)|sim\s+(?:run|compare)|"
+        r"adv\s+(?:search|show|export))\s+"
+        r"(?P<name>[A-Za-z0-9][A-Za-z0-9_-]*)")
+
+    def applies(self, relpath: str) -> bool:
+        return False  # project-level rule; no per-file pass
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        registry = project.file(self.REGISTRY)
+        if registry is None:
+            return
+        entries = self._registry_entries(registry)
+        names = {name for name, _, _ in entries}
+
+        # (a) key == doc name, and the document passes the spec schema.
+        for name, doc_name, node in entries:
+            if doc_name is not None and doc_name != name:
+                yield registry.finding(
+                    self, node,
+                    f"registry key {name!r} disagrees with its "
+                    f"document's name {doc_name!r}",
+                )
+        yield from self._validate_entries(registry, entries)
+
+        # (b) every CLI-style reference resolves to a registered name.
+        referenced: Set[str] = set()
+        for path, lineno, text in project.reference_lines():
+            for match in self._INVOKE.finditer(text):
+                token = match.group("name")
+                end = match.end("name")
+                if end < len(text) and text[end] in "./":
+                    continue  # a file path, not a registry name
+                referenced.add(token)
+                if token not in names:
+                    yield Finding(
+                        code=self.code, path=path,
+                        line=lineno, col=match.start("name") + 1,
+                        message=f"reference to unregistered scenario "
+                                f"{token!r} (registered: "
+                                f"{', '.join(sorted(names))})",
+                    )
+
+        # (c) every registry entry is referenced somewhere else.
+        mentioned = set(referenced)
+        for path, _, text in project.reference_lines():
+            if path.endswith(self.REGISTRY):
+                continue
+            for name in names:
+                if name in mentioned:
+                    continue
+                if name in text:
+                    mentioned.add(name)
+        for name, _, node in entries:
+            if name not in mentioned:
+                yield registry.finding(
+                    self, node,
+                    f"scenario {name!r} is registered but never "
+                    "referenced from any CLI example, workflow, doc or "
+                    "test — dead registry entries rot silently",
+                )
+
+    @staticmethod
+    def _registry_entries(ctx: FileContext
+                          ) -> List[Tuple[str, Optional[str], ast.AST]]:
+        """(key, doc name, key node) per ``SCENARIOS`` entry, by AST."""
+        entries: List[Tuple[str, Optional[str], ast.AST]] = []
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Assign):
+                targets: List[ast.AST] = list(node.targets)
+            elif isinstance(node, ast.AnnAssign):
+                targets = [node.target]
+            else:
+                continue
+            if not (any(isinstance(t, ast.Name) and t.id == "SCENARIOS"
+                        for t in targets)
+                    and isinstance(node.value, ast.Dict)):
+                continue
+            for key, value in zip(node.value.keys, node.value.values):
+                if not (isinstance(key, ast.Constant)
+                        and isinstance(key.value, str)):
+                    continue
+                doc_name: Optional[str] = None
+                if isinstance(value, ast.Dict):
+                    for k, v in zip(value.keys, value.values):
+                        if (isinstance(k, ast.Constant)
+                                and k.value == "name"
+                                and isinstance(v, ast.Constant)):
+                            doc_name = str(v.value)
+                entries.append((key.value, doc_name, key))
+        return entries
+
+    def _validate_entries(self, ctx: FileContext,
+                          entries: Sequence[Tuple[str, Optional[str],
+                                                  ast.AST]]
+                          ) -> Iterator[Finding]:
+        """Schema-check each registered document via the live package."""
+        try:
+            from ..scenarios import get_scenario
+        except Exception:  # pragma: no cover - package not importable
+            return
+        for name, _, node in entries:
+            try:
+                get_scenario(name)
+            except KeyError:
+                # The analyzed tree and the imported package differ
+                # (e.g. fixtures); key-name sync was already checked.
+                continue
+            except Exception as exc:
+                yield ctx.finding(
+                    self, node,
+                    f"registered scenario {name!r} fails spec "
+                    f"validation: {exc}",
+                )
+
+
+# ----------------------------------------------------------------------
+# RPR005 — float equality on computed times
+# ----------------------------------------------------------------------
+class FloatEquality(Rule):
+    """No ``==``/``!=`` on computed times in scheduling/sim code.
+
+    Start/finish/ready times are sums and maxima of float64 values
+    accumulated in data-dependent order; two mathematically equal times
+    routinely differ in the last bit.  An exact comparison that happens
+    to hold on today's golden corpus breaks the moment a kernel reorders
+    a reduction — the classic source of "schedules differ on one
+    machine only" bugs.  In ``core``/``algorithms``/``duplication``/
+    ``sim`` code this rule flags equality comparisons where either side
+    is a float literal or a time-like expression (``start``, ``finish``,
+    ``arrival``, ``est``, ``drt``, ``makespan``, ...); use
+    ``math.isclose`` or the module's epsilon idiom instead.  Exact
+    comparisons that are *semantically* exact (config identity checks,
+    normalisation triggers) carry a ``# repro: noqa-RPR005 <why>``.
+    """
+
+    code = "RPR005"
+    name = "float-equality"
+
+    SCOPE_DIRS = ("repro/core/", "repro/algorithms/", "repro/duplication/",
+                  "repro/sim/")
+    TIME_NAMES = frozenset((
+        "start", "finish", "arrival", "est", "eft", "drt", "makespan",
+        "length", "slack", "latency", "tlevel", "blevel", "alap",
+        "deadline", "duration", "ready_time", "proc_free", "cp",
+    ))
+
+    def applies(self, relpath: str) -> bool:
+        return any(relpath.startswith(d) for d in self.SCOPE_DIRS)
+
+    def check_file(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left] + list(node.comparators)
+            for op, left, right in zip(node.ops, operands, operands[1:]):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                culprit = self._float_operand(left) or \
+                    self._float_operand(right)
+                if culprit is not None:
+                    yield ctx.finding(
+                        self, node,
+                        f"exact {'==' if isinstance(op, ast.Eq) else '!='} "
+                        f"against {culprit} — computed times are float64; "
+                        "use math.isclose or the module's epsilon idiom",
+                    )
+
+    def _float_operand(self, node: ast.AST) -> Optional[str]:
+        """Describe why an operand looks like a computed float, or None."""
+        if isinstance(node, ast.Constant) and isinstance(node.value, float):
+            return f"the float literal {node.value!r}"
+        ident = ""
+        if isinstance(node, ast.Name):
+            ident = node.id
+        elif isinstance(node, ast.Attribute):
+            ident = node.attr
+        elif isinstance(node, ast.Subscript):
+            base = node.value
+            if isinstance(base, ast.Name):
+                ident = base.id
+            elif isinstance(base, ast.Attribute):
+                ident = base.attr
+        ident = ident.lower()
+        if ident in self.TIME_NAMES or any(
+                ident.endswith("_" + t) or ident.startswith(t + "_")
+                for t in ("start", "finish", "time", "level")):
+            return f"the time-like expression {ast.unparse(node)!r}"
+        return None
+
+
+#: The shipped rule set, in code order.
+ALL_RULES: Tuple[type, ...] = (
+    SchedulerPurity,
+    RngDiscipline,
+    FingerprintCompleteness,
+    RegistryCliSync,
+    FloatEquality,
+)

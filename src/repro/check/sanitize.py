@@ -1,0 +1,61 @@
+"""The opt-in runtime sanitizer: assertion hooks for harness invariants.
+
+Armed by ``REPRO_SANITIZE=1`` in the environment (the ``--sanitize``
+CLI flag sets it for the process), this module backs the hooks wired
+into :mod:`repro.core.graph`, :mod:`repro.core.kernel`,
+:mod:`repro.core.schedule` and :mod:`repro.sim.engine`:
+
+* CSR adjacency round-trips against the list adjacency it was built
+  from;
+* :class:`~repro.core.kernel.ArrivalProfile` answers are cross-checked
+  against the scalar ``data_ready_time`` oracle;
+* every placement keeps a processor timeline sorted and its flat
+  mirrors consistent;
+* the simulator's event heap pops timestamps monotonically.
+
+The hooks are deliberately cheap enough that the full golden
+differential corpus runs under the sanitizer in CI; when disarmed they
+cost one environment lookup per entry point.  A failed check raises
+:class:`SanitizeError` — it means *harness memory was corrupted*, not
+that an input was invalid, so it is never caught by the layers above.
+
+This module must stay import-light (stdlib only): the core modules
+consult it from their hot paths.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any
+
+__all__ = ["SanitizeError", "enabled", "require", "freeze_arrays"]
+
+#: Environment variable that arms the sanitizer ("" / "0" = off).
+ENV_VAR = "REPRO_SANITIZE"
+
+
+class SanitizeError(RuntimeError):
+    """A harness invariant was violated at runtime (memory corruption)."""
+
+
+def enabled() -> bool:
+    """True when the sanitizer is armed for this process.
+
+    Read from the environment on every call so tests (and long-lived
+    processes) can toggle it; the lookup is a single dict probe.
+    """
+    return os.environ.get(ENV_VAR, "") not in ("", "0")
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise :class:`SanitizeError` unless ``condition`` holds."""
+    if not condition:
+        raise SanitizeError(f"sanitizer: {message}")
+
+
+def freeze_arrays(*arrays: Any) -> None:
+    """Mark numpy arrays read-only (no-op for anything else)."""
+    for arr in arrays:
+        setflags = getattr(arr, "setflags", None)
+        if setflags is not None:
+            setflags(write=False)

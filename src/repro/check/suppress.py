@@ -1,0 +1,59 @@
+"""Inline suppression comments for the static-analysis pass.
+
+A finding is suppressed by a trailing comment on the offending line::
+
+    if all(s == 1.0 for s in speeds):  # repro: noqa-RPR005 exact by design
+
+Forms accepted:
+
+* ``# repro: noqa-RPR001`` — suppress that rule on this line;
+* ``# repro: noqa-RPR001,RPR005`` — suppress several rules;
+* ``# repro: noqa`` — suppress every rule on this line.
+
+Anything after the code list is free text and is *expected*: a
+suppression without a reason defeats the point of the rule docs.  The
+comment must sit on the exact line the finding is reported at (for
+RPR003 that is the dataclass field's definition line).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, FrozenSet
+
+__all__ = ["SUPPRESS_ALL", "suppressions", "is_suppressed"]
+
+#: Sentinel code meaning "every rule" (a bare ``# repro: noqa``).
+SUPPRESS_ALL = "*"
+
+_NOQA = re.compile(
+    r"#\s*repro:\s*noqa(?:-(?P<codes>RPR\d{3}(?:\s*,\s*RPR\d{3})*))?",
+    re.IGNORECASE,
+)
+
+
+def suppressions(source: str) -> Dict[int, FrozenSet[str]]:
+    """Map 1-based line numbers to the rule codes suppressed there."""
+    out: Dict[int, FrozenSet[str]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        if "noqa" not in line:  # cheap pre-filter
+            continue
+        match = _NOQA.search(line)
+        if match is None:
+            continue
+        codes = match.group("codes")
+        if codes is None:
+            out[lineno] = frozenset((SUPPRESS_ALL,))
+        else:
+            out[lineno] = frozenset(
+                c.strip().upper() for c in codes.split(","))
+    return out
+
+
+def is_suppressed(table: Dict[int, FrozenSet[str]], line: int,
+                  code: str) -> bool:
+    """True when ``code`` is suppressed on ``line`` of the file."""
+    codes = table.get(line)
+    if codes is None:
+        return False
+    return SUPPRESS_ALL in codes or code.upper() in codes

@@ -108,9 +108,11 @@ def _critical_path(graph: TaskGraph) -> Tuple[int, ...]:
     b = blevel(graph)
     t = tlevel(graph)
     cp = max(b)
-    # Entry node on the CP: tlevel == 0 and blevel == CP.
+    # Entry node on the CP: tlevel == 0 and blevel == CP.  t-levels are
+    # non-negative and exactly 0.0 only for entry nodes, but compare via
+    # epsilon so the intent survives any future kernel reordering.
     start = min(
-        (n for n in graph.nodes() if t[n] == 0.0 and abs(b[n] - cp) < 1e-9),
+        (n for n in graph.nodes() if t[n] < 1e-9 and abs(b[n] - cp) < 1e-9),
         default=None,
     )
     if start is None:  # numerical fallback: take the max-blevel entry node

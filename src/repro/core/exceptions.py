@@ -7,6 +7,8 @@ tests can assert on the precise subclass.
 
 from __future__ import annotations
 
+from typing import Any, Optional
+
 __all__ = [
     "ReproError",
     "GraphError",
@@ -55,7 +57,8 @@ class SolverBudgetExceeded(ReproError):
     the partial result.
     """
 
-    def __init__(self, message: str, best=None, lower_bound: float = 0.0):
+    def __init__(self, message: str, best: Optional[Any] = None,
+                 lower_bound: float = 0.0):
         super().__init__(message)
         self.best = best
         self.lower_bound = lower_bound

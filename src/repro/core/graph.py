@@ -13,10 +13,20 @@ critical path) are computed lazily and cached.
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Dict, Iterable, List, Mapping, Sequence, Tuple
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Sequence,
+    Tuple,
+)
 
 import numpy as np
 
+from ..check import sanitize as _sanitize
 from .exceptions import CycleError, GraphError
 
 __all__ = ["TaskGraph"]
@@ -174,7 +184,7 @@ class TaskGraph:
     # ------------------------------------------------------------------
     # flat-array kernel views
     # ------------------------------------------------------------------
-    def cached(self, key: str, compute) -> Any:
+    def cached(self, key: str, compute: "Callable[[TaskGraph], Any]") -> Any:
         """Memoise ``compute(self)`` under ``key``.
 
         The graph is immutable, so any pure derived quantity (attribute
@@ -195,13 +205,42 @@ class TaskGraph:
         of ``u`` are ``indices[indptr[u]:indptr[u+1]]`` (ascending) and
         ``costs`` is aligned index-for-index with ``indices``.
         """
-        return self.cached("_succ_csr", lambda g: _build_csr(g._succ,
-                                                             g._succ_costs))
+        csr = self.cached("_succ_csr", lambda g: _build_csr(g._succ,
+                                                            g._succ_costs))
+        if _sanitize.enabled():
+            self._sanitize_csr("_succ_csr", csr, self._succ, self._succ_costs)
+        return csr
 
     def pred_csr(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Predecessor adjacency in CSR form (mirror of :meth:`succ_csr`)."""
-        return self.cached("_pred_csr", lambda g: _build_csr(g._pred,
-                                                             g._pred_costs))
+        csr = self.cached("_pred_csr", lambda g: _build_csr(g._pred,
+                                                            g._pred_costs))
+        if _sanitize.enabled():
+            self._sanitize_csr("_pred_csr", csr, self._pred, self._pred_costs)
+        return csr
+
+    def _sanitize_csr(self, key: str,
+                      csr: Tuple[np.ndarray, np.ndarray, np.ndarray],
+                      adj: List[List[int]],
+                      costs: List[List[float]]) -> None:
+        """Sanitizer hook: CSR must round-trip against the list adjacency.
+
+        Runs on every armed call — the cached CSR was built from the
+        lists at first use, so a later mismatch means a kernel or
+        scheduler corrupted shared adjacency memory.
+        """
+        indptr, indices, cost = csr
+        _sanitize.require(
+            int(indptr[0]) == 0 and int(indptr[-1]) == len(indices)
+            and len(indices) == len(cost),
+            f"{self.name}: CSR shape broken for {key}")
+        for u in range(self.num_nodes):
+            lo, hi = int(indptr[u]), int(indptr[u + 1])
+            _sanitize.require(
+                list(indices[lo:hi]) == adj[u]
+                and list(cost[lo:hi]) == costs[u],
+                f"{self.name}: CSR row {u} does not round-trip the "
+                f"adjacency lists ({key})")
 
     def succ_pairs(self, node: int) -> Tuple[List[int], List[float]]:
         """Internal ``(successors, costs)`` lists for ``node``.
@@ -316,7 +355,7 @@ class TaskGraph:
     # interop / dunder
     # ------------------------------------------------------------------
     @classmethod
-    def from_networkx(cls, g, weight_attr: str = "weight",
+    def from_networkx(cls, g: Any, weight_attr: str = "weight",
                       comm_attr: str = "weight", name: str | None = None
                       ) -> "TaskGraph":
         """Build a :class:`TaskGraph` from a ``networkx.DiGraph``.
@@ -333,7 +372,7 @@ class TaskGraph:
         }
         return cls(weights, edges, name=name or getattr(g, "name", "") or "from_networkx")
 
-    def to_networkx(self):
+    def to_networkx(self) -> Any:
         """Export to a ``networkx.DiGraph`` with weight attributes."""
         import networkx as nx
 
@@ -351,7 +390,7 @@ class TaskGraph:
     def __len__(self) -> int:
         return self.num_nodes
 
-    def __getstate__(self):
+    def __getstate__(self) -> Dict[str, Any]:
         # The cache holds derived numpy arrays/plans that are cheap to
         # rebuild and may not pickle stably; ship only the definition.
         return {
@@ -360,7 +399,7 @@ class TaskGraph:
             "name": self.name,
         }
 
-    def __setstate__(self, state):
+    def __setstate__(self, state: Dict[str, Any]) -> None:
         self.__init__(state["weights"], state["edges"], name=state["name"])
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -23,11 +23,27 @@ against the golden corpus.
 from __future__ import annotations
 
 import heapq
-from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 import numpy as np
 
+from ..check import sanitize as _sanitize
 from .exceptions import ScheduleError
+from .graph import TaskGraph
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .schedule import Schedule
+
+_Plan = Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]
 
 __all__ = [
     "tlevel_sweep",
@@ -58,7 +74,7 @@ __all__ = [
 # sweeps are bit-for-bit equal to the reference implementation.
 
 
-def _forward_plan(graph):
+def _forward_plan(graph: TaskGraph) -> _Plan:
     """Succ-side edges sorted by the source's precedence level."""
     lv = graph.node_levels
     indptr, indices, costs = graph.succ_csr()
@@ -67,10 +83,11 @@ def _forward_plan(graph):
     order = np.argsort(lv[src], kind="stable")
     src, dst, cost = src[order], indices[order], costs[order]
     bounds = np.searchsorted(lv[src], np.arange(int(lv.max()) + 2 if n else 1))
+    _sanitize.freeze_arrays(src, dst, cost, bounds)
     return src, dst, cost, bounds
 
 
-def _backward_plan(graph):
+def _backward_plan(graph: TaskGraph) -> _Plan:
     """Pred-side edges sorted by the destination's precedence level."""
     lv = graph.node_levels
     indptr, indices, costs = graph.pred_csr()
@@ -79,10 +96,11 @@ def _backward_plan(graph):
     order = np.argsort(lv[dst], kind="stable")
     dst, src, cost = dst[order], indices[order], costs[order]
     bounds = np.searchsorted(lv[dst], np.arange(int(lv.max()) + 2 if n else 1))
+    _sanitize.freeze_arrays(src, dst, cost, bounds)
     return src, dst, cost, bounds
 
 
-def tlevel_sweep(graph) -> np.ndarray:
+def tlevel_sweep(graph: TaskGraph) -> np.ndarray:
     """Top levels (paths sum node + edge weights, excluding ``w(n)``)."""
     src, dst, cost, bounds = graph.cached("_fwd_plan", _forward_plan)
     lv = graph.node_levels
@@ -97,7 +115,7 @@ def tlevel_sweep(graph) -> np.ndarray:
     return t
 
 
-def blevel_sweep(graph) -> np.ndarray:
+def blevel_sweep(graph: TaskGraph) -> np.ndarray:
     """Bottom levels (edge weights included)."""
     src, dst, cost, bounds = graph.cached("_bwd_plan", _backward_plan)
     lv = graph.node_levels
@@ -112,7 +130,7 @@ def blevel_sweep(graph) -> np.ndarray:
     return b
 
 
-def static_blevel_sweep(graph) -> np.ndarray:
+def static_blevel_sweep(graph: TaskGraph) -> np.ndarray:
     """Computation-only bottom levels (the classic *SL* attribute)."""
     src, dst, _cost, bounds = graph.cached("_bwd_plan", _backward_plan)
     lv = graph.node_levels
@@ -126,7 +144,7 @@ def static_blevel_sweep(graph) -> np.ndarray:
     return b
 
 
-def static_tlevel_sweep(graph) -> np.ndarray:
+def static_tlevel_sweep(graph: TaskGraph) -> np.ndarray:
     """Computation-only top levels."""
     src, dst, _cost, bounds = graph.cached("_fwd_plan", _forward_plan)
     lv = graph.node_levels
@@ -144,7 +162,7 @@ def static_tlevel_sweep(graph) -> np.ndarray:
 # ----------------------------------------------------------------------
 # zeroed-edge scalar sweeps (dynamic attributes during clustering)
 # ----------------------------------------------------------------------
-def tlevel_zeroed(graph, zeroed: Set[Tuple[int, int]]) -> List[float]:
+def tlevel_zeroed(graph: TaskGraph, zeroed: Set[Tuple[int, int]]) -> List[float]:
     """Scalar t-level sweep honouring a set of zero-cost edges."""
     t = [0.0] * graph.num_nodes
     w = graph.weights
@@ -161,7 +179,7 @@ def tlevel_zeroed(graph, zeroed: Set[Tuple[int, int]]) -> List[float]:
     return t
 
 
-def blevel_zeroed(graph, zeroed: Set[Tuple[int, int]]) -> List[float]:
+def blevel_zeroed(graph: TaskGraph, zeroed: Set[Tuple[int, int]]) -> List[float]:
     """Scalar b-level sweep honouring a set of zero-cost edges."""
     b = [0.0] * graph.num_nodes
     w = graph.weights
@@ -245,7 +263,7 @@ def _build_profile(parents: Sequence[int], costs: Sequence[float],
     return ArrivalProfile(r1, g1, r2, local)
 
 
-def arrival_profile(schedule, node: int) -> ArrivalProfile:
+def arrival_profile(schedule: "Schedule", node: int) -> ArrivalProfile:
     """Profile of ``node``'s data-ready times over processors.
 
     Requires every parent to be scheduled (same contract as
@@ -253,11 +271,26 @@ def arrival_profile(schedule, node: int) -> ArrivalProfile:
     consumer of the schedule's private flat mirrors.
     """
     parents, costs = schedule.graph.pred_pairs(node)
-    return _build_profile(parents, costs, schedule._node_proc,
-                          schedule._node_finish)
+    profile = _build_profile(parents, costs, schedule._node_proc,
+                             schedule._node_finish)
+    if _sanitize.enabled():
+        # Cross-check the O(1) profile against the scalar oracle on
+        # every processor a parent occupies (plus one empty one): any
+        # disagreement means the profile trick or the flat mirrors
+        # drifted from the data-ready definition.
+        groups = {schedule._node_proc[p] for p in parents}
+        groups.add(-1 if not groups else max(groups) + 1)
+        for g in groups:
+            got = profile.drt(g)
+            want = schedule.data_ready_time(node, g)
+            _sanitize.require(
+                abs(got - want) <= 1e-9,
+                f"arrival profile for node {node} answers {got!r} on "
+                f"group {g} but the data-ready oracle says {want!r}")
+    return profile
 
 
-def grouped_arrival_profile(graph, node: int, group_of: Sequence[int],
+def grouped_arrival_profile(graph: TaskGraph, node: int, group_of: Sequence[int],
                             finish_of: Sequence[float]) -> ArrivalProfile:
     """Profile under an arbitrary grouping (clustering algorithms)."""
     parents, costs = graph.pred_pairs(node)

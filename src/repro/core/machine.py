@@ -21,7 +21,7 @@ processor ``p``.  The paper grid never sets speeds; the scenario engine
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Any, Optional, Sequence, Tuple
 
 from .exceptions import MachineError
 
@@ -50,7 +50,7 @@ def normalized_speeds(speeds: Optional[Sequence[float]], num_procs: int,
             f"{len(speeds)} speed factors for {num_procs} processors")
     if any(s <= 0 for s in speeds):
         raise error("processor speeds must be positive")
-    if all(s == 1.0 for s in speeds):
+    if all(s == 1.0 for s in speeds):  # repro: noqa-RPR005 exact-uniform config check, speeds are user input not computed times
         return None
     return speeds
 
@@ -78,7 +78,7 @@ class Machine:
         self.speeds = normalized_speeds(speeds, self.num_procs)
 
     @classmethod
-    def unbounded(cls, graph_or_size) -> "Machine":
+    def unbounded(cls, graph_or_size: Any) -> "Machine":
         """Machine for UNC algorithms: one processor per task.
 
         ``v`` processors are always enough — no schedule can keep more

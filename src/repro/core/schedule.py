@@ -18,13 +18,24 @@ from __future__ import annotations
 
 import bisect
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import (
+    Any,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    overload,
+)
 
+from ..check import sanitize as _sanitize
 from .exceptions import ScheduleError
 from .graph import TaskGraph
-from .kernel import arrival_profile as _arrival_profile
+from .kernel import ArrivalProfile, arrival_profile as _arrival_profile
 
-__all__ = ["Placement", "Message", "Schedule", "validate"]
+__all__ = ["Placement", "Message", "Schedule", "Violation", "validate",
+           "render_violations"]
 
 _EPS = 1e-9
 
@@ -73,7 +84,7 @@ class Schedule:
     """
 
     def __init__(self, graph: TaskGraph, num_procs: int,
-                 speeds=None):
+                 speeds: Optional[Sequence[float]] = None):
         if num_procs < 1:
             raise ScheduleError("schedule needs at least one processor")
         from .machine import normalized_speeds
@@ -240,7 +251,32 @@ class Schedule:
         self._node_proc[node] = proc
         self._node_start[node] = start
         self._node_finish[node] = finish
+        if _sanitize.enabled():
+            self._sanitize_placement(node, proc, i)
         return pl
+
+    def _sanitize_placement(self, node: int, proc: int, i: int) -> None:
+        """Sanitizer hook: the timeline stays sorted, mirrors stay true.
+
+        A violation here means placement memory was corrupted *between*
+        calls (the insertion itself is overlap-checked above) — e.g. a
+        scheduler mutated ``_starts``/``_node_finish`` directly.
+        """
+        starts, fins = self._starts[proc], self._finishes[proc]
+        for k in (i - 1, i):
+            if 0 <= k < len(starts) - 1:
+                _sanitize.require(
+                    starts[k] <= starts[k + 1] + _EPS
+                    and fins[k] <= starts[k + 1] + _EPS,
+                    f"P{proc} timeline out of order near node {node}")
+        pl = self._placements[node]
+        _sanitize.require(
+            self._node_proc[node] == pl.proc
+            and self._node_start[node] == pl.start  # repro: noqa-RPR005 mirror identity: the same stored float, not a computed time
+            and self._node_finish[node] == pl.finish,  # repro: noqa-RPR005 mirror identity: the same stored float, not a computed time
+            f"flat mirrors disagree with placement of node {node}")
+        _sanitize.require(proc in self._used,
+                          f"P{proc} missing from the used-processor list")
 
     def unplace(self, node: int) -> Placement:
         """Remove ``node`` from the schedule (used by migrating schedulers)."""
@@ -284,7 +320,7 @@ class Schedule:
                 t = arr
         return t
 
-    def arrival_profile(self, node: int):
+    def arrival_profile(self, node: int) -> "ArrivalProfile":
         """O(1)-per-processor view of ``node``'s data-ready times.
 
         See :class:`repro.core.kernel.ArrivalProfile`; building it costs
@@ -311,11 +347,65 @@ class Schedule:
         )
 
 
-def validate(schedule: Schedule, *, network=None,
-             check_durations: bool = True) -> None:
+@dataclass(frozen=True)
+class Violation:
+    """One schedule-invariant violation, with its node/proc context.
+
+    ``code`` is a stable short identifier (``overlap``, ``precedence``,
+    ``duration``, ...); ``node``/``proc`` are filled when the violation
+    is attributable to a specific task or timeline.
+    """
+
+    code: str
+    message: str
+    node: Optional[int] = None
+    proc: Optional[int] = None
+
+
+def render_violations(violations: Sequence[Violation]) -> str:
+    """Render violations as an aligned text table (CODE/NODE/PROC/DETAIL)."""
+    if not violations:
+        return "schedule valid: 0 violations"
+    rows = [("CODE", "NODE", "PROC", "DETAIL")]
+    for v in violations:
+        rows.append((
+            v.code,
+            "-" if v.node is None else str(v.node),
+            "-" if v.proc is None else f"P{v.proc}",
+            v.message,
+        ))
+    widths = [max(len(row[i]) for row in rows) for i in range(3)]
+    lines = [
+        f"{row[0]:<{widths[0]}}  {row[1]:>{widths[1]}}  "
+        f"{row[2]:>{widths[2]}}  {row[3]}"
+        for row in rows
+    ]
+    lines.append(f"{len(violations)} violation"
+                 f"{'s' if len(violations) != 1 else ''}")
+    return "\n".join(lines)
+
+
+@overload
+def validate(schedule: Schedule, *, network: Any = ...,
+             check_durations: bool = ...) -> None: ...
+
+
+@overload
+def validate(schedule: Schedule, *, network: Any = ...,
+             check_durations: bool = ...,
+             collect: bool) -> Optional[List[Violation]]: ...
+
+
+def validate(schedule: Schedule, *, network: Any = None,
+             check_durations: bool = True,
+             collect: bool = False) -> Optional[List[Violation]]:
     """Check a complete schedule against the model's invariants.
 
-    Raises :class:`ScheduleError` on the first violation.  Checks:
+    By default raises :class:`ScheduleError` on the first violation;
+    with ``collect=True`` it instead returns *all* violations as
+    :class:`Violation` objects (empty list when valid), each carrying
+    the offending node/processor — :func:`render_violations` formats
+    them as a table.  Checks:
 
     1. every task is scheduled exactly once, within processor range;
     2. no two tasks overlap on a processor;
@@ -331,29 +421,54 @@ def validate(schedule: Schedule, *, network=None,
     perturbed away from the weights; overlap-freedom and precedence are
     still enforced.
     """
+    violations = _iter_violations(schedule, network=network,
+                                  check_durations=check_durations)
+    if collect:
+        return list(violations)
+    for violation in violations:
+        raise ScheduleError(violation.message)
+    return None
+
+
+def _iter_violations(schedule: Schedule, *, network: Any,
+                     check_durations: bool) -> Iterator[Violation]:
+    """Yield every invariant violation, in deterministic check order.
+
+    The first yielded violation is exactly the one the raising mode of
+    :func:`validate` has always reported.  An incomplete schedule
+    short-circuits: the remaining checks assume full placements.
+    """
     g = schedule.graph
     if not schedule.is_complete():
         missing = [n for n in g.nodes() if not schedule.is_scheduled(n)]
-        raise ScheduleError(f"schedule incomplete; missing nodes {missing[:8]}")
+        yield Violation(
+            "incomplete",
+            f"schedule incomplete; missing nodes {missing[:8]}")
+        return
 
     # Overlap and duration checks per processor.
     for proc in range(schedule.num_procs):
         prev_finish = 0.0
-        prev_node = None
+        prev_node: Optional[int] = None
         for pl in schedule.tasks_on(proc):
             if pl.start < -_EPS:
-                raise ScheduleError(f"node {pl.node} starts before time 0")
+                yield Violation(
+                    "negative-start",
+                    f"node {pl.node} starts before time 0",
+                    node=pl.node, proc=proc)
             if check_durations and abs(
                     (pl.finish - pl.start)
                     - schedule.duration_of(pl.node, proc)) > 1e-6:
-                raise ScheduleError(
+                yield Violation(
+                    "duration",
                     f"node {pl.node} duration does not match its weight "
-                    "under the processor's speed"
-                )
+                    "under the processor's speed",
+                    node=pl.node, proc=proc)
             if pl.start < prev_finish - _EPS:
-                raise ScheduleError(
-                    f"nodes {prev_node} and {pl.node} overlap on P{proc}"
-                )
+                yield Violation(
+                    "overlap",
+                    f"nodes {prev_node} and {pl.node} overlap on P{proc}",
+                    node=pl.node, proc=proc)
             prev_finish, prev_node = pl.finish, pl.node
 
     # Precedence + communication checks.
@@ -368,70 +483,84 @@ def validate(schedule: Schedule, *, network=None,
         else:
             msg = schedule.messages.get((u, v))
             if msg is None:
-                raise ScheduleError(
-                    f"edge ({u}, {v}) crosses processors but has no message"
-                )
-            _check_message(msg, pu, pv, c, network)
+                yield Violation(
+                    "missing-message",
+                    f"edge ({u}, {v}) crosses processors but has no message",
+                    node=v, proc=pv.proc)
+                continue
+            yield from _iter_message_violations(msg, pu, pv, c, network)
             ready = msg.arrival
         if pv.start < ready - 1e-6:
-            raise ScheduleError(
+            yield Violation(
+                "precedence",
                 f"node {v} starts at {pv.start} before its input from {u} "
-                f"is ready at {ready}"
-            )
+                f"is ready at {ready}",
+                node=v, proc=pv.proc)
 
     if network is not None:
-        _check_channel_exclusivity(schedule)
+        yield from _iter_channel_violations(schedule)
 
 
-def _check_message(msg: Message, pu, pv, cost: float, network) -> None:
-    """Validate one message's route and hop reservations."""
+def _iter_message_violations(msg: Message, pu: Placement, pv: Placement,
+                             cost: float, network: Any
+                             ) -> Iterator[Violation]:
+    """Yield violations of one message's route and hop reservations."""
     hop_time = network.transfer_time(cost)
     route = msg.route
     if route[0] != pu.proc or route[-1] != pv.proc:
-        raise ScheduleError(
+        yield Violation(
+            "route-endpoints",
             f"message ({msg.src}, {msg.dst}) route endpoints do not match "
-            "the task placements"
-        )
+            "the task placements",
+            node=msg.dst, proc=pv.proc)
     for a, b in zip(route, route[1:]):
         if not network.has_link(a, b):
-            raise ScheduleError(
-                f"message ({msg.src}, {msg.dst}) uses missing link ({a}, {b})"
-            )
+            yield Violation(
+                "missing-link",
+                f"message ({msg.src}, {msg.dst}) uses missing link "
+                f"({a}, {b})",
+                node=msg.dst)
     if len(msg.hops) != len(route) - 1:
-        raise ScheduleError(
+        yield Violation(
+            "hop-count",
             f"message ({msg.src}, {msg.dst}) has {len(msg.hops)} hop "
-            f"reservations for a {len(route) - 1}-hop route"
-        )
+            f"reservations for a {len(route) - 1}-hop route",
+            node=msg.dst)
+        return  # hop-by-hop checks assume one reservation per hop
     prev_free = pu.finish
     for (link, start, finish) in msg.hops:
         if start < prev_free - 1e-6:
-            raise ScheduleError(
+            yield Violation(
+                "hop-start",
                 f"message ({msg.src}, {msg.dst}) hop on {link} starts "
-                "before the data reaches the sending node"
-            )
+                "before the data reaches the sending node",
+                node=msg.dst)
         if abs((finish - start) - hop_time) > 1e-6:
-            raise ScheduleError(
+            yield Violation(
+                "hop-duration",
                 f"message ({msg.src}, {msg.dst}) hop on {link} does not "
-                "occupy the link for the edge cost over the link bandwidth"
-            )
+                "occupy the link for the edge cost over the link bandwidth",
+                node=msg.dst)
         prev_free = finish
     if abs(msg.arrival - prev_free) > 1e-6:
-        raise ScheduleError(
+        yield Violation(
+            "arrival",
             f"message ({msg.src}, {msg.dst}) arrival differs from its "
-            "last hop finish"
-        )
+            "last hop finish",
+            node=msg.dst)
 
 
-def _check_channel_exclusivity(schedule: Schedule) -> None:
-    """No two messages may overlap on the same directed channel."""
-    by_channel: Dict[Tuple[int, int], List[Tuple[float, float, Tuple[int, int]]]] = {}
+def _iter_channel_violations(schedule: Schedule) -> Iterator[Violation]:
+    """Yield overlaps of messages sharing a directed channel."""
+    by_channel: Dict[Tuple[int, int],
+                     List[Tuple[float, float, Tuple[int, int]]]] = {}
     for key, msg in schedule.messages.items():
         for (link, start, finish) in msg.hops:
             by_channel.setdefault(link, []).append((start, finish, key))
-    for link, ivs in by_channel.items():
+    for link, ivs in sorted(by_channel.items()):
         ivs.sort()
         for (s1, f1, k1), (s2, f2, k2) in zip(ivs, ivs[1:]):
             if s2 < f1 - 1e-6:
-                raise ScheduleError(
-                    f"messages {k1} and {k2} overlap on channel {link}"
-                )
+                yield Violation(
+                    "channel-overlap",
+                    f"messages {k1} and {k2} overlap on channel {link}")

@@ -18,6 +18,7 @@ from typing import Dict, Iterable, List, Tuple
 import numpy as np
 
 from ..core.exceptions import MachineError, RoutingError
+from ..core.rng import as_generator
 
 __all__ = ["Topology"]
 
@@ -224,7 +225,7 @@ class Topology:
     def random_connected(cls, num_procs: int, extra_links: int = 0,
                          seed: int = 0) -> "Topology":
         """Random spanning tree plus ``extra_links`` distinct chords."""
-        rng = np.random.default_rng(seed)
+        rng = as_generator(seed)
         order = rng.permutation(num_procs)
         links = set()
         for i in range(1, num_procs):

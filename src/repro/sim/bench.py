@@ -60,8 +60,9 @@ class SimConfig:
         """Stable identity of the execution model (cache-key part)."""
         fp = (f"sim:trials={self.trials};seed={self.seed}"
               f";perturb={self.perturb.fingerprint()};net={self.network}")
-        if self.network == "fixed" and (self.net_scale != 1.0
-                                        or self.net_latency != 0.0):
+        if self.network == "fixed" and (
+                self.net_scale != 1.0  # repro: noqa-RPR005 fingerprint identity check on configured value
+                or self.net_latency != 0.0):  # repro: noqa-RPR005 fingerprint identity check on configured value
             fp += f":scale={self.net_scale:g}:lat={self.net_latency:g}"
         return fp
 

@@ -42,6 +42,7 @@ import heapq
 from dataclasses import dataclass
 from typing import List, Optional
 
+from ..check import sanitize as _sanitize
 from ..core.exceptions import ScheduleError
 from ..core.rng import SeedLike, as_generator
 from ..core.schedule import Schedule
@@ -143,10 +144,19 @@ def simulate(schedule: Schedule,
     for p in range(num_procs):
         try_start(p)
 
+    sanitizing = _sanitize.enabled()
+    last_now = 0.0
     while heap:
         now, _, kind, payload = heapq.heappop(heap)
         num_events += 1
-        if kind == _FINISH:
+        if sanitizing:
+            # Event-heap monotonicity: a pop that travels back in time
+            # means heap entries (or their timestamps) were corrupted.
+            _sanitize.require(
+                now >= last_now - 1e-9,
+                f"event heap popped time {now!r} after {last_now!r}")
+            last_now = now
+        if kind == _FINISH:  # repro: noqa-RPR005 integer event-kind tag, not a time
             node, p = payload, proc_of[payload]
             running[p] = False
             proc_free[p] = now

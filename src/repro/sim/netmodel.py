@@ -135,7 +135,7 @@ class ContentionNetwork(NetworkModel):
             repr(self.topology.links).encode()).hexdigest()[:12]
         fp = (f"contention:{self.topology.name}:"
               f"{self.topology.num_procs}p:{links}")
-        if self.topology.bandwidth != 1.0:
+        if self.topology.bandwidth != 1.0:  # repro: noqa-RPR005 fingerprint identity check on configured value
             fp += f":bw={self.topology.bandwidth:g}"
         return fp
 

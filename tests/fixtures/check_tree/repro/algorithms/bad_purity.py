@@ -1,0 +1,19 @@
+"""RPR001 fixture: scheduling code mutating its immutable inputs."""
+
+
+def schedule(graph: "TaskGraph", machine: "Machine"):
+    graph.weights[0] = 99.0           # attribute/index write -> RPR001
+    machine.speeds = None             # attribute write -> RPR001
+    graph._succ[0].append(1)          # mutator call -> RPR001
+    del graph.weights[1]              # delete -> RPR001
+    graph.weights[2] += 1.0           # augmented write -> RPR001
+    local = list(graph.weights)
+    local[0] = 0.0                    # plain local: fine
+    graph = object()                  # rebinding: later writes are fine
+    graph.anything = 1
+    return local
+
+
+def suppressed(graph: "TaskGraph"):
+    graph.weights[0] = 1.0  # repro: noqa-RPR001 fixture-only sanctioned write
+    return graph

@@ -1,0 +1,24 @@
+"""RPR003 fixture: a config field that never reaches the fingerprint."""
+
+from dataclasses import dataclass
+from typing import ClassVar
+
+
+@dataclass
+class LeakyConfig:
+    trials: int = 10
+    seed: int = 0
+    forgotten_axis: float = 1.0    # never fingerprinted -> RPR003
+    labelled: str = "x"  # repro: noqa-RPR003 keys rows via its own label
+    SCHEMA: ClassVar[int] = 1      # ClassVar: not a field
+
+    def fingerprint(self) -> str:
+        return f"leaky:{self.trials}:{self._tail()}"
+
+    def _tail(self) -> str:
+        return f"s{self.seed}"
+
+
+@dataclass
+class NoFingerprint:
+    anything: int = 0              # no fingerprint method: out of scope

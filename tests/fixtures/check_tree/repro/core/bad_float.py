@@ -1,0 +1,17 @@
+"""RPR005 fixture: exact equality on computed times."""
+
+
+def pick(start, finish, makespan, count):
+    if start == finish:            # time-like vs time-like -> RPR005
+        return 0
+    if makespan != 10.0:           # float literal -> RPR005
+        return 1
+    if count == 3:                 # int compare: fine
+        return 2
+    if start <= finish:            # ordering compare: fine
+        return 3
+    return 4
+
+
+def suppressed(node_start, stored_start):
+    return node_start == stored_start  # repro: noqa-RPR005 identity of the same stored value

@@ -1,0 +1,26 @@
+"""RPR002 fixture: randomness outside repro.core.rng."""
+
+import random                      # stdlib random -> RPR002
+from numpy.random import default_rng  # numpy.random import -> RPR002
+from numpy.random import Generator    # type-only import: fine
+
+import numpy as np
+
+
+def draw(n):
+    rng = default_rng()            # bare default_rng -> RPR002
+    a = np.random.rand(n)          # np.random.* -> RPR002
+    b = random.random()            # attribute on stdlib module (import flagged)
+    return a, b, rng
+
+
+def pinned_stream():
+    return as_generator(1234)      # hard-coded seed -> RPR002
+
+
+def typed(gen: "np.random.Generator") -> bool:
+    return isinstance(gen, np.random.Generator)  # type use: fine
+
+
+def suppressed(n):
+    return np.random.rand(n)  # repro: noqa-RPR002 fixture-only sanctioned draw

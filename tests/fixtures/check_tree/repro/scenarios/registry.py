@@ -1,0 +1,18 @@
+"""RPR004 fixture: a registry with a mismatched and an orphaned entry."""
+
+from typing import Dict
+
+SCENARIOS: Dict[str, dict] = {
+    "fixture-used": {
+        "name": "fixture-used",
+        "description": "referenced from the fixture README",
+    },
+    "fixture-mismatch": {
+        "name": "something-else",      # key != name -> RPR004
+        "description": "fixture",
+    },
+    "fixture-orphan": {
+        "name": "fixture-orphan",      # never referenced -> RPR004
+        "description": "fixture",
+    },
+}
