@@ -56,6 +56,16 @@ def test_smoke_scenario_compile(benchmark):
     assert compiled.num_cells > 0
 
 
+def test_smoke_component_grid(benchmark):
+    """Component sweep: 70 schedulers (64 synthesized) on one graph."""
+    from repro.scenarios import compile_scenario, get_scenario, run_scenario
+
+    compiled = compile_scenario(get_scenario("component-grid"))
+    result = benchmark(run_scenario, compiled)
+    total = sum(len(rows) for _, rows in result.rows)
+    assert total == compiled.num_cells >= 70
+
+
 def test_smoke_sim_monte_carlo(benchmark):
     """Discrete-event sim: 100-trial Monte-Carlo over the BNP suite.
 

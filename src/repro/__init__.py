@@ -76,7 +76,10 @@ __all__ = [
 
 
 def get_scheduler(name: str):
-    """Look up a scheduler instance by its paper acronym (e.g. ``"DCP"``).
+    """Look up a scheduler instance by its paper acronym (e.g. ``"DCP"``)
+    or by a ``param:`` component spec string (e.g.
+    ``"param:prio=blevel,proc=etf"``) that synthesizes a list scheduler
+    from pluggable components — see :mod:`repro.algorithms.components`.
 
     Defers the algorithm-package import so ``import repro`` stays cheap.
     """

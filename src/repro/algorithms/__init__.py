@@ -22,16 +22,24 @@ DLS-APN     APN    Sih & Lee (1993)
 BU          APN    Mehdiratta & Ghose (1994)
 BSA         APN    Kwok & Ahmad (1995)
 ==========  =====  =========================================
+
+Beyond the 15 monoliths, :func:`get_scheduler` also accepts ``param:``
+component spec strings (``"param:prio=blevel,ready=prio,proc=etf,
+insert=off"``) that synthesize a BNP list scheduler from pluggable
+components; the six BNP rows above are reproducible bit-for-bit as
+named points of that space (see :mod:`repro.algorithms.components`).
 """
 
 from .base import (
     SCHEDULER_CLASSES,
     Scheduler,
     get_scheduler,
+    get_scheduler_class,
     list_schedulers,
     register,
 )
 from . import bnp, unc, apn  # noqa: F401  (imports register the algorithms)
+from .components import BNP_SPECS, ParamScheduler, SchedulerSpec, parse_spec
 from .apn import BSA, BU, DLSAPN, MH, cpn_dominant_list, simulate_on_network
 from .bnp import DLS, ETF, HLFET, ISH, LAST, MCP
 from .mapping import (
@@ -45,8 +53,13 @@ __all__ = [
     "Scheduler",
     "register",
     "get_scheduler",
+    "get_scheduler_class",
     "list_schedulers",
     "SCHEDULER_CLASSES",
+    "BNP_SPECS",
+    "ParamScheduler",
+    "SchedulerSpec",
+    "parse_spec",
     "HLFET",
     "ISH",
     "MCP",

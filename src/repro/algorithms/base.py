@@ -7,12 +7,19 @@ the design-decision flags the paper's analysis keys on (critical-path
 based?, dynamic priority?, insertion?).
 
 Algorithms self-register via the :func:`register` decorator; lookups go
-through :func:`get_scheduler` / :func:`list_schedulers`.
+through :func:`get_scheduler` / :func:`list_schedulers`.  Besides the
+registered acronyms, :func:`get_scheduler` resolves *component spec*
+strings (``param:prio=blevel,ready=fifo,proc=est,insert=on``) into
+parameterized schedulers assembled by
+:mod:`repro.algorithms.components` — every layer that takes an
+algorithm name (benchmarks, scenarios, adversarial search, the
+simulator) therefore accepts synthesized schedulers for free.
 """
 
 from __future__ import annotations
 
 import abc
+import warnings
 from typing import Dict, List, Optional, Type
 
 from ..core.graph import TaskGraph
@@ -23,6 +30,7 @@ __all__ = [
     "Scheduler",
     "register",
     "get_scheduler",
+    "get_scheduler_class",
     "list_schedulers",
     "SCHEDULER_CLASSES",
 ]
@@ -87,10 +95,67 @@ def register(cls: Type[Scheduler]) -> Type[Scheduler]:
     return cls
 
 
+_INSTANCES: Dict[str, Scheduler] = {}
+_CLASS_SHIM_WARNED = False
+
+
 def get_scheduler(name: str) -> Scheduler:
-    """Instantiate the scheduler registered under ``name`` (case-insensitive)."""
+    """Resolve ``name`` to a ready-to-call scheduler instance.
+
+    Accepts registered acronyms case-insensitively (``"mcp"``) and
+    component spec strings (``"param:prio=alap,ready=prio,proc=est,
+    insert=on"``; see :mod:`repro.algorithms.components` for the
+    grammar).  Schedulers are stateless, so instances are memoized —
+    repeated lookups of the same name (or of two spellings of the same
+    spec) return the same object.
+    """
+    if name.strip().lower().startswith("param:"):
+        from .components import ParamScheduler, parse_spec
+
+        spec = parse_spec(name)
+        key = spec.canonical()
+        inst = _INSTANCES.get(key)
+        if inst is None:
+            inst = ParamScheduler(spec)
+            _INSTANCES[key] = inst
+        return inst
     try:
-        return _REGISTRY[name.upper()]()
+        cls = _REGISTRY[name.upper()]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(
+            f"unknown scheduler {name!r}; known: {known} "
+            f"(or a 'param:' component spec)") from None
+    inst = _INSTANCES.get(name.upper())
+    if inst is None or type(inst) is not cls:
+        # ``type(inst) is not cls`` guards against re-registration
+        # under an existing key (tests do this): the memo must never
+        # outlive the class it instantiated.
+        inst = cls()
+        _INSTANCES[name.upper()] = inst
+    return inst
+
+
+def get_scheduler_class(name: str) -> Type[Scheduler]:
+    """Deprecated: the registered *class* for ``name``.
+
+    The pre-1.1 lookup returned classes and every caller instantiated
+    ad hoc; :func:`get_scheduler` now returns a ready-to-call instance
+    and additionally resolves ``param:`` component specs (which have no
+    dedicated class — use :func:`get_scheduler` for those).  This shim
+    keeps the old contract for external callers and warns once per
+    process.
+    """
+    global _CLASS_SHIM_WARNED
+    if not _CLASS_SHIM_WARNED:
+        _CLASS_SHIM_WARNED = True
+        warnings.warn(
+            "get_scheduler_class() is deprecated; get_scheduler() "
+            "returns a ready-to-call instance and also resolves "
+            "'param:' component specs",
+            DeprecationWarning, stacklevel=2)
+    try:
+        return _REGISTRY[name.upper()]
     except KeyError:
         known = ", ".join(sorted(_REGISTRY))
         raise KeyError(f"unknown scheduler {name!r}; known: {known}") from None

@@ -1,0 +1,60 @@
+"""Composable scheduler components (Coleman et al.'s design space).
+
+The paper's six BNP schedulers are hand-written monoliths, but each is
+one point in a four-axis space: **priority rule** × **ready-pool
+policy** × **processor selector** × **insertion policy**.  This package
+makes the axes explicit —
+
+=========  =============================  ==========================
+Axis       Registry                       Values
+=========  =============================  ==========================
+``prio``   :data:`PRIORITY_RULES`         slevel, blevel, tlevel,
+                                          btlevel, alap, alaplist,
+                                          dnode
+``ready``  :data:`READY_POLICIES`         prio, fifo
+``proc``   :data:`PROC_SELECTORS`         est, eft, etf, dls
+``insert`` :data:`INSERTION_POLICIES`     off, on, hole
+=========  =============================  ==========================
+
+— and :class:`ParamScheduler` executes any :class:`SchedulerSpec`
+combination on the flat-array kernel.  ``repro.get_scheduler`` resolves
+spec strings (``param:prio=blevel,ready=fifo,proc=est,insert=on``)
+directly, so synthesized schedulers flow through benchmarks, scenarios
+and the adversarial engine as ordinary names.  :data:`BNP_SPECS` names
+the six paper designs; each is placement-identical to its monolith on
+the golden differential corpus.
+"""
+
+from .insertion import INSERTION_POLICIES, InsertionPolicy
+from .pools import READY_POLICIES, ReadyPolicy, ReadyPool
+from .priorities import PRIORITY_RULES, PriorityRule, PriorityState
+from .scheduler import ParamScheduler
+from .selectors import PROC_SELECTORS, ProcSelector
+from .spec import (
+    AXES,
+    BNP_SPECS,
+    SPEC_PREFIX,
+    SchedulerSpec,
+    expand_param_grid,
+    parse_spec,
+)
+
+__all__ = [
+    "AXES",
+    "BNP_SPECS",
+    "SPEC_PREFIX",
+    "INSERTION_POLICIES",
+    "PRIORITY_RULES",
+    "PROC_SELECTORS",
+    "READY_POLICIES",
+    "InsertionPolicy",
+    "ParamScheduler",
+    "PriorityRule",
+    "PriorityState",
+    "ProcSelector",
+    "ReadyPolicy",
+    "ReadyPool",
+    "SchedulerSpec",
+    "expand_param_grid",
+    "parse_spec",
+]

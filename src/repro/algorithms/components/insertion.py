@@ -1,0 +1,64 @@
+"""Insertion policies: how a placement may exploit idle gaps.
+
+Three values, covering the paper's insertion/non-insertion split plus
+ISH's distinct third way:
+
+``off``
+    Append-only: a node starts no earlier than its processor's ready
+    time (HLFET, ETF, DLS, LAST).
+``on``
+    Earliest-slot search: the node may slide into any idle gap that
+    fits it (MCP).  Implemented by passing ``insertion=True`` down to
+    the kernel's slot search, so it composes with every selector.
+``hole``
+    ISH's scheduling-hole heuristic: processors are chosen append-only,
+    but after each placement the idle window it opened is back-filled
+    with other ready nodes that fit and would not have started earlier
+    elsewhere.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+__all__ = ["InsertionPolicy", "INSERTION_POLICIES"]
+
+
+class InsertionPolicy:
+    """One value of the ``insert=`` axis.
+
+    ``slot`` switches the kernel's earliest-slot search into gaps;
+    ``hole_fill`` enables the ISH-style back-filling pass after each
+    placement.  The two are independent flags of the same axis rather
+    than separate axes because combining them is redundant: slot search
+    already claims every gap a hole-filling pass could use.
+    """
+
+    __slots__ = ("key", "summary", "slot", "hole_fill")
+
+    def __init__(self, key: str, summary: str, slot: bool,
+                 hole_fill: bool):
+        self.key = key
+        self.summary = summary
+        self.slot = slot
+        self.hole_fill = hole_fill
+
+
+INSERTION_POLICIES: Dict[str, InsertionPolicy] = {
+    "off": InsertionPolicy(
+        "off",
+        "append-only: never start before the processor's ready time",
+        slot=False, hole_fill=False,
+    ),
+    "on": InsertionPolicy(
+        "on",
+        "earliest-slot search: placements may slide into idle gaps",
+        slot=True, hole_fill=False,
+    ),
+    "hole": InsertionPolicy(
+        "hole",
+        "ISH-style hole filling: append-only placement, then back-fill "
+        "the idle window it opened with fitting ready nodes",
+        slot=False, hole_fill=True,
+    ),
+}

@@ -1,0 +1,129 @@
+"""The parameterized list scheduler that executes a component spec.
+
+One loop, four plug points.  Every step: the processor selector picks
+the next ``(node, proc, start)`` placement — either by popping the
+ready pool (decoupled) or by scanning all (node, processor) pairs
+(coupled) — the node is placed, newly-ready children are released into
+the pool *after* the priority rule's dynamic update (the order the LAST
+invariant requires), and the insertion policy may back-fill the idle
+window the placement opened.
+
+For the six named specs in
+:data:`~repro.algorithms.components.spec.BNP_SPECS` this loop performs
+the monolith's operations in the monolith's order — same kernel calls,
+same tie-breaks, same epsilons — which is what the differential-corpus
+pinning tests lock down placement-for-placement.
+"""
+
+from __future__ import annotations
+
+from ...core.graph import TaskGraph
+from ...core.listsched import ReadyTracker, best_proc_min_est
+from ...core.machine import Machine
+from ...core.schedule import Schedule
+from ..base import Scheduler
+from .pools import ReadyPool
+from .priorities import PriorityState
+from .spec import SchedulerSpec
+
+__all__ = ["ParamScheduler"]
+
+
+class ParamScheduler(Scheduler):
+    """A BNP list scheduler assembled from a :class:`SchedulerSpec`.
+
+    Instances are stateless between runs (all per-run state lives in
+    the component *states*, created fresh inside :meth:`_run`), so
+    :func:`repro.get_scheduler` can safely memoize them.  Taxonomy
+    flags are derived from the components: the scheduler is CP-based
+    iff its priority rule is, dynamic iff the priority updates or the
+    selector couples node and processor choice, and inserting iff the
+    insertion policy is not ``off``.
+    """
+
+    klass = "BNP"
+
+    def __init__(self, spec: SchedulerSpec):
+        self.spec = spec
+        parts = spec.components()
+        self._prio_rule = parts["prio"]
+        self._ready_policy = parts["ready"]
+        self._selector = parts["proc"]
+        self._insertion = parts["insert"]
+        self.name = spec.canonical()
+        self.cp_based = self._prio_rule.cp_based
+        self.dynamic_priority = (self._prio_rule.dynamic
+                                 or self._selector.coupled)
+        self.uses_insertion = (self._insertion.slot
+                               or self._insertion.hole_fill)
+        self.complexity = "O(p v^2)" if self._selector.coupled else "O(v^2)"
+
+    def _run(self, graph: TaskGraph, machine: Machine) -> Schedule:
+        prio = self._prio_rule.start(graph)
+        schedule = Schedule(graph, machine.num_procs, speeds=machine.speeds)
+        ready = ReadyTracker(graph)
+        pool = self._ready_policy.start(ready, prio)
+        selector = self._selector
+        slot = self._insertion.slot
+        hole = self._insertion.hole_fill
+        gap_begin = 0.0
+        while not ready.all_scheduled():
+            node, proc, start = selector.pick(schedule, ready, pool,
+                                              prio, slot)
+            if hole:
+                gap_begin = schedule.proc_ready_time(proc)
+            schedule.place(node, proc, start)
+            _settle(ready, prio, pool, node)
+            if hole:
+                _fill_hole(schedule, ready, pool, prio, proc,
+                           gap_begin, start)
+        return schedule
+
+
+def _settle(ready: ReadyTracker, prio: PriorityState, pool: ReadyPool,
+            node: int) -> None:
+    """Post-placement bookkeeping, in the order dynamic rules need.
+
+    The priority update runs *between* computing the released children
+    and pushing them: a dynamic rule (D_NODE) must see the placement
+    reflected before any child's pool key is evaluated, and a child's
+    own priority is frozen from that moment on — the invariant that
+    keeps lazily-heaped keys current.
+    """
+    released = ready.mark_scheduled(node)
+    prio.on_scheduled(node)
+    for child in released:
+        pool.push(child)
+
+
+def _fill_hole(schedule: Schedule, ready: ReadyTracker, pool: ReadyPool,
+               prio: PriorityState, proc: int, gap_begin: float,
+               gap_end: float) -> None:
+    """ISH's hole filler, generalised to any priority rule.
+
+    The idle window ``[gap_begin, gap_end)`` on ``proc`` may host other
+    ready nodes, best priority first.  Following Kruatrachue & Lewis, a
+    node is inserted only when it (a) fits entirely inside the hole and
+    (b) could not start earlier on any other processor — otherwise
+    stealing it into the hole trades global placement quality for local
+    utilisation.
+    """
+    while gap_end - gap_begin > 1e-12:
+        placed_any = False
+        for cand in sorted(ready.iter_ready(), key=prio.key):
+            drt = schedule.data_ready_time(cand, proc)
+            cand_start = max(gap_begin, drt)
+            cand_dur = schedule.duration_of(cand, proc)
+            if cand_start + cand_dur > gap_end + 1e-9:
+                continue
+            _, elsewhere = best_proc_min_est(schedule, cand,
+                                             insertion=False)
+            if cand_start > elsewhere + 1e-9:
+                continue
+            schedule.place(cand, proc, cand_start)
+            _settle(ready, prio, pool, cand)
+            gap_begin = cand_start + cand_dur
+            placed_any = True
+            break
+        if not placed_any:
+            break

@@ -98,7 +98,7 @@ from typing import Callable, Dict, List, Optional
 from . import figures, tables
 from .store import OptimaStore, ResultStore, ensure_writable
 
-__all__ = ["main", "scenario_main", "sim_main", "adv_main"]
+__all__ = ["main", "algo_main", "scenario_main", "sim_main", "adv_main"]
 
 
 def _fail(message: str) -> int:
@@ -209,6 +209,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         if argv and argv[0] == "check":
             from ..check import check_main
             return check_main(argv[1:])
+        if argv and argv[0] == "algo":
+            return algo_main(argv[1:])
         if argv and argv[0] == "scenario":
             return scenario_main(argv[1:])
         if argv and argv[0] == "sim":
@@ -312,6 +314,88 @@ def _artifact_main(argv: List[str]) -> int:
 # ----------------------------------------------------------------------
 # scenario verbs
 # ----------------------------------------------------------------------
+def _flag(value: bool) -> str:
+    return "yes" if value else "-"
+
+
+def algo_main(argv: Optional[List[str]] = None) -> int:
+    """``repro-bench algo {list,describe}``.
+
+    The one user-facing view of the scheduler namespace: everything
+    this verb prints — registered acronyms and ``param:`` component
+    specs alike — is accepted verbatim wherever an algorithm name goes
+    (artifact flags, scenario documents, ``sim``/``adv`` pairs).
+    """
+    parser = argparse.ArgumentParser(
+        prog="repro-bench algo",
+        description="Inspect the scheduler registry and the component "
+                    "space behind 'param:' spec strings.",
+    )
+    sub = parser.add_subparsers(dest="verb", required=True)
+
+    p_list = sub.add_parser(
+        "list", help="registered schedulers, taxonomy flags and the "
+                     "component-spec grammar")
+    p_list.add_argument("--class", dest="klass", default=None,
+                        choices=("BNP", "UNC", "APN"),
+                        help="restrict to one algorithm class")
+
+    p_desc = sub.add_parser(
+        "describe", help="one scheduler in full — for param schedulers, "
+                         "the resolved component configuration")
+    p_desc.add_argument("name", help="acronym (e.g. MCP) or component "
+                                     "spec (param:prio=...,proc=...)")
+    args = parser.parse_args(argv)
+
+    from ..algorithms import get_scheduler, list_schedulers
+    from ..algorithms.components import AXES, BNP_SPECS, ParamScheduler
+
+    if args.verb == "list":
+        print(f"{'name':<8} {'class':<5} {'cp':<4} {'dyn':<4} "
+              f"{'ins':<4} complexity")
+        for name in list_schedulers(args.klass):
+            s = get_scheduler(name)
+            print(f"{s.name:<8} {s.klass:<5} {_flag(s.cp_based):<4} "
+                  f"{_flag(s.dynamic_priority):<4} "
+                  f"{_flag(s.uses_insertion):<4} {s.complexity}")
+        print()
+        print("Component specs (accepted wherever a name is):")
+        print("  param:" + ",".join(f"{axis}=<{axis}>" for axis in AXES))
+        for axis, registry in AXES.items():
+            print(f"  {axis:<7} {' '.join(sorted(registry))}")
+        print("  named coordinates: "
+              + " ".join(f"param:{acro.lower()}" for acro in BNP_SPECS))
+        return 0
+
+    try:
+        sched = get_scheduler(args.name)
+    except (KeyError, ValueError) as exc:
+        # str(KeyError) wraps the message in repr quotes; args[0] is
+        # the message itself.
+        return _fail(str(exc.args[0]) if exc.args else str(exc))
+    mod = sys.modules[type(sched).__module__]
+    headline = (mod.__doc__ or "").strip().splitlines()
+    print(f"{sched.name}  [{sched.klass}]")
+    if headline:
+        print(f"  {headline[0]}")
+    print(f"  cp-based:         {_flag(sched.cp_based)}")
+    print(f"  dynamic priority: {_flag(sched.dynamic_priority)}")
+    print(f"  insertion:        {_flag(sched.uses_insertion)}")
+    print(f"  complexity:       {sched.complexity}")
+    if isinstance(sched, ParamScheduler):
+        print("  components:")
+        for axis, component in sched.spec.components().items():
+            label = f"{axis}={getattr(sched.spec, axis)}"
+            print(f"    {label:<16} {component.summary}")
+        monoliths = [acro for acro, spec in BNP_SPECS.items()
+                     if spec == sched.spec]
+        if monoliths:
+            print(f"  equivalent monolith: {monoliths[0]}")
+    elif sched.name in BNP_SPECS:
+        print(f"  component spec:   {BNP_SPECS[sched.name].canonical()}")
+    return 0
+
+
 def scenario_main(argv: Optional[List[str]] = None) -> int:
     """``repro-bench scenario {list,validate,run}``."""
     parser = argparse.ArgumentParser(

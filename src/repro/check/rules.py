@@ -423,6 +423,12 @@ class RegistryCliSync(Rule):
     name — in source docstrings, README/DESIGN/EXPERIMENTS, workflows
     and examples — names a registered scenario, and (c) every registry
     entry is referenced at least once outside the registry itself.
+
+    Tokens that continue with a path or spec character are not
+    scenario names: ``examples/foo.json`` is a file, and
+    ``param:prio=...`` is a parameterized scheduler spec (the
+    component-space names resolve through ``get_scheduler``, not the
+    scenario registry).
     """
 
     code = "RPR004"
@@ -461,8 +467,11 @@ class RegistryCliSync(Rule):
             for match in self._INVOKE.finditer(text):
                 token = match.group("name")
                 end = match.end("name")
-                if end < len(text) and text[end] in "./":
-                    continue  # a file path, not a registry name
+                if end < len(text) and text[end] in "./:=":
+                    # A file path ("examples/foo.json") or a
+                    # parameterized component spec ("param:prio=..."),
+                    # not a registry name.
+                    continue
                 referenced.add(token)
                 if token not in names:
                     yield Finding(

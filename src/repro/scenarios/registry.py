@@ -218,6 +218,32 @@ SCENARIOS: Dict[str, dict] = {
                        {"class": "APN"}],
         "metrics": ["length", "nsl", "procs_used", "runtime_s"],
     },
+    # 15 — the component space: synthesized schedulers vs the paper's six.
+    "component-grid": {
+        "name": "component-grid",
+        "description": "Cartesian sweep of list-scheduler components "
+                       "(priority x ready pool x processor selector x "
+                       "insertion) beside the six hand-written BNP "
+                       "designs they generalise",
+        "graphs": {"generator": "rgnos", "sizes": [30],
+                   "ccrs": [1.0], "parallelisms": [3], "seed": 151},
+        "algorithms": [
+            {"class": "BNP"},
+            # Decoupled selectors: 4 priorities x 2 pools x 2 greedy
+            # rules x 3 insertion policies = 48 combinations.
+            {"param": {"prio": ["slevel", "blevel", "alap", "btlevel"],
+                       "ready": ["prio", "fifo"],
+                       "proc": ["est", "eft"],
+                       "insert": ["off", "on", "hole"]}},
+            # Coupled pair-scan selectors (pool order is irrelevant,
+            # so only the default pool): 16 more combinations.
+            {"param": {"prio": ["slevel", "alap", "btlevel", "dnode"],
+                       "proc": ["etf", "dls"],
+                       "insert": ["off", "on"]}},
+        ],
+        "machine": {"bnp_procs": 8},
+        "metrics": ["length", "nsl", "procs_used", "runtime_s"],
+    },
 }
 
 

@@ -275,20 +275,49 @@ def _validate_algorithms(data, path: str = "algorithms") -> Tuple:
     from ..algorithms.base import SCHEDULER_CLASSES
 
     _expect(isinstance(data, Sequence) and not isinstance(data, str),
-            path, "expected a list of algorithm names and/or "
-            '{"class": ...} selectors')
+            path, "expected a list of algorithm names (acronyms or "
+            "'param:' component specs) and/or "
+            '{"class": ...} / {"param": ...} selectors')
     _expect(len(data) > 0, path, "expected a non-empty list")
     items: List[Any] = []
     for i, item in enumerate(data):
         if isinstance(item, str):
             try:
-                get_scheduler(item)
+                # Canonicalise through the registry: acronyms resolve
+                # to their registered spelling, 'param:' specs to the
+                # canonical axis order — one cache key per scheduler,
+                # however the document spelled it.
+                items.append(get_scheduler(item).name)
             except KeyError:
                 raise SpecError(
                     f"{path}[{i}]",
                     f"unknown algorithm {item!r}; known: "
-                    f"{', '.join(list_schedulers())}") from None
-            items.append(item.upper())
+                    f"{', '.join(list_schedulers())} "
+                    f"(or a 'param:' component spec)") from None
+            except ValueError as exc:
+                raise SpecError(f"{path}[{i}]", str(exc)) from None
+        elif isinstance(item, Mapping) and "param" in item:
+            from ..algorithms.components import expand_param_grid
+
+            _expect(set(item) == {"param"}, f"{path}[{i}]",
+                    "a component-space selector has exactly the "
+                    "key 'param'")
+            grid = item["param"]
+            _expect(isinstance(grid, Mapping), f"{path}[{i}].param",
+                    "expected a mapping of component axis -> value list")
+            for axis, values in grid.items():
+                _expect(isinstance(values, Sequence)
+                        and not isinstance(values, str)
+                        and all(isinstance(v, str) for v in values),
+                        f"{path}[{i}].param.{axis}",
+                        "expected a list of component names")
+            try:
+                specs = expand_param_grid(grid)
+            except ValueError as exc:
+                raise SpecError(f"{path}[{i}].param", str(exc)) from None
+            items.append({"param": {str(axis).lower(): tuple(values)
+                                    for axis, values in grid.items()}})
+            del specs  # validated above; expansion happens at compile time
         elif isinstance(item, Mapping):
             klass = item.get("class")
             _expect(isinstance(klass, str)
@@ -300,19 +329,33 @@ def _validate_algorithms(data, path: str = "algorithms") -> Tuple:
             items.append({"class": klass.upper()})
         else:
             raise SpecError(f"{path}[{i}]",
-                            "expected an algorithm name or a "
-                            '{"class": ...} selector')
+                            "expected an algorithm name, a "
+                            '{"class": ...} selector or a '
+                            '{"param": ...} component grid')
     return tuple(items)
 
 
 def expand_algorithms(items: Sequence) -> Tuple[str, ...]:
-    """Resolve names + class selectors to a deduplicated name tuple."""
+    """Resolve names + class/param selectors to a deduplicated tuple.
+
+    ``{"param": {...}}`` grids expand to the cartesian product of
+    their component axes, each combination under its canonical
+    ``param:`` name — so a grid cell is cached exactly like the same
+    scheduler listed explicitly.
+    """
     from ..algorithms import list_schedulers
 
     out: List[str] = []
     for item in items:
-        names = ([item] if isinstance(item, str)
-                 else list_schedulers(item["class"]))
+        if isinstance(item, str):
+            names = [item]
+        elif "param" in item:
+            from ..algorithms.components import expand_param_grid
+
+            names = [spec.canonical()
+                     for spec in expand_param_grid(item["param"])]
+        else:
+            names = list_schedulers(item["class"])
         for name in names:
             if name not in out:
                 out.append(name)
@@ -419,7 +462,10 @@ def _validate_adversarial(data, path: str = "adversarial"
             raise SpecError(
                 f"{path}.pair[{i}]",
                 f"unknown algorithm {name!r}; known: "
-                f"{', '.join(list_schedulers())}") from None
+                f"{', '.join(list_schedulers())} "
+                f"(or a 'param:' component spec)") from None
+        except ValueError as exc:
+            raise SpecError(f"{path}.pair[{i}]", str(exc)) from None
     klasses = {get_scheduler(n).klass for n in names}
     _expect(len(klasses) == 1, f"{path}.pair",
             "the pair must come from one class (BNP/UNC/APN) — "

@@ -89,6 +89,13 @@ class TestRulesOnFixtures:
         assert len(stale) == 1
         assert stale[0].path.endswith("README.md")
 
+    def test_rpr004_skips_component_spec_tokens(self, fixture_findings):
+        # The fixture README invokes ``adv search param:prio=...``; the
+        # ``param:`` token is a scheduler spec, not a scenario name, and
+        # must not be reported as a stale reference.
+        hits = [f for f in fixture_findings if f.code == "RPR004"]
+        assert all("'param'" not in f.message for f in hits)
+
     def test_rpr005_flags_time_and_literal_compares(self, fixture_findings):
         hits = [f for f in fixture_findings
                 if f.code == "RPR005" and "bad_float" in f.path]

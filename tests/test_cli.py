@@ -336,3 +336,54 @@ class TestResultsValidationUnified:
         assert main(["scenario", "run", SCENARIO_SPEC,
                      "--results", str(target)]) == 2
         self._assert_one_line_error(capsys, "not a writable directory")
+
+
+class TestAlgoVerbs:
+    """``repro-bench algo list/describe`` — the unified name listing."""
+
+    def test_algo_list_renders_registry_and_grammar(self, capsys):
+        assert main(["algo", "list"]) == 0
+        out = capsys.readouterr().out
+        # All three classes present, plus the component-spec grammar.
+        for name in ("MCP", "DSC", "BSA"):
+            assert name in out
+        assert "param:prio=<prio>" in out
+        assert "alaplist" in out and "dnode" in out
+        assert "param:hlfet" in out
+
+    def test_algo_list_class_filter(self, capsys):
+        assert main(["algo", "list", "--class", "UNC"]) == 0
+        out = capsys.readouterr().out
+        assert "DSC" in out and "DCP" in out
+        assert "MCP" not in out and "BSA" not in out
+
+    def test_algo_describe_monolith_shows_component_spec(self, capsys):
+        assert main(["algo", "describe", "mcp"]) == 0
+        out = capsys.readouterr().out
+        assert "MCP" in out and "[BNP]" in out
+        assert "param:prio=alaplist,ready=prio,proc=est,insert=on" in out
+
+    def test_algo_describe_param_resolves_components(self, capsys):
+        assert main(["algo", "describe", "param:prio=alap,insert=on"]) == 0
+        out = capsys.readouterr().out
+        assert "components:" in out
+        for line in ("prio=alap", "ready=prio", "proc=est", "insert=on"):
+            assert line in out
+        assert "equivalent monolith" not in out  # not a named design
+
+    def test_algo_describe_named_shorthand_cites_monolith(self, capsys):
+        assert main(["algo", "describe", "param:last"]) == 0
+        out = capsys.readouterr().out
+        assert "equivalent monolith: LAST" in out
+
+    def test_algo_describe_unknown_exits_2_one_line(self, capsys):
+        assert main(["algo", "describe", "NOPE"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("repro-bench: error:")
+        assert len(err.strip().splitlines()) == 1
+
+    def test_algo_describe_bad_spec_exits_2_one_line(self, capsys):
+        assert main(["algo", "describe", "param:prio=bogus"]) == 2
+        err = capsys.readouterr().err
+        assert "bogus" in err
+        assert len(err.strip().splitlines()) == 1

@@ -1,0 +1,351 @@
+"""Component-model tests: spec grammar, golden pinning, properties.
+
+The heart of the file is the golden-pinning class: each of the six
+named :data:`BNP_SPECS` configurations must reproduce its hand-written
+monolith *placement-for-placement* against the committed differential
+corpus — the same corpus files :mod:`test_differential` holds the
+monoliths to, so spec-vs-monolith equality is checked transitively
+through goldens that predate the component model.  Hypothesis
+properties then hold every random component combination to the model
+invariants (complete, validated schedules on bounded machines).
+"""
+
+from __future__ import annotations
+
+import json
+import warnings
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from differential_corpus import corpus_cases, corpus_graphs, golden_path, run_case
+from strategies import task_graphs
+
+from repro.algorithms import (
+    BNP_SPECS,
+    ParamScheduler,
+    SchedulerSpec,
+    get_scheduler,
+    get_scheduler_class,
+    parse_spec,
+)
+from repro.algorithms.components import AXES, expand_param_grid
+from repro.core.machine import Machine
+from repro.core.schedule import validate
+
+_GRAPHS = corpus_graphs()
+
+
+# ----------------------------------------------------------------------
+# golden pinning: six named specs == six monoliths, bit for bit
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("graph", _GRAPHS, ids=[g.name for g in _GRAPHS])
+def test_named_specs_match_golden_corpus(graph):
+    with open(golden_path(graph)) as fh:
+        doc = json.load(fh)
+    mismatches = []
+    for alg, tag in corpus_cases(graph):
+        if alg not in BNP_SPECS:
+            continue
+        got = run_case(graph, BNP_SPECS[alg].canonical(), tag)
+        want = doc["cases"][f"{alg}@{tag}"]
+        if got["length"] != pytest.approx(want["length"], abs=1e-9):
+            mismatches.append(
+                f"{alg}@{tag}: length {got['length']} != {want['length']}")
+            continue
+        if set(got["placements"]) != set(want["placements"]):
+            mismatches.append(f"{alg}@{tag}: scheduled node set differs")
+            continue
+        for node, (proc, start, finish) in got["placements"].items():
+            wproc, wstart, wfinish = want["placements"][node]
+            if (proc != wproc or abs(start - wstart) > 1e-9
+                    or abs(finish - wfinish) > 1e-9):
+                mismatches.append(
+                    f"{alg}@{tag}: node {node} placed "
+                    f"(P{proc}, {start}, {finish}) vs golden "
+                    f"(P{wproc}, {wstart}, {wfinish})")
+                break
+    assert not mismatches, (
+        "component specs diverged from the monoliths' golden corpus:\n  "
+        + "\n  ".join(mismatches))
+
+
+def test_bnp_specs_cover_exactly_the_six_monoliths():
+    assert sorted(BNP_SPECS) == ["DLS", "ETF", "HLFET", "ISH", "LAST",
+                                 "MCP"]
+    # Distinct designs must map to distinct coordinates.
+    assert len(set(BNP_SPECS.values())) == 6
+    for acro, spec in BNP_SPECS.items():
+        mono = get_scheduler(acro)
+        param = get_scheduler(spec.canonical())
+        assert param.klass == "BNP"
+        # The taxonomy flags the paper keys its analysis on must agree
+        # between monolith and component spelling.
+        assert param.cp_based == mono.cp_based, acro
+        assert param.dynamic_priority == mono.dynamic_priority, acro
+        assert param.uses_insertion == mono.uses_insertion, acro
+
+
+# ----------------------------------------------------------------------
+# spec grammar
+# ----------------------------------------------------------------------
+class TestSpecGrammar:
+    def test_canonical_round_trip(self):
+        spec = parse_spec("PARAM:insert=ON,prio=Alap")
+        assert spec == SchedulerSpec(prio="alap", insert="on")
+        assert spec.canonical() == (
+            "param:prio=alap,ready=prio,proc=est,insert=on")
+        assert parse_spec(spec.canonical()) == spec
+        assert spec.fingerprint() == spec.canonical()
+
+    def test_defaults_reproduce_hlfet(self):
+        assert SchedulerSpec() == BNP_SPECS["HLFET"]
+
+    def test_named_shorthands(self):
+        for acro, spec in BNP_SPECS.items():
+            assert parse_spec(f"param:{acro.lower()}") == spec
+
+    def test_unknown_value_lists_the_options(self):
+        with pytest.raises(ValueError, match="slevel"):
+            parse_spec("param:prio=bogus")
+
+    def test_unknown_axis_lists_the_axes(self):
+        with pytest.raises(ValueError, match="prio, ready, proc, insert"):
+            parse_spec("param:priority=slevel")
+
+    def test_duplicate_axis_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            parse_spec("param:prio=slevel,prio=alap")
+
+    def test_malformed_assignment_rejected(self):
+        with pytest.raises(ValueError, match="axis=value"):
+            parse_spec("param:prio")
+
+    def test_empty_spec_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            parse_spec("param:")
+
+    def test_spec_validates_fields_at_construction(self):
+        with pytest.raises(ValueError, match="unknown 'proc' component"):
+            SchedulerSpec(proc="bogus")
+
+    def test_components_resolve_in_axis_order(self):
+        spec = BNP_SPECS["MCP"]
+        parts = spec.components()
+        assert list(parts) == ["prio", "ready", "proc", "insert"]
+        assert parts["prio"] is AXES["prio"]["alaplist"]
+
+
+class TestExpandParamGrid:
+    def test_cartesian_order_later_axes_fastest(self):
+        specs = expand_param_grid({"prio": ["alap", "slevel"],
+                                   "insert": ["off", "on"]})
+        assert specs == [
+            SchedulerSpec(prio="alap", insert="off"),
+            SchedulerSpec(prio="alap", insert="on"),
+            SchedulerSpec(prio="slevel", insert="off"),
+            SchedulerSpec(prio="slevel", insert="on"),
+        ]
+
+    def test_values_deduplicate_case_insensitively(self):
+        specs = expand_param_grid({"prio": ["alap", "ALAP", "alap"]})
+        assert len(specs) == 1
+
+    def test_unknown_axis_rejected(self):
+        with pytest.raises(ValueError, match="unknown component axis"):
+            expand_param_grid({"pool": ["fifo"]})
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ValueError, match="no values"):
+            expand_param_grid({"prio": []})
+
+
+# ----------------------------------------------------------------------
+# unified lookup API
+# ----------------------------------------------------------------------
+class TestLookup:
+    def test_spec_spellings_share_one_memoized_instance(self):
+        a = get_scheduler("param:prio=alap")
+        b = get_scheduler("PARAM:proc=est,prio=ALAP,insert=off,ready=prio")
+        assert a is b
+        assert isinstance(a, ParamScheduler)
+        assert a.name == "param:prio=alap,ready=prio,proc=est,insert=off"
+
+    def test_registered_names_memoized(self):
+        assert get_scheduler("mcp") is get_scheduler("MCP")
+
+    def test_unknown_acronym_mentions_spec_grammar(self):
+        with pytest.raises(KeyError, match="param"):
+            get_scheduler("NOPE")
+
+    def test_bad_spec_string_raises_value_error(self):
+        with pytest.raises(ValueError, match="bogus"):
+            get_scheduler("param:prio=bogus")
+
+    def test_class_shim_returns_class_and_warns_once(self):
+        from repro.algorithms import base
+
+        original = base._CLASS_SHIM_WARNED
+        base._CLASS_SHIM_WARNED = False
+        try:
+            with pytest.warns(DeprecationWarning, match="get_scheduler"):
+                cls = get_scheduler_class("mcp")
+            assert cls is type(get_scheduler("MCP"))
+            assert issubclass(cls, get_scheduler("MCP").__class__)
+            with warnings.catch_warnings():
+                warnings.simplefilter("error")
+                get_scheduler_class("dls")  # second call stays silent
+        finally:
+            base._CLASS_SHIM_WARNED = original
+
+    def test_class_shim_unknown_name(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            with pytest.raises(KeyError, match="unknown scheduler"):
+                get_scheduler_class("NOPE")
+
+    def test_taxonomy_flags_derive_from_components(self):
+        s = get_scheduler("param:prio=alap,proc=etf,insert=on")
+        assert s.cp_based and s.dynamic_priority and s.uses_insertion
+        h = get_scheduler("param:hlfet")
+        assert not (h.cp_based or h.dynamic_priority or h.uses_insertion)
+
+
+# ----------------------------------------------------------------------
+# Hypothesis: every combination yields complete, valid schedules
+# ----------------------------------------------------------------------
+@given(graph=task_graphs(max_nodes=12),
+       prio=st.sampled_from(sorted(AXES["prio"])),
+       ready=st.sampled_from(sorted(AXES["ready"])),
+       proc=st.sampled_from(sorted(AXES["proc"])),
+       insert=st.sampled_from(sorted(AXES["insert"])),
+       procs=st.integers(1, 4))
+@settings(max_examples=60, deadline=None)
+def test_random_component_combinations_schedule_validly(
+        graph, prio, ready, proc, insert, procs):
+    spec = SchedulerSpec(prio, ready, proc, insert)
+    schedule = get_scheduler(spec.canonical()).schedule(graph,
+                                                        Machine(procs))
+    assert schedule.is_complete()  # every node placed exactly once
+    # Full model invariants: precedence + communication delays +
+    # per-processor no-overlap.
+    assert validate(schedule, collect=True) == []
+
+
+@given(graph=task_graphs(max_nodes=10),
+       prio=st.sampled_from(sorted(AXES["prio"])),
+       insert=st.sampled_from(sorted(AXES["insert"])))
+@settings(max_examples=30, deadline=None)
+def test_random_combinations_valid_under_heterogeneous_speeds(
+        graph, prio, insert):
+    spec = SchedulerSpec(prio=prio, insert=insert, proc="eft")
+    machine = Machine(3, speeds=[1.0, 2.0, 4.0])
+    schedule = get_scheduler(spec.canonical()).schedule(graph, machine)
+    assert schedule.is_complete()
+    assert validate(schedule, collect=True) == []
+
+
+# ----------------------------------------------------------------------
+# scenario engine integration
+# ----------------------------------------------------------------------
+class TestScenarioIntegration:
+    MINIMAL = {
+        "name": "t",
+        "graphs": {"generator": "rgbos", "sizes": [10], "ccrs": [1.0]},
+        "algorithms": ["MCP"],
+    }
+
+    def _doc(self, **overrides):
+        doc = {k: (dict(v) if isinstance(v, dict) else v)
+               for k, v in self.MINIMAL.items()}
+        doc.update(overrides)
+        return doc
+
+    def test_spec_strings_canonicalise_and_param_grids_expand(self):
+        from repro.scenarios import validate_spec
+
+        spec = validate_spec(self._doc(algorithms=[
+            "mcp",
+            "PARAM:prio=alap",
+            {"param": {"prio": ["slevel", "alap"],
+                       "insert": ["off", "on"]}},
+        ]))
+        names = spec.algorithm_names
+        assert names[0] == "MCP"
+        assert names[1] == "param:prio=alap,ready=prio,proc=est,insert=off"
+        # The grid contributes 4 combos, one of which duplicates the
+        # explicit alap spec above — expansion deduplicates it.
+        assert len(names) == 2 + 3
+        assert len(set(names)) == len(names)
+        # The canonical document round-trips, param selector included.
+        from repro.scenarios import validate_spec as revalidate
+        assert revalidate(spec.to_dict()).algorithm_names == names
+
+    def test_param_selector_errors_are_spec_errors(self):
+        from repro.scenarios import SpecError, validate_spec
+
+        with pytest.raises(SpecError, match="unknown component axis"):
+            validate_spec(self._doc(algorithms=[{"param": {"pool": ["x"]}}]))
+        with pytest.raises(SpecError, match="slevel"):
+            validate_spec(self._doc(
+                algorithms=[{"param": {"prio": ["bogus"]}}]))
+        with pytest.raises(SpecError, match="exactly the key"):
+            validate_spec(self._doc(
+                algorithms=[{"param": {"prio": ["alap"]}, "x": 1}]))
+        with pytest.raises(SpecError, match="axis=value"):
+            validate_spec(self._doc(algorithms=["param:prio"]))
+
+    def test_component_grid_scenario_sweeps_at_least_48_combos(self):
+        from repro.scenarios import get_scenario
+
+        spec = get_scenario("component-grid")
+        names = spec.algorithm_names
+        params = [n for n in names if n.startswith("param:")]
+        assert len(params) >= 48
+        assert len(names) == len(set(names))
+        # The six monoliths ride along for the head-to-head ranking.
+        for acro in BNP_SPECS:
+            assert acro in names
+
+    def test_adversarial_pair_accepts_spec_names(self):
+        from repro.scenarios import validate_spec
+
+        spec = validate_spec(self._doc(adversarial={
+            "pair": ["mcp", "param:prio=btlevel,proc=etf"]}))
+        assert spec.adversarial["pair"] == [
+            "MCP", "param:prio=btlevel,ready=prio,proc=etf,insert=off"]
+
+    def test_component_sweep_resume_replays_with_zero_recompute(
+            self, tmp_path, monkeypatch):
+        import repro.bench.parallel as parallel
+        from repro.bench.store import ResultStore
+        from repro.scenarios import (
+            compile_scenario,
+            run_scenario,
+            validate_spec,
+        )
+
+        doc = self._doc(
+            name="mini-components",
+            graphs={"generator": "rgnos", "sizes": [12], "ccrs": [1.0],
+                    "parallelisms": [3], "seed": 9},
+            algorithms=[{"param": {"prio": ["slevel", "alap"],
+                                   "insert": ["off", "on"]}}],
+            machine={"bnp_procs": 4})
+        compiled = compile_scenario(validate_spec(doc))
+        first = run_scenario(compiled, store=ResultStore(str(tmp_path)),
+                             resume=True)
+
+        def boom(args):
+            raise AssertionError(
+                "cell recomputed despite a warm cache — spec "
+                "fingerprints are unstable")
+
+        monkeypatch.setattr(parallel, "_run_cell", boom)
+        second = run_scenario(compiled, store=ResultStore(str(tmp_path)),
+                              resume=True)
+        rows1 = [r for _, rows in first.rows for r in rows]
+        rows2 = [r for _, rows in second.rows for r in rows]
+        assert rows1 == rows2
+        assert len(rows1) == compiled.num_cells == 4
