@@ -87,6 +87,28 @@ def test_smoke_sim_monte_carlo(benchmark):
     assert all(r.trials == 100 and r.mean >= 0 for r in rows)
 
 
+def test_smoke_online_gap(benchmark):
+    """Online engine: the ``online-gap`` scenario, one round.
+
+    Runs ``repro-bench scenario run online-gap`` end to end — six BNP
+    algorithms plus their online counterparts under all four
+    information modes on two 40-node graphs.  Exercises the full
+    event-driven loop (plan, deviate, replan) and the per-imode rank
+    table; one round only, like the ladder rung, since the case exists
+    to catch online-engine slowdowns rather than to average noise.
+    """
+    from repro.scenarios import (compile_scenario, get_scenario,
+                                 online_tables, run_scenario)
+
+    compiled = compile_scenario(get_scenario("online-gap"))
+    result = benchmark.pedantic(run_scenario, args=(compiled,),
+                                rounds=1, iterations=1)
+    total = sum(len(rows) for _, rows in result.rows)
+    assert total == compiled.num_cells == 60
+    table = online_tables(result)
+    assert len(table.rows) == 24  # 6 BNP specs x 4 information modes
+
+
 def test_smoke_ladder_1200(benchmark):
     """Top rung of the scalability ladder: the flat-array kernel gate.
 

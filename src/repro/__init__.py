@@ -76,10 +76,13 @@ __all__ = [
 
 
 def get_scheduler(name: str):
-    """Look up a scheduler instance by its paper acronym (e.g. ``"DCP"``)
-    or by a ``param:`` component spec string (e.g.
+    """Look up a scheduler instance by its paper acronym (e.g. ``"DCP"``),
+    by a ``param:`` component spec string (e.g.
     ``"param:prio=blevel,proc=etf"``) that synthesizes a list scheduler
-    from pluggable components — see :mod:`repro.algorithms.components`.
+    from pluggable components (see :mod:`repro.algorithms.components`),
+    or by an ``online:`` spec (e.g. ``"online:mcp,imode=mean"``) that
+    executes the components event-driven under an information mode —
+    see :mod:`repro.sim.online`.
 
     Defers the algorithm-package import so ``import repro`` stays cheap.
     """

@@ -102,12 +102,15 @@ _CLASS_SHIM_WARNED = False
 def get_scheduler(name: str) -> Scheduler:
     """Resolve ``name`` to a ready-to-call scheduler instance.
 
-    Accepts registered acronyms case-insensitively (``"mcp"``) and
+    Accepts registered acronyms case-insensitively (``"mcp"``),
     component spec strings (``"param:prio=alap,ready=prio,proc=est,
     insert=on"``; see :mod:`repro.algorithms.components` for the
-    grammar).  Schedulers are stateless, so instances are memoized —
-    repeated lookups of the same name (or of two spellings of the same
-    spec) return the same object.
+    grammar), and online spec strings (``"online:mcp,imode=mean"``;
+    see :mod:`repro.sim.online` — the schedule is the zero-noise
+    event-driven execution under the spec's information mode).
+    Schedulers are stateless, so instances are memoized — repeated
+    lookups of the same name (or of two spellings of the same spec)
+    return the same object.
     """
     if name.strip().lower().startswith("param:"):
         from .components import ParamScheduler, parse_spec
@@ -119,13 +122,23 @@ def get_scheduler(name: str) -> Scheduler:
             inst = ParamScheduler(spec)
             _INSTANCES[key] = inst
         return inst
+    if name.strip().lower().startswith("online:"):
+        from ..sim.online import OnlineScheduler, parse_online_spec
+
+        ospec = parse_online_spec(name)
+        key = ospec.canonical()
+        inst = _INSTANCES.get(key)
+        if inst is None:
+            inst = OnlineScheduler(ospec)
+            _INSTANCES[key] = inst
+        return inst
     try:
         cls = _REGISTRY[name.upper()]
     except KeyError:
         known = ", ".join(sorted(_REGISTRY))
         raise KeyError(
             f"unknown scheduler {name!r}; known: {known} "
-            f"(or a 'param:' component spec)") from None
+            f"(or a 'param:' component spec / 'online:' spec)") from None
     inst = _INSTANCES.get(name.upper())
     if inst is None or type(inst) is not cls:
         # ``type(inst) is not cls`` guards against re-registration

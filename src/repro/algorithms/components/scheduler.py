@@ -17,6 +17,8 @@ pinning tests lock down placement-for-placement.
 
 from __future__ import annotations
 
+from typing import Dict, Optional, Sequence, Tuple
+
 from ...core.graph import TaskGraph
 from ...core.listsched import ReadyTracker, best_proc_min_est
 from ...core.machine import Machine
@@ -26,7 +28,7 @@ from .pools import ReadyPool
 from .priorities import PriorityState
 from .spec import SchedulerSpec
 
-__all__ = ["ParamScheduler"]
+__all__ = ["ParamScheduler", "run_component_loop"]
 
 
 class ParamScheduler(Scheduler):
@@ -59,25 +61,49 @@ class ParamScheduler(Scheduler):
         self.complexity = "O(p v^2)" if self._selector.coupled else "O(v^2)"
 
     def _run(self, graph: TaskGraph, machine: Machine) -> Schedule:
-        prio = self._prio_rule.start(graph)
-        schedule = Schedule(graph, machine.num_procs, speeds=machine.speeds)
-        ready = ReadyTracker(graph)
-        pool = self._ready_policy.start(ready, prio)
-        selector = self._selector
-        slot = self._insertion.slot
-        hole = self._insertion.hole_fill
-        gap_begin = 0.0
-        while not ready.all_scheduled():
-            node, proc, start = selector.pick(schedule, ready, pool,
-                                              prio, slot)
-            if hole:
-                gap_begin = schedule.proc_ready_time(proc)
-            schedule.place(node, proc, start)
-            _settle(ready, prio, pool, node)
-            if hole:
-                _fill_hole(schedule, ready, pool, prio, proc,
-                           gap_begin, start)
-        return schedule
+        return run_component_loop(self.spec.components(), graph, machine)
+
+
+def run_component_loop(
+    parts: Dict[str, object],
+    graph: TaskGraph,
+    machine: Machine,
+    pinned: Sequence[Tuple[int, int, float, Optional[float]]] = (),
+) -> Schedule:
+    """Drive the four-axis component loop to a complete schedule.
+
+    ``parts`` is a :meth:`SchedulerSpec.components` mapping.  ``pinned``
+    pre-places execution history before the loop runs — ``(node, proc,
+    start, duration)`` tuples in a precedence-consistent order
+    (ascending start time) — which is how the online replanner
+    (:mod:`repro.sim.online`) re-decides only the unstarted remainder of
+    a plan: pinned tasks go through the same :func:`_settle`
+    bookkeeping as loop placements, so dynamic priorities and ready
+    pools see them exactly as if the loop had chosen them.  With no
+    pins this is byte-for-byte the static :class:`ParamScheduler` run.
+    """
+    prio = parts["prio"].start(graph)
+    schedule = Schedule(graph, machine.num_procs, speeds=machine.speeds)
+    ready = ReadyTracker(graph)
+    pool = parts["ready"].start(ready, prio)
+    for node, proc, start, duration in pinned:
+        schedule.place(node, proc, start, duration=duration)
+        _settle(ready, prio, pool, node)
+    selector = parts["proc"]
+    slot = parts["insert"].slot
+    hole = parts["insert"].hole_fill
+    gap_begin = 0.0
+    while not ready.all_scheduled():
+        node, proc, start = selector.pick(schedule, ready, pool,
+                                          prio, slot)
+        if hole:
+            gap_begin = schedule.proc_ready_time(proc)
+        schedule.place(node, proc, start)
+        _settle(ready, prio, pool, node)
+        if hole:
+            _fill_hole(schedule, ready, pool, prio, proc,
+                       gap_begin, start)
+    return schedule
 
 
 def _settle(ready: ReadyTracker, prio: PriorityState, pool: ReadyPool,

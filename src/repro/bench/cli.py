@@ -365,6 +365,14 @@ def algo_main(argv: Optional[List[str]] = None) -> int:
             print(f"  {axis:<7} {' '.join(sorted(registry))}")
         print("  named coordinates: "
               + " ".join(f"param:{acro.lower()}" for acro in BNP_SPECS))
+        print()
+        print("Online specs (event-driven execution under an "
+              "information mode):")
+        print("  online:<name-or-axes>[,imode=<imode>][,seed=<n>]")
+        from ..sim.online import IMODES
+
+        print(f"  imode   {' '.join(IMODES)}   (e.g. "
+              "online:mcp,imode=mean)")
         return 0
 
     try:
@@ -382,13 +390,20 @@ def algo_main(argv: Optional[List[str]] = None) -> int:
     print(f"  dynamic priority: {_flag(sched.dynamic_priority)}")
     print(f"  insertion:        {_flag(sched.uses_insertion)}")
     print(f"  complexity:       {sched.complexity}")
-    if isinstance(sched, ParamScheduler):
+    from ..sim.online import OnlineScheduler
+
+    if isinstance(sched, (ParamScheduler, OnlineScheduler)):
         print("  components:")
         for axis, component in sched.spec.components().items():
             label = f"{axis}={getattr(sched.spec, axis)}"
             print(f"    {label:<16} {component.summary}")
+        if isinstance(sched, OnlineScheduler):
+            print(f"  information mode: {sched.spec.imode}")
         monoliths = [acro for acro, spec in BNP_SPECS.items()
-                     if spec == sched.spec]
+                     if spec == sched.spec.base()] \
+            if isinstance(sched, OnlineScheduler) else \
+            [acro for acro, spec in BNP_SPECS.items()
+             if spec == sched.spec]
         if monoliths:
             print(f"  equivalent monolith: {monoliths[0]}")
     elif sched.name in BNP_SPECS:
@@ -441,6 +456,7 @@ def scenario_main(argv: Optional[List[str]] = None) -> int:
         compile_scenario,
         get_scenario,
         load_spec,
+        online_tables,
         run_scenario,
         scenario_names,
         scenario_tables,
@@ -492,6 +508,9 @@ def scenario_main(argv: Optional[List[str]] = None) -> int:
           args.out, args.fmt)
     _emit(_render_table(summary, args.fmt),
           f"scenario_{spec.name}_summary", args.out, args.fmt)
+    if spec.online or any(v.online for v in compiled.variants):
+        _emit(_render_table(online_tables(result), args.fmt),
+              f"scenario_{spec.name}_online", args.out, args.fmt)
     if store is not None:
         print(f"[{len(store)} rows persisted under {store.directory}]")
     return 0
@@ -523,6 +542,7 @@ def sim_main(argv: Optional[List[str]] = None) -> int:
     model; the flags below override it ad hoc.
     """
     from ..sim.netmodel import NETWORK_KINDS
+    from ..sim.online import IMODES
 
     parser = argparse.ArgumentParser(
         prog="repro-bench sim",
@@ -554,6 +574,14 @@ def sim_main(argv: Optional[List[str]] = None) -> int:
         p.add_argument("--network", default=None, choices=NETWORK_KINDS,
                        help="transport backend (default: spec value or "
                             "'auto' — each schedule's own model)")
+        p.add_argument("--online", action="store_true",
+                       help="also run each algorithm's event-driven "
+                            "online counterpart (adds an 'online' block "
+                            "to the spec; see repro.sim.online)")
+        p.add_argument("--imode", default=None, metavar="MODE[,MODE...]",
+                       help="information modes for --online (default: "
+                            "all of exact, blind, mean, user); implies "
+                            "--online")
         p.add_argument("--jobs", type=int, default=1, metavar="N",
                        help="worker processes (0 = one per CPU)")
         p.add_argument("--results", default=None, metavar="DIR",
@@ -598,6 +626,7 @@ def sim_main(argv: Optional[List[str]] = None) -> int:
     doc = spec.to_dict()
     block = dict(doc.get("simulate", {}))
     perturb = dict(block.get("perturb", {}))
+    online_block = dict(doc.get("online", {}))
     overridden = []
     try:
         if args.trials is not None:
@@ -619,6 +648,15 @@ def sim_main(argv: Optional[List[str]] = None) -> int:
                 overridden.append((flag, "perturb"))
     except ValueError as exc:
         return _fail(str(exc))
+    online_overridden = []
+    if args.imode is not None:
+        online_block["imodes"] = [m.strip()
+                                  for m in args.imode.split(",") if m.strip()]
+        online_overridden.append(("--imode", "imodes"))
+    if args.online and not online_block:
+        # Bare --online: all modes, spec-or-default seed.
+        online_block["imodes"] = list(IMODES)
+        online_overridden.append(("--online", "imodes"))
     for flag, leaf in overridden:
         for axis in spec.sweep:
             if (axis == "simulate"
@@ -627,10 +665,20 @@ def sim_main(argv: Optional[List[str]] = None) -> int:
                 return _fail(
                     f"{flag} conflicts with the spec's sweep axis "
                     f"{axis!r} — drop the flag or remove the axis")
+    for flag, leaf in online_overridden:
+        for axis in spec.sweep:
+            if (axis == "online"
+                    or axis == f"online.{leaf}"
+                    or axis.startswith(f"online.{leaf}.")):
+                return _fail(
+                    f"{flag} conflicts with the spec's sweep axis "
+                    f"{axis!r} — drop the flag or remove the axis")
     if perturb:
         block["perturb"] = perturb
     if block:
         doc["simulate"] = block
+    if online_block:
+        doc["online"] = online_block
     try:
         spec = validate_spec(doc)
         compiled = compile_scenario(spec, full=True if args.full else None)

@@ -125,7 +125,8 @@ class SchedulerPurity(Rule):
     code = "RPR001"
     name = "scheduler-purity"
 
-    SCOPE_DIRS = ("repro/algorithms/", "repro/duplication/")
+    SCOPE_DIRS = ("repro/algorithms/", "repro/duplication/",
+                  "repro/sim/online/")
     SCOPE_FILES = ("repro/core/listsched.py", "repro/core/kernel.py")
 
     PARAM_TYPES = ("TaskGraph", "Machine", "NetworkMachine")

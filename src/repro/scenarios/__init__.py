@@ -24,6 +24,8 @@ from .compile import (
     Variant,
     adv_tables,
     compile_scenario,
+    online_counterpart,
+    online_tables,
     run_adv_scenario,
     run_scenario,
     run_sim_scenario,
@@ -64,4 +66,6 @@ __all__ = [
     "scenario_tables",
     "sim_tables",
     "adv_tables",
+    "online_counterpart",
+    "online_tables",
 ]

@@ -207,7 +207,23 @@ SCENARIOS: Dict[str, dict] = {
                         "steps": 60, "chains": 2,
                         "temperature": 0.02, "cooling": 0.97, "seed": 7},
     },
-    # 14 — the nightly reduced full grid (all 15 algorithms, RGNOS).
+    # 14 — online execution under partial information.
+    "online-gap": {
+        "name": "online-gap",
+        "description": "The six BNP designs re-run event-driven under "
+                       "partial information: what do blind, mean and "
+                       "noisy-user estimates cost against the static "
+                       "full-information schedule, and does the "
+                       "paper's ranking survive?",
+        "graphs": {"generator": "rgnos", "sizes": [40],
+                   "ccrs": [1.0, 10.0], "parallelisms": [3], "seed": 163},
+        "algorithms": [{"class": "BNP"}],
+        "machine": {"bnp_procs": 8},
+        "metrics": ["length", "nsl"],
+        "online": {"imodes": ["exact", "blind", "mean", "user"],
+                   "seed": 9},
+    },
+    # 15 — the nightly reduced full grid (all 15 algorithms, RGNOS).
     "nightly-grid": {
         "name": "nightly-grid",
         "description": "Reduced paper-style grid: all 15 algorithms on "
@@ -218,7 +234,7 @@ SCENARIOS: Dict[str, dict] = {
                        {"class": "APN"}],
         "metrics": ["length", "nsl", "procs_used", "runtime_s"],
     },
-    # 15 — the component space: synthesized schedulers vs the paper's six.
+    # 16 — the component space: synthesized schedulers vs the paper's six.
     "component-grid": {
         "name": "component-grid",
         "description": "Cartesian sweep of list-scheduler components "

@@ -33,6 +33,9 @@ Document shape
         "pair": ["LAST", "MCP"], "objective": "ratio",
         "steps": 150, "chains": 4, "temperature": 0.02, "seed": 5
       },
+      "online": {                           # optional: information modes
+        "imodes": ["exact", "mean", "blind"], "seed": 9
+      },
       "sweep": {"machine.bnp_procs": [2, 4, 8]}   # cartesian product
     }
 
@@ -515,7 +518,46 @@ def _validate_adversarial(data, path: str = "adversarial"
     return out
 
 
-_SWEEPABLE_ROOTS = ("machine", "graphs", "simulate", "adversarial")
+def _validate_online(data, path: str = "online") -> Dict[str, Any]:
+    """Schema-check an ``online:`` block (the information-mode axis).
+
+    The block asks the scenario to re-run every (component-expressible)
+    algorithm *event-driven* under partial information
+    (:mod:`repro.sim.online`): each selected information mode adds the
+    algorithms' ``online:`` counterparts to the grid beside the static
+    originals, so one run prices what blind/mean/user estimates cost.
+    """
+    from ..sim.online import IMODES
+
+    data = dict(_expect_mapping(data, path))
+    out: Dict[str, Any] = {}
+    if "imodes" in data:
+        imodes = data.pop("imodes")
+        _expect(isinstance(imodes, Sequence) and not isinstance(imodes, str)
+                and len(imodes) > 0, f"{path}.imodes",
+                "expected a non-empty list of information modes")
+        seen = []
+        for i, item in enumerate(imodes):
+            _expect(isinstance(item, str) and item.lower() in IMODES,
+                    f"{path}.imodes[{i}]",
+                    f"unknown information mode {item!r}; expected one of "
+                    f"{', '.join(IMODES)}")
+            if item.lower() not in seen:
+                seen.append(item.lower())
+        out["imodes"] = seen
+    if "seed" in data:
+        seed = data.pop("seed")
+        _expect(isinstance(seed, int) and not isinstance(seed, bool)
+                and seed >= 0, f"{path}.seed",
+                "expected a non-negative integer")
+        out["seed"] = seed
+    _expect(not data, path,
+            f"unknown keys: {', '.join(sorted(map(str, data)))}")
+    return out
+
+
+_SWEEPABLE_ROOTS = ("machine", "graphs", "simulate", "adversarial",
+                    "online")
 
 
 def _validate_sweep(data, path: str = "sweep") -> Dict[str, Tuple]:
@@ -556,6 +598,7 @@ class ScenarioSpec:
     sweep: Mapping[str, Tuple] = field(default_factory=dict)
     simulate: Mapping[str, Any] = field(default_factory=dict)
     adversarial: Mapping[str, Any] = field(default_factory=dict)
+    online: Mapping[str, Any] = field(default_factory=dict)
 
     @property
     def algorithm_names(self) -> Tuple[str, ...]:
@@ -583,6 +626,8 @@ class ScenarioSpec:
             doc["simulate"] = _plain(self.simulate)
         if self.adversarial:
             doc["adversarial"] = _plain(self.adversarial)
+        if self.online:
+            doc["online"] = _plain(self.online)
         if self.sweep:
             doc["sweep"] = {k: _plain(list(v))
                             for k, v in self.sweep.items()}
@@ -624,6 +669,8 @@ def validate_spec(data: Mapping) -> ScenarioSpec:
                 if "simulate" in data else {})
     adversarial = (_validate_adversarial(data.pop("adversarial"))
                    if "adversarial" in data else {})
+    online = (_validate_online(data.pop("online"))
+              if "online" in data else {})
     sweep = (_validate_sweep(data.pop("sweep"))
              if "sweep" in data else {})
     _expect(not data, "",
@@ -632,9 +679,11 @@ def validate_spec(data: Mapping) -> ScenarioSpec:
         name=name, graphs=graphs, algorithms=algorithms,
         description=description, machine=machine, metrics=metrics,
         sweep=sweep, simulate=simulate, adversarial=adversarial,
+        online=online,
     )
     _check_variants(spec)
     _check_speed_algorithms(spec)
+    _check_online_algorithms(spec)
     return spec
 
 
@@ -700,6 +749,28 @@ def _check_speed_algorithms(spec: ScenarioSpec) -> None:
             "heterogeneous speeds apply only to BNP algorithms, but the "
             f"scenario also selects {', '.join(non_bnp)} — drop them or "
             "the speeds")
+
+
+def _check_online_algorithms(spec: ScenarioSpec) -> None:
+    """An ``online:`` block needs component-expressible algorithms.
+
+    Only schedulers with a four-axis component decomposition (the six
+    named BNP designs and every ``param:`` spec) have online
+    counterparts; explicit ``online:`` names are rejected because the
+    block would duplicate them per information mode.
+    """
+    if not spec.online:
+        return
+    from ..algorithms.components import BNP_SPECS
+
+    bad = [n for n in spec.algorithm_names
+           if n.upper() not in BNP_SPECS
+           and not n.lower().startswith("param:")]
+    _expect(not bad, "online",
+            "online counterparts exist only for component-expressible "
+            "schedulers (the named BNP designs and 'param:' specs), but "
+            f"the scenario also selects {', '.join(bad)} — drop them or "
+            "the online block")
 
 
 # ----------------------------------------------------------------------

@@ -17,7 +17,11 @@ rankings) hold up:
 * :mod:`repro.sim.robustness` — Monte-Carlo makespan distributions,
   degradation vs prediction, schedule slack, robustness rankings;
 * :mod:`repro.sim.bench` — ``SimConfig`` + the parallel, persisted,
-  resumable sim grid (cells cached by combined bench|sim fingerprint).
+  resumable sim grid (cells cached by combined bench|sim fingerprint);
+* :mod:`repro.sim.online` — the event-driven *online* engine: mutable
+  queues, placement directives, information modes (``exact`` / ``mean``
+  / ``blind`` / ``user``) and the predictive-reactive
+  ``online:<spec>`` schedulers that replan when reality deviates.
 
 >>> from repro import Machine, get_scheduler
 >>> from repro.generators.random_graphs import rgnos_graph
@@ -34,6 +38,17 @@ CLI: ``python -m repro.bench sim run/compare`` (see README).
 
 from .bench import SimConfig, run_sim_grid, sim_store
 from .engine import SimResult, simulate
+from .online import (
+    IMODES,
+    OnlinePolicy,
+    OnlineResult,
+    OnlineScheduler,
+    OnlineSchedulerSpec,
+    PlanRescheduler,
+    observe,
+    parse_online_spec,
+    simulate_online,
+)
 from .netmodel import (
     NETWORK_KINDS,
     ContentionNetwork,
@@ -61,6 +76,15 @@ from .robustness import (
 __all__ = [
     "simulate",
     "SimResult",
+    "IMODES",
+    "OnlinePolicy",
+    "OnlineResult",
+    "OnlineScheduler",
+    "OnlineSchedulerSpec",
+    "PlanRescheduler",
+    "observe",
+    "parse_online_spec",
+    "simulate_online",
     "NETWORK_KINDS",
     "NetworkModel",
     "InstantNetwork",

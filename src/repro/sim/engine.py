@@ -45,7 +45,7 @@ from typing import List, Optional
 from ..check import sanitize as _sanitize
 from ..core.exceptions import ScheduleError
 from ..core.rng import SeedLike, as_generator
-from ..core.schedule import Schedule
+from ..core.schedule import Schedule, Violation, render_violations
 from .netmodel import NetworkModel, replay_network
 from .perturb import DETERMINISTIC, PerturbationModel
 
@@ -53,6 +53,45 @@ __all__ = ["SimResult", "simulate"]
 
 _FINISH = 0
 _ARRIVAL = 1
+
+
+def _resolve_edge(missing: List[int], ready_time: List[float],
+                  child: int, when: float) -> bool:
+    """One input of ``child`` became available at time ``when``.
+
+    Decrements the outstanding-input count and advances the child's
+    data-ready time; returns ``True`` when the last input just landed
+    (the caller may then try to start the child's processor).  Shared
+    by the static replay loop below and the online engine
+    (:mod:`repro.sim.online`), so the two agree on edge bookkeeping.
+    """
+    missing[child] -= 1
+    if when > ready_time[child]:
+        ready_time[child] = when
+    return missing[child] == 0
+
+
+def _stall_violations(graph, executed: Schedule, sequences: List[List[int]],
+                      next_idx: List[int]) -> List[Violation]:
+    """Diagnose a stalled replay: who is blocked, on which inputs.
+
+    At stall time the event heap is empty, so every finished task has
+    delivered all its edges — a head task's outstanding inputs are
+    exactly its predecessors that never executed.
+    """
+    done = {v for v in range(graph.num_nodes) if executed.is_scheduled(v)}
+    violations = []
+    for p, seq in enumerate(sequences):
+        if next_idx[p] >= len(seq):
+            continue
+        head = seq[next_idx[p]]
+        waiting = [u for u in graph.pred_pairs(head)[0] if u not in done]
+        violations.append(Violation(
+            code="stalled",
+            message=f"head task waits on unexecuted predecessor(s) "
+                    f"{waiting}",
+            node=head, proc=p))
+    return violations
 
 
 @dataclass
@@ -72,9 +111,19 @@ class SimResult:
 
     @property
     def degradation_pct(self) -> float:
-        """Executed makespan over predicted, as a percentage change."""
+        """Executed makespan over predicted, as a percentage change.
+
+        A zero (or negative) predicted makespan is only legitimate for
+        an empty graph — on any real schedule it means the prediction
+        is corrupt, and reporting "no degradation" would hide that.
+        """
         if self.predicted <= 0:
-            return 0.0
+            if self.schedule.graph.num_nodes == 0:
+                return 0.0
+            raise ScheduleError(
+                f"predicted makespan {self.predicted!r} is not positive "
+                f"for a {self.schedule.graph.num_nodes}-node graph — "
+                "corrupt prediction, degradation undefined")
         return 100.0 * (self.makespan - self.predicted) / self.predicted
 
 
@@ -165,12 +214,11 @@ def simulate(schedule: Schedule,
                 dst = proc_of[child]
                 if dst == p:
                     # Local data is available immediately; no event
-                    # needed — resolve in place.
-                    missing[child] -= 1
-                    if now > ready_time[child]:
-                        ready_time[child] = now
-                    if missing[child] == 0:
-                        try_start(dst)
+                    # needed — resolve in place.  Starting the child is
+                    # left to the single trailing try_start(p): dst == p
+                    # here, so the head is re-tried exactly once per
+                    # finish event.
+                    _resolve_edge(missing, ready_time, child, now)
                 else:
                     # Every cross-processor edge goes through the
                     # backend, zero-cost ones included: a backend with
@@ -186,16 +234,15 @@ def simulate(schedule: Schedule,
             try_start(p)
         else:  # _ARRIVAL
             child = payload
-            missing[child] -= 1
-            if now > ready_time[child]:
-                ready_time[child] = now
-            if missing[child] == 0:
+            if _resolve_edge(missing, ready_time, child, now):
                 try_start(proc_of[child])
 
     if not executed.is_complete():
+        table = render_violations(
+            _stall_violations(graph, executed, sequences, next_idx))
         raise ScheduleError(
             "replay stalled before completing the schedule "
-            "(inconsistent processor sequences)")
+            "(inconsistent processor sequences):\n" + table)
     return SimResult(
         schedule=executed,
         predicted=schedule.length,

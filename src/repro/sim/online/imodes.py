@@ -1,0 +1,75 @@
+"""Information modes: what the online scheduler observes.
+
+The simulator always *charges* the true (possibly noise-perturbed)
+durations and message latencies; the scheduler *plans* from an observed
+view of the graph filtered by the information mode (the estee taxonomy
+of Beránek et al.):
+
+``exact``
+    Perfect information — the observed graph *is* the input graph
+    (the same object, bit-identical weights), so a zero-noise run
+    plans exactly what it executes.
+``blind``
+    No information: every task duration and every comm cost observes
+    as the uniform placeholder ``1.0`` — priorities degenerate to the
+    graph's structure alone.
+``mean``
+    Aggregate information: every task observes the mean computation
+    cost, every edge the mean communication cost — sizes are known
+    "on average" but not per task.
+``user``
+    User-supplied estimates: true costs perturbed by a mean-1
+    lognormal factor per task and per edge, drawn from a seeded
+    stream — plausible, individually wrong guesses.
+"""
+
+from __future__ import annotations
+
+from ...core.graph import TaskGraph
+from ...core.rng import SeedLike, as_generator
+from ..perturb import Dist
+
+__all__ = ["IMODES", "observe"]
+
+#: Recognised information modes, in documentation order.
+IMODES = ("exact", "blind", "mean", "user")
+
+#: Spread of the synthetic ``user`` estimate error (mean-1 lognormal).
+USER_SIGMA = 0.3
+
+
+def observe(graph: TaskGraph, imode: str, rng: SeedLike = None) -> TaskGraph:
+    """The graph as an online scheduler sees it under ``imode``.
+
+    ``exact`` returns ``graph`` itself; every other mode builds a fresh
+    :class:`~repro.core.graph.TaskGraph` (same nodes and edges, filtered
+    weights) named ``<name>@<imode>``.  ``rng`` seeds the ``user``
+    estimate stream and is ignored by the deterministic modes; the draw
+    order is fixed (all task factors, then all edge factors in
+    :meth:`~repro.core.graph.TaskGraph.edges` order), so an observed
+    graph is a pure function of ``(graph, imode, seed)``.
+    """
+    if imode == "exact":
+        return graph
+    n = graph.num_nodes
+    edges = graph.edges()
+    if imode == "blind":
+        weights = [1.0] * n
+        obs_edges = {(u, v): 1.0 for u, v, _ in edges}
+    elif imode == "mean":
+        mean_w = graph.total_computation / n if n else 1.0
+        mean_c = graph.total_communication / len(edges) if edges else 0.0
+        weights = [mean_w] * n
+        obs_edges = {(u, v): mean_c for u, v, _ in edges}
+    elif imode == "user":
+        gen = as_generator(rng)
+        dist = Dist("lognormal", USER_SIGMA)
+        wf = dist.sample(gen, n)
+        cf = dist.sample(gen, len(edges))
+        weights = [graph.weight(v) * float(wf[v]) for v in range(n)]
+        obs_edges = {(u, v): c * float(cf[i])
+                     for i, (u, v, c) in enumerate(edges)}
+    else:
+        raise ValueError(f"unknown information mode {imode!r}; "
+                         f"known: {', '.join(IMODES)}")
+    return TaskGraph(weights, obs_edges, name=f"{graph.name}@{imode}")

@@ -1,0 +1,133 @@
+"""``online:`` specs: naming and parsing online scheduler configs.
+
+An :class:`OnlineSchedulerSpec` is a :class:`~repro.algorithms
+.components.spec.SchedulerSpec` coordinate plus the information mode
+the planner observes the graph through.  Its canonical string
+
+    ``online:prio=<rule>,ready=<policy>,proc=<selector>,``
+    ``insert=<policy>,imode=<mode>[,seed=<n>]``
+
+is — like ``param:`` — simultaneously the scheduler's registry-facing
+*name*, its cache *fingerprint* and the grammar
+:func:`repro.get_scheduler` accepts.  ``seed`` feeds the ``user``
+estimate stream only; for the deterministic modes it is normalised to
+0 and omitted from the canonical spelling, so two spellings of the
+same configuration can never produce two cache keys.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ...algorithms.components.spec import AXES, BNP_SPECS, SchedulerSpec
+from .imodes import IMODES
+
+__all__ = ["ONLINE_PREFIX", "OnlineSchedulerSpec", "parse_online_spec"]
+
+ONLINE_PREFIX = "online:"
+
+
+@dataclass(frozen=True)
+class OnlineSchedulerSpec:
+    """One online scheduler: component coordinate + information mode."""
+
+    prio: str = "slevel"
+    ready: str = "prio"
+    proc: str = "est"
+    insert: str = "off"
+    imode: str = "exact"
+    seed: int = 0
+
+    def __post_init__(self):
+        # Component axes validate and normalise through the param-spec
+        # dataclass itself, so the two grammars can never drift.
+        base = SchedulerSpec(self.prio, self.ready, self.proc, self.insert)
+        for axis in AXES:
+            object.__setattr__(self, axis, getattr(base, axis))
+        imode = str(self.imode).lower()
+        if imode not in IMODES:
+            raise ValueError(f"unknown information mode {self.imode!r}; "
+                             f"known: {', '.join(IMODES)}")
+        object.__setattr__(self, "imode", imode)
+        seed = int(self.seed)
+        if seed < 0:
+            raise ValueError(f"online spec seed must be >= 0, got {seed}")
+        # Only the user mode draws estimates; normalising the seed away
+        # everywhere else keeps canonical() a true identity.
+        object.__setattr__(self, "seed", seed if imode == "user" else 0)
+
+    def base(self) -> SchedulerSpec:
+        """The underlying static component coordinate."""
+        return SchedulerSpec(self.prio, self.ready, self.proc, self.insert)
+
+    def canonical(self) -> str:
+        """The spec's one true spelling — also its name and fingerprint."""
+        text = (f"{ONLINE_PREFIX}prio={self.prio},ready={self.ready},"
+                f"proc={self.proc},insert={self.insert},imode={self.imode}")
+        if self.imode == "user":
+            text += f",seed={self.seed}"
+        return text
+
+    def fingerprint(self) -> str:
+        """Cache identity: equal fingerprints schedule identically."""
+        return self.canonical()
+
+    def components(self) -> Dict[str, object]:
+        """Axis name -> resolved component object, in canonical order."""
+        return self.base().components()
+
+
+def parse_online_spec(text: str) -> OnlineSchedulerSpec:
+    """Parse an ``online:`` spec string to an :class:`OnlineSchedulerSpec`.
+
+    Accepts the canonical grammar in any case and field order, with
+    unmentioned fields falling back to their defaults, plus the named
+    shorthands ``online:hlfet`` ... ``online:last`` for the paper's six
+    BNP designs — optionally followed by ``imode=``/``seed=`` (or axis
+    overrides): ``online:mcp,imode=mean``.
+    """
+    body = text.strip()
+    if body.lower().startswith(ONLINE_PREFIX):
+        body = body[len(ONLINE_PREFIX):]
+    body = body.strip()
+    if not body:
+        raise ValueError(
+            f"empty online spec {text!r}; expected "
+            f"{ONLINE_PREFIX}prio=...,ready=...,proc=...,insert=...,"
+            f"imode=... or {ONLINE_PREFIX}<acronym>[,imode=...]")
+    parts = body.split(",")
+    values: Dict[str, str] = {}
+    if "=" not in parts[0]:
+        acro = parts[0].strip().upper()
+        if acro not in BNP_SPECS:
+            known = ", ".join(sorted(BNP_SPECS))
+            raise ValueError(f"unknown named online spec {parts[0].strip()!r} "
+                             f"in {text!r}; known: {known}")
+        base = BNP_SPECS[acro]
+        values.update({axis: getattr(base, axis) for axis in AXES})
+        parts = parts[1:]
+    fields = (*AXES, "imode", "seed")
+    assigned: Dict[str, str] = {}
+    for part in parts:
+        field, sep, value = part.partition("=")
+        field = field.strip().lower()
+        value = value.strip()
+        if not sep or not value:
+            raise ValueError(f"malformed assignment {part!r} in {text!r}; "
+                             "expected field=value")
+        if field not in fields:
+            raise ValueError(f"unknown online-spec field {field!r} in "
+                             f"{text!r}; known: {', '.join(fields)}")
+        if field in assigned:
+            raise ValueError(f"duplicate field {field!r} in {text!r}")
+        assigned[field] = value
+    values.update(assigned)
+    seed_text = values.pop("seed", "0")
+    try:
+        seed = int(seed_text)
+    except ValueError:
+        raise ValueError(
+            f"online spec seed must be an integer, got {seed_text!r}"
+        ) from None
+    return OnlineSchedulerSpec(seed=seed, **values)

@@ -28,6 +28,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..core.exceptions import ScheduleError
 from ..core.rng import derive_rng
 from ..core.schedule import Schedule
 from ..metrics.ranking import average_ranks
@@ -159,7 +160,17 @@ def monte_carlo(schedule: Schedule,
     p95 = float(np.percentile(makespans, 95))
 
     def degr(x: float) -> float:
-        return 100.0 * (x - predicted) / predicted if predicted > 0 else 0.0
+        # Mirrors SimResult.degradation_pct: a non-positive prediction
+        # is only valid for an empty graph; anywhere else it is corrupt
+        # input, not "zero degradation".
+        if predicted <= 0:
+            if schedule.graph.num_nodes == 0:
+                return 0.0
+            raise ScheduleError(
+                f"predicted makespan {predicted!r} is not positive for "
+                f"a {schedule.graph.num_nodes}-node graph — corrupt "
+                "prediction, degradation undefined")
+        return 100.0 * (x - predicted) / predicted
 
     row = RobustnessRow(
         algorithm=algorithm,

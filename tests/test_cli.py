@@ -387,3 +387,61 @@ class TestAlgoVerbs:
         err = capsys.readouterr().err
         assert "bogus" in err
         assert len(err.strip().splitlines()) == 1
+
+
+class TestOnlineCLI:
+    """The online information-mode axis through the CLI surfaces."""
+
+    def _spec(self, tmp_path, **extra):
+        doc = {"name": "cli-online",
+               "graphs": {"generator": "rgnos", "sizes": [12],
+                          "ccrs": [1.0], "parallelisms": [3], "seed": 5},
+               "algorithms": ["MCP"],
+               "machine": {"bnp_procs": 2},
+               "metrics": ["length"]}
+        doc.update(extra)
+        path = tmp_path / "online.json"
+        path.write_text(json.dumps(doc))
+        return str(path)
+
+    def test_scenario_run_emits_online_table(self, tmp_path, capsys):
+        path = self._spec(tmp_path, online={"imodes": ["exact"]})
+        assert main(["scenario", "run", path, "--no-store"]) == 0
+        out = capsys.readouterr().out
+        assert "online:cli-online" in out
+        assert "rank(online)" in out
+
+    def test_sim_imode_flag_adds_online_counterparts(self, tmp_path,
+                                                     capsys):
+        path = self._spec(tmp_path)
+        assert main(["sim", "run", path, "--imode", "blind",
+                     "--trials", "2", "--no-store"]) == 0
+        out = capsys.readouterr().out
+        assert "imode=blind" in out
+
+    def test_sim_imode_conflicts_with_online_sweep(self, tmp_path,
+                                                   capsys):
+        path = self._spec(
+            tmp_path, online={"imodes": ["exact"]},
+            sweep={"online.imodes": [["exact"], ["blind"]]})
+        assert main(["sim", "run", path, "--imode", "blind",
+                     "--no-store"]) == 2
+        assert "online.imodes" in capsys.readouterr().err
+
+    def test_sim_bad_imode_named(self, tmp_path, capsys):
+        path = self._spec(tmp_path)
+        assert main(["sim", "run", path, "--imode", "psychic",
+                     "--no-store"]) == 2
+        assert "information mode" in capsys.readouterr().err
+
+    def test_algo_list_mentions_online_grammar(self, capsys):
+        assert main(["algo", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "online:" in out
+        assert "imode" in out
+
+    def test_algo_describe_online_spec(self, capsys):
+        assert main(["algo", "describe", "online:mcp,imode=mean"]) == 0
+        out = capsys.readouterr().out
+        assert "information mode: mean" in out
+        assert "equivalent monolith: MCP" in out

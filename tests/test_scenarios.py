@@ -433,3 +433,74 @@ class TestLinkBandwidth:
                 run_one("MH", g,
                         config=BenchConfig(apn_topology=topo)).length)
         assert lengths[0] > lengths[1]
+
+
+# ----------------------------------------------------------------------
+# the online information-mode axis
+# ----------------------------------------------------------------------
+class TestOnlineBlock:
+    def test_round_trips_and_canonicalises(self):
+        doc = spec_of(online={"imodes": ["Mean", "exact", "mean"],
+                              "seed": 4})
+        spec = validate_spec(doc)
+        assert spec.online == {"imodes": ["mean", "exact"], "seed": 4}
+        assert validate_spec(spec.to_dict()).online == spec.online
+
+    @pytest.mark.parametrize("block, needle", [
+        ({"imodes": ["psychic"]}, "information mode"),
+        ({"imodes": []}, "non-empty"),
+        ({"seed": -1}, "non-negative"),
+        ({"modes": ["exact"]}, "unknown keys"),
+    ])
+    def test_bad_blocks_named(self, block, needle):
+        with pytest.raises(SpecError, match=needle):
+            validate_spec(spec_of(online=block))
+
+    def test_requires_component_expressible_algorithms(self):
+        doc = spec_of(algorithms=["MCP", "DSC"],
+                      online={"imodes": ["exact"]})
+        with pytest.raises(SpecError, match="DSC"):
+            validate_spec(doc)
+
+    def test_online_is_sweepable(self):
+        doc = spec_of(online={"imodes": ["exact"]},
+                      sweep={"online.imodes": [["exact"], ["blind"]]})
+        spec = validate_spec(doc)
+        assert spec.num_variants() == 2
+
+    def test_compile_appends_online_counterparts(self):
+        from repro.scenarios import online_counterpart
+
+        doc = spec_of(algorithms=["MCP", "HLFET"],
+                      online={"imodes": ["exact", "blind"]})
+        compiled = compile_scenario(validate_spec(doc))
+        algos = compiled.variants[0].algorithms
+        assert algos[:2] == ("MCP", "HLFET")
+        for imode in ("exact", "blind"):
+            for alg in ("MCP", "HLFET"):
+                assert online_counterpart(alg, imode) in algos
+        assert len(algos) == 6
+
+    def test_online_gap_registered(self):
+        assert "online-gap" in scenario_names()
+        spec = get_scenario("online-gap")
+        assert spec.online["imodes"] == ["exact", "blind", "mean", "user"]
+
+    def test_run_and_table_exact_anchor(self):
+        from repro.scenarios import online_tables
+
+        doc = spec_of(
+            graphs={"generator": "rgnos", "sizes": [14], "ccrs": [1.0],
+                    "parallelisms": [3], "seed": 5},
+            algorithms=["MCP", "HLFET"],
+            machine={"bnp_procs": 4},
+            online={"imodes": ["exact", "mean"]})
+        result = run_scenario(compile_scenario(validate_spec(doc)))
+        table = online_tables(result)
+        rows = {(r[1], r[2]): r for r in table.rows}
+        # Zero noise + exact mode reproduces the static schedule, so
+        # gap% and rank shift are exactly zero for every algorithm.
+        for alg in ("MCP", "HLFET"):
+            assert rows[(alg, "exact")][5] == "+0.00"
+            assert rows[(alg, "exact")][8] == "+0.00"
+        assert {r[2] for r in table.rows} == {"exact", "mean"}

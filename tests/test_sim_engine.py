@@ -302,3 +302,65 @@ class TestRngHelpers:
         d = derive_rng(2, "mc", "MCP", "g").integers(0, 1000, 5)
         assert (a == b).all()
         assert not (a == c).all() or not (a == d).all()
+
+
+# ----------------------------------------------------------------------
+# degradation contract and stall diagnostics
+# ----------------------------------------------------------------------
+class TestDegradationContract:
+    def test_zero_for_exact_replay(self):
+        res = simulate(_schedule())
+        assert res.degradation_pct == pytest.approx(0.0)
+
+    def test_corrupt_prediction_raises_instead_of_zero(self):
+        # A non-positive prediction for a real graph is corrupt input;
+        # returning 0.0 would silently report "no degradation".
+        from repro.sim.engine import SimResult
+
+        base = simulate(_schedule())
+        corrupt = SimResult(schedule=base.schedule, predicted=0.0,
+                            makespan=base.makespan,
+                            num_events=base.num_events)
+        with pytest.raises(ScheduleError, match="not positive"):
+            corrupt.degradation_pct
+        negative = SimResult(schedule=base.schedule, predicted=-1.0,
+                             makespan=base.makespan,
+                             num_events=base.num_events)
+        with pytest.raises(ScheduleError, match="not positive"):
+            negative.degradation_pct
+
+
+class TestStallDiagnostics:
+    def test_stall_error_names_task_processor_and_inputs(self):
+        # A chain placed in reverse order on one processor can never
+        # replay: the head waits forever on its unexecuted predecessor.
+        from repro import TaskGraph
+
+        g = TaskGraph([2.0, 3.0], {(0, 1): 1.0}, name="reversed-chain")
+        sched = Schedule(g, 1)
+        sched.place(1, 0, 0.0)
+        sched.place(0, 0, 3.0)
+        with pytest.raises(ScheduleError) as err:
+            simulate(sched)
+        text = str(err.value)
+        assert "replay stalled" in text
+        assert "stalled" in text and "P0" in text
+        assert "[0]" in text  # the blocking predecessor, by name
+
+
+class TestEventCountPins:
+    """The event loop emits exactly one FINISH per task and one ARRIVAL
+    per cross-processor edge — pinned so refactors of the re-entry
+    points cannot silently double-process events."""
+
+    @pytest.mark.parametrize("alg", ["HLFET", "MCP", "ETF"])
+    def test_event_counts_on_golden_corpus(self, alg):
+        from differential_corpus import build_machine, corpus_graphs
+
+        for graph in list(corpus_graphs())[:10]:
+            machine = build_machine("p4", graph)
+            sched = get_scheduler(alg).schedule(graph, machine)
+            res = simulate(sched)
+            cross = sum(1 for u, v, _ in graph.edges()
+                        if sched.proc_of(u) != sched.proc_of(v))
+            assert res.num_events == graph.num_nodes + cross, graph.name

@@ -181,3 +181,19 @@ class TestSimGrid:
         cfg = SimConfig(network="contention")
         with pytest.raises(ValueError, match="contention topology"):
             cfg.network_for(sched, BenchConfig())
+
+
+class TestDegrContract:
+    def test_corrupt_prediction_raises_in_monte_carlo(self, monkeypatch):
+        # monte_carlo's degradation helper mirrors
+        # SimResult.degradation_pct: a non-positive predicted makespan
+        # for a non-empty graph must raise, never report 0.0.
+        from repro.core.exceptions import ScheduleError
+
+        graph = rgnos_graph(12, 1.0, 2, seed=3)
+        sched = get_scheduler("MCP").schedule(graph,
+                                              Machine.unbounded(graph))
+        monkeypatch.setattr(Schedule, "length",
+                            property(lambda self: 0.0))
+        with pytest.raises(ScheduleError, match="not positive"):
+            monte_carlo(sched, trials=1, algorithm="MCP")
