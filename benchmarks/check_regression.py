@@ -17,6 +17,16 @@ adding a new case does not require touching two files in lockstep.
 ``--subset`` declares the run a deliberate slice (a CI job gating a
 single case): baselined benchmarks absent from the run are then not
 treated as lost coverage.
+
+``--manifest PATH`` additionally gates behaviour, not just speed: the
+``counters`` section of a ``trace.manifest.json`` recorded by a traced
+run (``repro-bench --trace ...``; see :mod:`repro.obs`) is compared
+*exactly* against the baseline's ``counters`` block — those counters
+(event counts, replans, migrations, heap pops, ...) are deterministic
+per spec and seed under any ``--jobs``, so any drift names the counter
+that moved and fails the gate.  The ``local`` manifest section
+(process-local cache effects) is deliberately not compared.
+``--update`` with ``--manifest`` refreshes the counter block too.
 """
 
 from __future__ import annotations
@@ -28,13 +38,54 @@ import sys
 DEFAULT_BASELINE = "benchmarks/baseline_smoke.json"
 
 
-def load_mins(path: str) -> dict:
+def load_doc(path: str) -> dict:
     with open(path) as fh:
-        doc = json.load(fh)
+        return json.load(fh)
+
+
+def load_mins(path: str) -> dict:
+    doc = load_doc(path)
     benches = doc.get("benchmarks", doc)  # baseline may be the flat map
     if isinstance(benches, dict):
         return {name: float(v) for name, v in benches.items()}
     return {b["name"]: float(b["stats"]["min"]) for b in benches}
+
+
+def load_counters(path: str) -> dict:
+    """The deterministic ``counters`` section of a trace manifest.
+
+    Accepts a ``trace.manifest.json`` or a flushed ``trace.json`` (whose
+    manifest is embedded under ``reproManifest``).
+    """
+    doc = load_doc(path)
+    if "reproManifest" in doc:
+        doc = doc["reproManifest"]
+    return {name: int(v) for name, v in (doc.get("counters") or {}).items()}
+
+
+def check_counters(current: dict, baseline: dict) -> list:
+    """Exact comparison; returns ``(name, detail)`` failures.
+
+    Mirrors the benchmark semantics: a NEW counter is reported but does
+    not fail (no two-file lockstep for new instrumentation); a changed
+    or vanished counter fails by name.
+    """
+    failures = []
+    for name in sorted(set(current) | set(baseline)):
+        cur, base = current.get(name), baseline.get(name)
+        if base is None:
+            print(f"  NEW  counter {name}: {cur} (not in baseline; "
+                  f"consider --update)")
+        elif cur is None:
+            print(f"  GONE counter {name}: in baseline ({base}) but not "
+                  "in this run")
+            failures.append((name, f"gone (baseline {base})"))
+        elif cur != base:
+            print(f"  FAIL counter {name}: {cur} vs baseline {base}")
+            failures.append((name, f"{cur} != {base}"))
+        else:
+            print(f"  ok   counter {name}: {cur}")
+    return failures
 
 
 def main(argv=None) -> int:
@@ -51,21 +102,39 @@ def main(argv=None) -> int:
                         help="the run deliberately covers a slice of "
                              "the baseline; absent benchmarks do not "
                              "fail the gate")
+    parser.add_argument("--manifest", default=None, metavar="PATH",
+                        help="trace.manifest.json (or flushed "
+                             "trace.json) from a traced run; its "
+                             "deterministic 'counters' section must "
+                             "match the baseline's exactly")
     args = parser.parse_args(argv)
 
     current = load_mins(args.current)
+    manifest_counters = (load_counters(args.manifest)
+                         if args.manifest else None)
     if args.update:
+        try:
+            prior = load_doc(args.baseline)
+        except FileNotFoundError:
+            prior = {}
         doc = {
             "_comment": "min times (s) from benchmarks/bench_smoke.py + "
                         "bench_kernel.py; regenerate with "
                         "check_regression.py --update",
             "benchmarks": {name: current[name] for name in sorted(current)},
         }
+        # Counters refresh only when a manifest is supplied; a plain
+        # timing update keeps the committed behaviour baseline.
+        counters = (manifest_counters if manifest_counters is not None
+                    else prior.get("counters"))
+        if counters:
+            doc["counters"] = {n: counters[n] for n in sorted(counters)}
         with open(args.baseline, "w") as fh:
             json.dump(doc, fh, indent=1)
             fh.write("\n")
         print(f"baseline updated: {args.baseline} "
-              f"({len(current)} benchmarks)")
+              f"({len(current)} benchmarks"
+              + (f", {len(counters)} counters" if counters else "") + ")")
         return 0
 
     try:
@@ -96,7 +165,20 @@ def main(argv=None) -> int:
         # it; rename/remove deliberately via --update.
         print(f"  GONE {name}: in baseline but not in this run")
 
-    if failures or missing:
+    counter_failures = []
+    if manifest_counters is not None:
+        baseline_counters = {
+            n: int(v)
+            for n, v in (load_doc(args.baseline).get("counters")
+                         or {}).items()}
+        if baseline_counters:
+            counter_failures = check_counters(manifest_counters,
+                                              baseline_counters)
+        else:
+            print("  (no counter baseline yet; rerun with --manifest "
+                  "--update to record one)")
+
+    if failures or missing or counter_failures:
         if failures:
             print(f"\n{len(failures)} benchmark(s) regressed beyond "
                   f"{args.threshold:.1f}x", file=sys.stderr)
@@ -104,9 +186,15 @@ def main(argv=None) -> int:
             print(f"\n{len(missing)} baselined benchmark(s) did not "
                   "run; update the baseline if this was deliberate",
                   file=sys.stderr)
+        if counter_failures:
+            names = ", ".join(name for name, _ in counter_failures)
+            print(f"\n{len(counter_failures)} deterministic counter(s) "
+                  f"drifted from the baseline: {names}", file=sys.stderr)
         return 1
     print(f"\nall {len(current)} benchmarks within "
-          f"{args.threshold:.1f}x of baseline")
+          f"{args.threshold:.1f}x of baseline"
+          + (f"; all {len(manifest_counters)} counters exact"
+             if manifest_counters is not None else ""))
     return 0
 
 

@@ -25,6 +25,7 @@ from typing import Dict, List, Optional, Type
 from ..core.graph import TaskGraph
 from ..core.machine import Machine, NetworkMachine
 from ..core.schedule import Schedule
+from ..obs import trace as _trace
 
 __all__ = [
     "Scheduler",
@@ -63,7 +64,9 @@ class Scheduler(abc.ABC):
     def schedule(self, graph: TaskGraph, machine: Machine) -> Schedule:
         """Produce a complete schedule of ``graph`` on ``machine``."""
         self._check_machine(machine)
-        sched = self._run(graph, machine)
+        with _trace.span("sched.schedule", algorithm=self.name,
+                         graph=graph.name, nodes=graph.num_nodes):
+            sched = self._run(graph, machine)
         if not sched.is_complete():
             raise RuntimeError(
                 f"{self.name} returned an incomplete schedule"

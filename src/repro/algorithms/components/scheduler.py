@@ -23,6 +23,8 @@ from ...core.graph import TaskGraph
 from ...core.listsched import ReadyTracker, best_proc_min_est
 from ...core.machine import Machine
 from ...core.schedule import Schedule
+from ...obs import metrics as _metrics
+from ...obs import trace as _trace
 from ..base import Scheduler
 from .pools import ReadyPool
 from .priorities import PriorityState
@@ -82,27 +84,29 @@ def run_component_loop(
     pools see them exactly as if the loop had chosen them.  With no
     pins this is byte-for-byte the static :class:`ParamScheduler` run.
     """
-    prio = parts["prio"].start(graph)
-    schedule = Schedule(graph, machine.num_procs, speeds=machine.speeds)
-    ready = ReadyTracker(graph)
-    pool = parts["ready"].start(ready, prio)
-    for node, proc, start, duration in pinned:
-        schedule.place(node, proc, start, duration=duration)
-        _settle(ready, prio, pool, node)
-    selector = parts["proc"]
-    slot = parts["insert"].slot
-    hole = parts["insert"].hole_fill
-    gap_begin = 0.0
-    while not ready.all_scheduled():
-        node, proc, start = selector.pick(schedule, ready, pool,
-                                          prio, slot)
-        if hole:
-            gap_begin = schedule.proc_ready_time(proc)
-        schedule.place(node, proc, start)
-        _settle(ready, prio, pool, node)
-        if hole:
-            _fill_hole(schedule, ready, pool, prio, proc,
-                       gap_begin, start)
+    with _trace.span("sched.component_loop", graph=graph.name,
+                     nodes=graph.num_nodes, pinned=len(pinned)):
+        prio = parts["prio"].start(graph)
+        schedule = Schedule(graph, machine.num_procs, speeds=machine.speeds)
+        ready = ReadyTracker(graph)
+        pool = parts["ready"].start(ready, prio)
+        for node, proc, start, duration in pinned:
+            schedule.place(node, proc, start, duration=duration)
+            _settle(ready, prio, pool, node)
+        selector = parts["proc"]
+        slot = parts["insert"].slot
+        hole = parts["insert"].hole_fill
+        gap_begin = 0.0
+        while not ready.all_scheduled():
+            node, proc, start = selector.pick(schedule, ready, pool,
+                                              prio, slot)
+            if hole:
+                gap_begin = schedule.proc_ready_time(proc)
+            schedule.place(node, proc, start)
+            _settle(ready, prio, pool, node)
+            if hole:
+                _fill_hole(schedule, ready, pool, prio, proc,
+                           gap_begin, start)
     return schedule
 
 
@@ -147,6 +151,7 @@ def _fill_hole(schedule: Schedule, ready: ReadyTracker, pool: ReadyPool,
             if cand_start > elsewhere + 1e-9:
                 continue
             schedule.place(cand, proc, cand_start)
+            _metrics.incr("sched.insertion_holes")
             _settle(ready, prio, pool, cand)
             gap_begin = cand_start + cand_dur
             placed_any = True

@@ -59,6 +59,19 @@ environment) arms the runtime sanitizer for any verb: TaskGraph /
 Schedule arrays are frozen and kernel/simulator assertion hooks check
 CSR round-trips, timeline ordering and event-heap monotonicity.
 
+The global ``--trace[=PATH]`` flag (equivalent to ``REPRO_TRACE=1``,
+plus ``REPRO_TRACE_PATH`` for the ``=PATH`` form) arms the tracing and
+metrics layer (:mod:`repro.obs`) for any verb: scheduler spans, kernel
+counters and executed sim/online timelines are recorded — worker
+processes included — and flushed after the verb as a Perfetto-loadable
+``trace.json`` plus a ``trace.manifest.json`` run summary.  The
+companion verbs read those files back::
+
+    repro-bench --trace sim run online-gap --no-store
+    repro-bench trace show            # manifest summary
+    repro-bench trace export --out clean.json   # viewer-ready document
+    repro-bench profile --top 15      # self-time table
+
 Reduced-scale suites run in seconds; ``--full`` (or ``REPRO_FULL=1``)
 switches to the paper's exact grids.
 
@@ -96,9 +109,12 @@ import sys
 from typing import Callable, Dict, List, Optional
 
 from . import figures, tables
+from ..obs import report as _obs_report
+from ..obs import trace as _trace
 from .store import OptimaStore, ResultStore, ensure_writable
 
-__all__ = ["main", "algo_main", "scenario_main", "sim_main", "adv_main"]
+__all__ = ["main", "algo_main", "scenario_main", "sim_main", "adv_main",
+           "trace_main", "profile_main"]
 
 
 def _fail(message: str) -> int:
@@ -205,19 +221,21 @@ def main(argv: Optional[List[str]] = None) -> int:
         # that inherit the environment) before any verb touches data.
         argv = [a for a in argv if a != "--sanitize"]
         os.environ["REPRO_SANITIZE"] = "1"
+    kept = []
+    for arg in argv:
+        # Arm the tracing layer (repro.obs) the same way; workers
+        # inherit the environment, so per-cell spans and counters are
+        # recorded wherever the cell runs.
+        if arg == "--trace":
+            os.environ[_trace.ENV_VAR] = "1"
+        elif arg.startswith("--trace="):
+            os.environ[_trace.ENV_VAR] = "1"
+            os.environ[_trace.ENV_PATH_VAR] = arg.split("=", 1)[1]
+        else:
+            kept.append(arg)
+    argv = kept
     try:
-        if argv and argv[0] == "check":
-            from ..check import check_main
-            return check_main(argv[1:])
-        if argv and argv[0] == "algo":
-            return algo_main(argv[1:])
-        if argv and argv[0] == "scenario":
-            return scenario_main(argv[1:])
-        if argv and argv[0] == "sim":
-            return sim_main(argv[1:])
-        if argv and argv[0] == "adv":
-            return adv_main(argv[1:])
-        return _artifact_main(argv)
+        code = _dispatch(argv)
     except BrokenPipeError:
         # Downstream pipe (e.g. `repro-bench ... | head`) closed early;
         # suppress the traceback and exit quietly like other CLIs.
@@ -226,6 +244,35 @@ def main(argv: Optional[List[str]] = None) -> int:
         except OSError:
             pass
         return 0
+    written = _obs_report.flush()
+    if written is not None:
+        trace_path, manifest_path = written
+        print(f"[trace written to {trace_path}; "
+              f"manifest: {manifest_path}]")
+        # One flush per invocation: repeated in-process main() calls
+        # (tests, notebooks) each write only their own data.
+        _trace.reset()
+    return code
+
+
+def _dispatch(argv: List[str]) -> int:
+    """Route one cleaned argv to its verb family."""
+    if argv and argv[0] == "check":
+        from ..check import check_main
+        return check_main(argv[1:])
+    if argv and argv[0] == "algo":
+        return algo_main(argv[1:])
+    if argv and argv[0] == "scenario":
+        return scenario_main(argv[1:])
+    if argv and argv[0] == "sim":
+        return sim_main(argv[1:])
+    if argv and argv[0] == "adv":
+        return adv_main(argv[1:])
+    if argv and argv[0] == "trace":
+        return trace_main(argv[1:])
+    if argv and argv[0] == "profile":
+        return profile_main(argv[1:])
+    return _artifact_main(argv)
 
 
 def _artifact_main(argv: List[str]) -> int:
@@ -708,6 +755,105 @@ def sim_main(argv: Optional[List[str]] = None) -> int:
           args.out, args.fmt)
     if store is not None:
         print(f"[{len(store)} sim rows persisted under {store.directory}]")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# trace / profile verbs
+# ----------------------------------------------------------------------
+def _load_trace_file(path: str):
+    """Read a trace.json (or bare manifest) -> ``(document, manifest)``.
+
+    A flushed ``trace.json`` embeds its manifest under ``reproManifest``
+    (extra top-level keys are ignored by Perfetto); a sibling
+    ``*.manifest.json`` is the manifest alone, in which case there is no
+    document.  Raises ``ValueError`` with a one-line diagnostic.
+    """
+    try:
+        with open(path) as fh:
+            data = json.load(fh)
+    except OSError as exc:
+        raise ValueError(
+            f"cannot read {path!r} ({exc.strerror or exc}) — record one "
+            "with --trace or REPRO_TRACE=1 first") from None
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"{path!r} is not valid JSON ({exc})") from None
+    if not isinstance(data, dict):
+        raise ValueError(f"{path!r} is neither a trace nor a manifest")
+    if "traceEvents" in data:
+        return data, data.get("reproManifest") or {}
+    if "schema" in data and "counters" in data:
+        return None, data
+    raise ValueError(f"{path!r} is neither a trace nor a manifest")
+
+
+def trace_main(argv: Optional[List[str]] = None) -> int:
+    """``repro-bench trace {show,export}``.
+
+    Post-mortem views of a recorded run: ``show`` prints the manifest
+    summary (counters, timelines, top self-time spans) embedded in a
+    flushed ``trace.json``; ``export`` re-emits the Perfetto document
+    alone — the manifest key stripped — for loading into
+    https://ui.perfetto.dev or ``chrome://tracing``.
+    """
+    parser = argparse.ArgumentParser(
+        prog="repro-bench trace",
+        description="Inspect or re-export a trace recorded with "
+                    "--trace / REPRO_TRACE=1 (see repro.obs).",
+    )
+    sub = parser.add_subparsers(dest="verb", required=True)
+    p_show = sub.add_parser(
+        "show", help="summarise a recorded trace's manifest")
+    p_show.add_argument("path", nargs="?", default="trace.json",
+                        help="trace.json or *.manifest.json "
+                             "(default: trace.json)")
+    p_exp = sub.add_parser(
+        "export", help="write the viewer-ready Perfetto document")
+    p_exp.add_argument("path", nargs="?", default="trace.json",
+                       help="recorded trace.json (default: trace.json)")
+    p_exp.add_argument("--out", default=None, metavar="PATH",
+                       help="output path (default: stdout)")
+    args = parser.parse_args(argv)
+
+    try:
+        doc, manifest = _load_trace_file(args.path)
+    except ValueError as exc:
+        return _fail(str(exc))
+    if args.verb == "show":
+        print(_obs_report.render_manifest(manifest))
+        return 0
+    if doc is None:
+        return _fail(f"{args.path!r} is a manifest without trace events "
+                     "— point at the trace.json")
+    doc = {k: v for k, v in doc.items() if k != "reproManifest"}
+    text = json.dumps(doc, indent=1)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(text + "\n")
+        print(f"[perfetto document written to {args.out}]")
+    else:
+        print(text)
+    return 0
+
+
+def profile_main(argv: Optional[List[str]] = None) -> int:
+    """``repro-bench profile``: the top-N self-time table of a trace."""
+    parser = argparse.ArgumentParser(
+        prog="repro-bench profile",
+        description="Print the self-time profile of a recorded trace "
+                    "(see repro.obs; record one with --trace).",
+    )
+    parser.add_argument("path", nargs="?", default="trace.json",
+                        help="trace.json or *.manifest.json "
+                             "(default: trace.json)")
+    parser.add_argument("--top", type=int, default=10, metavar="N",
+                        help="rows to print (default: 10)")
+    args = parser.parse_args(argv)
+    try:
+        _, manifest = _load_trace_file(args.path)
+    except ValueError as exc:
+        return _fail(str(exc))
+    print(_obs_report.render_profile(manifest, top=args.top))
     return 0
 
 

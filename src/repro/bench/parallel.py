@@ -28,6 +28,8 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..core.graph import TaskGraph
 from ..metrics.measures import RunResult
+from ..obs import metrics as _metrics
+from ..obs import trace as _trace
 from .store import ResultStore
 
 __all__ = ["grid_cells", "execute_cells", "run_grid", "default_jobs"]
@@ -68,6 +70,23 @@ def _run_cell(args) -> RunResult:
     return runner.run_one(name, graph, config=config, optimal=optimal)
 
 
+def _observed_cell(args):
+    """Run one cell inside a trace-collection scope.
+
+    Wraps the real ``worker`` when tracing is armed (workers inherit
+    ``REPRO_TRACE`` through the environment): the cell's spans, counters
+    and timelines are isolated into a picklable payload and shipped home
+    with the row, where the parent absorbs them in serial cell order —
+    the same canonical merge whether the cell ran in-process or in any
+    worker of any pool.  Must be module-level so it pickles.
+    """
+    cell_worker, cell_args, label = args
+    with _trace.collect() as payload:
+        with _trace.span("bench.cell", cell=label):
+            row = cell_worker(cell_args)
+    return row, payload
+
+
 def execute_cells(keys: Sequence[Tuple[str, str]], work: Sequence,
                   worker, fingerprint: str,
                   jobs: Optional[int] = None,
@@ -93,6 +112,7 @@ def execute_cells(keys: Sequence[Tuple[str, str]], work: Sequence,
         cached = (store.get(alg, gname, fingerprint)
                   if store is not None and resume else None)
         if cached is not None:
+            _metrics.incr("store.cache_hits")
             rows[i] = rebase(cached, i) if rebase is not None else cached
         else:
             todo.append(i)
@@ -109,22 +129,46 @@ def execute_cells(keys: Sequence[Tuple[str, str]], work: Sequence,
             store.save()
             unsaved = 0
 
+    # Under armed tracing every cell runs through _observed_cell: its
+    # spans/counters come back as a payload absorbed here in serial cell
+    # order, so the merged trace and counter manifest are canonical
+    # across every --jobs setting.
+    observing = _trace.armed()
+
+    def cell_label(i: int) -> str:
+        alg, gname = keys[i]
+        return f"{alg} on {gname}"
+
     jobs = default_jobs() if jobs == 0 else max(1, int(jobs or 1))
     try:
         if jobs > 1 and len(todo) > 1:
-            batch = [work[i] for i in todo]
+            if observing:
+                fn = _observed_cell
+                batch = [(worker, work[i], cell_label(i)) for i in todo]
+            else:
+                fn = worker
+                batch = [work[i] for i in todo]
             processes = min(jobs, len(batch))
             chunksize = max(1, len(batch) // (processes * 4))
             with multiprocessing.Pool(processes=processes) as pool:
                 # imap preserves submission order: rows land at their
                 # serial indices no matter which worker finishes first.
-                for i, row in zip(todo, pool.imap(worker, batch,
+                for i, res in zip(todo, pool.imap(fn, batch,
                                                   chunksize=chunksize)):
-                    rows[i] = row
-                    record(row)
+                    if observing:
+                        res, payload = res
+                        _trace.absorb(payload, track=cell_label(i))
+                    rows[i] = res
+                    record(res)
         else:
             for i in todo:
-                rows[i] = worker(work[i])
+                if observing:
+                    row, payload = _observed_cell(
+                        (worker, work[i], cell_label(i)))
+                    _trace.absorb(payload, track=cell_label(i))
+                    rows[i] = row
+                else:
+                    rows[i] = worker(work[i])
                 record(rows[i])
     finally:
         if store is not None and unsaved:

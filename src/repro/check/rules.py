@@ -37,6 +37,7 @@ __all__ = [
     "FingerprintCompleteness",
     "RegistryCliSync",
     "FloatEquality",
+    "OutputDiscipline",
     "ALL_RULES",
 ]
 
@@ -631,6 +632,74 @@ class FloatEquality(Rule):
         return None
 
 
+# ----------------------------------------------------------------------
+# RPR006 — output discipline
+# ----------------------------------------------------------------------
+class OutputDiscipline(Rule):
+    """Library code neither prints nor logs ad hoc.
+
+    Every user-visible artifact in this codebase is a *returned string*
+    that a CLI front-end emits — tables and figures are diffed
+    byte-for-byte against the paper, and the golden-corpus tests pin
+    rendered output exactly, so a stray ``print()`` deep in a kernel or
+    scheduler corrupts artifacts and can dominate a hot loop's runtime.
+    Ad-hoc ``logging`` is no better: it drags hidden global
+    configuration (handlers, levels) into code whose behaviour must be
+    a pure function of its inputs.  Diagnostics belong in raised
+    exceptions; progress and results belong to the CLI layer
+    (``repro/bench/``); run telemetry belongs to the observability
+    layer (``repro/obs/``), whose counters and spans are no-ops unless
+    armed.  This rule flags bare ``print()`` calls and any ``logging``
+    import outside those layers (plus the check subsystem's own report
+    renderer and CLI).  The rare legitimate emission elsewhere carries
+    a ``# repro: noqa-RPR006 <why>``.
+    """
+
+    code = "RPR006"
+    name = "output-discipline"
+
+    ALLOWED_DIRS = ("repro/bench/", "repro/obs/")
+    ALLOWED_FILES = ("repro/check/report.py",)
+
+    def applies(self, relpath: str) -> bool:
+        return not (relpath in self.ALLOWED_FILES
+                    or any(relpath.startswith(d)
+                           for d in self.ALLOWED_DIRS))
+
+    def check_file(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                fn = node.func
+                if isinstance(fn, ast.Name) and fn.id == "print":
+                    yield ctx.finding(
+                        self, node,
+                        "bare print() in library code — return the text "
+                        "and let a repro/bench CLI front-end emit it, or "
+                        "record telemetry via repro.obs",
+                    )
+            elif isinstance(node, ast.Import):
+                for alias in node.names:
+                    if (alias.name == "logging"
+                            or alias.name.startswith("logging.")):
+                        yield ctx.finding(
+                            self, node,
+                            "ad-hoc logging in library code — raise "
+                            "exceptions for errors and use repro.obs "
+                            "(spans/counters, armed via REPRO_TRACE) "
+                            "for telemetry",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                mod = node.module or ""
+                if mod == "logging" or mod.startswith("logging."):
+                    yield ctx.finding(
+                        self, node,
+                        "ad-hoc logging in library code — raise "
+                        "exceptions for errors and use repro.obs "
+                        "(spans/counters, armed via REPRO_TRACE) for "
+                        "telemetry",
+                    )
+
+
 #: The shipped rule set, in code order.
 ALL_RULES: Tuple[type, ...] = (
     SchedulerPurity,
@@ -638,4 +707,5 @@ ALL_RULES: Tuple[type, ...] = (
     FingerprintCompleteness,
     RegistryCliSync,
     FloatEquality,
+    OutputDiscipline,
 )

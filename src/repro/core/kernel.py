@@ -37,6 +37,7 @@ from typing import (
 import numpy as np
 
 from ..check import sanitize as _sanitize
+from ..obs import metrics as _metrics
 from .exceptions import ScheduleError
 from .graph import TaskGraph
 
@@ -102,6 +103,7 @@ def _backward_plan(graph: TaskGraph) -> _Plan:
 
 def tlevel_sweep(graph: TaskGraph) -> np.ndarray:
     """Top levels (paths sum node + edge weights, excluding ``w(n)``)."""
+    _metrics.incr("kernel.sweeps")
     src, dst, cost, bounds = graph.cached("_fwd_plan", _forward_plan)
     lv = graph.node_levels
     w = graph.weights
@@ -117,6 +119,7 @@ def tlevel_sweep(graph: TaskGraph) -> np.ndarray:
 
 def blevel_sweep(graph: TaskGraph) -> np.ndarray:
     """Bottom levels (edge weights included)."""
+    _metrics.incr("kernel.sweeps")
     src, dst, cost, bounds = graph.cached("_bwd_plan", _backward_plan)
     lv = graph.node_levels
     b = graph.weights.copy()
@@ -132,6 +135,7 @@ def blevel_sweep(graph: TaskGraph) -> np.ndarray:
 
 def static_blevel_sweep(graph: TaskGraph) -> np.ndarray:
     """Computation-only bottom levels (the classic *SL* attribute)."""
+    _metrics.incr("kernel.sweeps")
     src, dst, _cost, bounds = graph.cached("_bwd_plan", _backward_plan)
     lv = graph.node_levels
     b = graph.weights.copy()
@@ -146,6 +150,7 @@ def static_blevel_sweep(graph: TaskGraph) -> np.ndarray:
 
 def static_tlevel_sweep(graph: TaskGraph) -> np.ndarray:
     """Computation-only top levels."""
+    _metrics.incr("kernel.sweeps")
     src, dst, _cost, bounds = graph.cached("_fwd_plan", _forward_plan)
     lv = graph.node_levels
     w = graph.weights
@@ -271,6 +276,7 @@ def arrival_profile(schedule: "Schedule", node: int) -> ArrivalProfile:
     consumer of the schedule's private flat mirrors.
     """
     parents, costs = schedule.graph.pred_pairs(node)
+    _metrics.incr("kernel.profiles")
     profile = _build_profile(parents, costs, schedule._node_proc,
                              schedule._node_finish)
     if _sanitize.enabled():
@@ -294,6 +300,7 @@ def grouped_arrival_profile(graph: TaskGraph, node: int, group_of: Sequence[int]
                             finish_of: Sequence[float]) -> ArrivalProfile:
     """Profile under an arbitrary grouping (clustering algorithms)."""
     parents, costs = graph.pred_pairs(node)
+    _metrics.incr("kernel.profiles")
     return _build_profile(parents, costs, group_of, finish_of)
 
 
@@ -337,5 +344,6 @@ class LazyPriorityQueue:
         while heap:
             key, node = heapq.heappop(heap)
             if self._alive(node) and key == self._key(node):
+                _metrics.incr("sched.heap_pops")
                 return node
         raise IndexError("pop from an empty ready queue")

@@ -1,4 +1,4 @@
-"""ASCII Gantt charts for schedules.
+"""ASCII Gantt charts (and timeline extraction) for schedules.
 
 Renders per-processor timelines with proportional bars::
 
@@ -7,25 +7,64 @@ Renders per-processor timelines with proportional bars::
 
 Used by the examples and handy when tracing an algorithm's behaviour on
 a peer-set graph (the stated purpose of the PSG suite).
+
+:func:`timeline_rows` is the shared adapter behind both renderings: it
+flattens a :class:`~repro.core.schedule.Schedule` — or any result
+object carrying one (``SimResult``, ``OnlineResult``) — into plain
+``(proc, node, start, finish)`` rows, which is what the observability
+layer (:mod:`repro.obs`) turns into per-processor Perfetto tracks and
+what :func:`gantt` draws.
 """
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Tuple, Union
 
 from ..core.schedule import Schedule
 
-__all__ = ["gantt"]
+__all__ = ["gantt", "timeline_rows"]
+
+#: One executed task interval: ``(proc, node, start, finish)``.
+TimelineRow = Tuple[int, int, float, float]
 
 
-def gantt(schedule: Schedule, width: int = 72,
+def _as_schedule(obj: Union[Schedule, object]) -> Schedule:
+    """Accept a Schedule or any result object with a ``.schedule``."""
+    if isinstance(obj, Schedule):
+        return obj
+    inner = getattr(obj, "schedule", None)
+    if isinstance(inner, Schedule):
+        return inner
+    raise TypeError(
+        f"expected a Schedule or a result carrying one, got "
+        f"{type(obj).__name__}")
+
+
+def timeline_rows(obj: Union[Schedule, object]) -> List[TimelineRow]:
+    """Flatten a schedule (or sim/online result) into timeline rows.
+
+    Rows come out grouped by processor and ordered by start within each
+    processor — the canonical order both the Gantt renderer and the
+    Perfetto exporter consume, and the order that makes two traces of
+    the same execution byte-identical.
+    """
+    schedule = _as_schedule(obj)
+    rows: List[TimelineRow] = []
+    for proc in range(schedule.num_procs):
+        rows.extend((proc, pl.node, pl.start, pl.finish)
+                    for pl in schedule.tasks_on(proc))
+    return rows
+
+
+def gantt(obj: Union[Schedule, object], width: int = 72,
           show_messages: bool = False) -> str:
-    """Render ``schedule`` as an ASCII Gantt chart.
+    """Render a schedule (or sim/online result) as an ASCII Gantt chart.
 
     ``width`` is the number of character cells the makespan is scaled
     into.  With ``show_messages`` each recorded network message appears
     on its own line under the task rows.
     """
+    schedule = _as_schedule(obj)
     length = schedule.length
     if length <= 0:
         return "(empty schedule)"

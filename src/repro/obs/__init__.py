@@ -1,0 +1,72 @@
+"""Observability: opt-in tracing, metrics and profiling (``repro.obs``).
+
+The subsystem is armed exactly like the runtime sanitizer
+(:mod:`repro.check.sanitize`): ``REPRO_TRACE=1`` in the environment —
+the CLI's global ``--trace[=PATH]`` flag sets it for the process and
+any worker pools that inherit the environment.  Disarmed, every hook is
+a no-op costing one dict probe, so the golden corpus stays bit-identical
+and the bench-smoke gate is untouched.
+
+Layers:
+
+* :mod:`repro.obs.trace` — nested wall-clock spans plus recorded
+  simulated-time *timelines* (per-processor execution tracks);
+* :mod:`repro.obs.metrics` — named counters/gauges/histograms
+  (``kernel.sweeps``, ``sched.heap_pops``, ``online.replans``, ...);
+* :mod:`repro.obs.export` — Chrome/Perfetto ``trace.json`` writer;
+* :mod:`repro.obs.report` — run manifests and top-N self-time tables.
+
+Everything here is stdlib-only: the core modules consult these hooks
+from their hot paths.
+"""
+
+from __future__ import annotations
+
+from .trace import (
+    ENV_PATH_VAR,
+    ENV_VAR,
+    Span,
+    Tracer,
+    absorb,
+    add_timeline,
+    armed,
+    collect,
+    current,
+    reset,
+    span,
+    validate_nesting,
+)
+from . import metrics
+from .export import trace_document, write_trace
+from .report import (
+    build_manifest,
+    flush,
+    manifest_path_for,
+    render_manifest,
+    render_profile,
+    write_manifest,
+)
+
+__all__ = [
+    "ENV_VAR",
+    "ENV_PATH_VAR",
+    "Span",
+    "Tracer",
+    "armed",
+    "current",
+    "span",
+    "add_timeline",
+    "collect",
+    "absorb",
+    "reset",
+    "validate_nesting",
+    "metrics",
+    "trace_document",
+    "write_trace",
+    "build_manifest",
+    "write_manifest",
+    "manifest_path_for",
+    "render_manifest",
+    "render_profile",
+    "flush",
+]

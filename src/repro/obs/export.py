@@ -1,0 +1,144 @@
+"""Chrome/Perfetto ``trace.json`` writer.
+
+Emits the Chrome Trace Event Format (the JSON array flavour inside a
+``{"traceEvents": [...]}`` document), which both ``chrome://tracing``
+and https://ui.perfetto.dev load directly:
+
+* every wall-clock :class:`~repro.obs.trace.Span` becomes a complete
+  (``"ph": "X"``) slice on one *scheduler* process, one thread per
+  logical track — so per-cell compute cost lines up lane by lane;
+* every recorded simulated-time timeline becomes its own process with
+  one thread per processor: task rows render as slices, replans and
+  other instants as ``"ph": "i"`` markers (processor ``-1`` renders on
+  a dedicated ``policy`` lane);
+* the run manifest is embedded under the non-standard ``reproManifest``
+  key (viewers ignore unknown keys; ``repro-bench trace show`` and
+  ``profile`` read it back).
+
+Simulated time units are scaled by :data:`SIM_TIME_SCALE` so one unit
+displays as one millisecond; wall-clock spans are rebased to the
+earliest recorded start.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..check import sanitize as _sanitize
+from .trace import Span, Tracer, validate_nesting
+
+__all__ = ["SIM_TIME_SCALE", "trace_document", "write_trace"]
+
+#: Microseconds per simulated time unit (1 unit renders as 1 ms).
+SIM_TIME_SCALE = 1000.0
+
+#: pid of the wall-clock span process; timelines take 2, 3, ...
+_SPAN_PID = 1
+
+
+def _span_events(spans: Sequence[Span]) -> List[Dict[str, Any]]:
+    if not spans:
+        return []
+    tracks = sorted({sp.track for sp in spans},
+                    key=lambda t: (t != "main", t))
+    tids = {track: i for i, track in enumerate(tracks)}
+    base = min(sp.start_ns for sp in spans)
+    events: List[Dict[str, Any]] = [{
+        "ph": "M", "pid": _SPAN_PID, "tid": 0, "name": "process_name",
+        "args": {"name": "scheduler (wall clock)"},
+    }]
+    for track, tid in tids.items():
+        events.append({"ph": "M", "pid": _SPAN_PID, "tid": tid,
+                       "name": "thread_name", "args": {"name": track}})
+    for sp in spans:
+        events.append({
+            "ph": "X",
+            "pid": _SPAN_PID,
+            "tid": tids[sp.track],
+            "ts": (sp.start_ns - base) / 1000.0,
+            "dur": max(sp.dur_ns, 0) / 1000.0,
+            "name": sp.name,
+            "cat": "span",
+            "args": {k: _jsonable(v) for k, v in sp.args.items()},
+        })
+    return events
+
+
+def _timeline_events(timeline: Dict[str, Any],
+                     pid: int) -> List[Dict[str, Any]]:
+    events: List[Dict[str, Any]] = [{
+        "ph": "M", "pid": pid, "tid": 0, "name": "process_name",
+        "args": {"name": timeline["label"]},
+    }]
+    procs = sorted({row[0] for row in timeline["rows"]}
+                   | {ev[0] for ev in timeline["events"]})
+    for proc in procs:
+        label = "policy" if proc < 0 else f"P{proc}"
+        events.append({"ph": "M", "pid": pid, "tid": proc,
+                       "name": "thread_name", "args": {"name": label}})
+    for proc, node, start, finish in timeline["rows"]:
+        events.append({
+            "ph": "X",
+            "pid": pid,
+            "tid": proc,
+            "ts": start * SIM_TIME_SCALE,
+            "dur": max(finish - start, 0.0) * SIM_TIME_SCALE,
+            "name": f"task {node}",
+            "cat": "task",
+            "args": {"node": node},
+        })
+    for proc, when, name, attrs in timeline["events"]:
+        events.append({
+            "ph": "i",
+            "s": "t",
+            "pid": pid,
+            "tid": proc,
+            "ts": when * SIM_TIME_SCALE,
+            "name": name,
+            "cat": "event",
+            "args": {k: _jsonable(v) for k, v in attrs.items()},
+        })
+    return events
+
+
+def _jsonable(value: Any) -> Any:
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+def trace_document(tracer: Optional[Tracer],
+                   manifest: Optional[Dict[str, Any]] = None
+                   ) -> Dict[str, Any]:
+    """Build the Chrome trace document for a tracer's recorded data.
+
+    With the sanitizer armed the span forest is validated first
+    (overlapping siblings on one track mean corrupted nesting, which
+    Perfetto would render as interleaved garbage).
+    """
+    events: List[Dict[str, Any]] = []
+    if tracer is not None:
+        if _sanitize.enabled():
+            validate_nesting(tracer.spans)
+        events.extend(_span_events(tracer.spans))
+        for i, timeline in enumerate(tracer.timelines):
+            events.extend(_timeline_events(timeline, pid=_SPAN_PID + 1 + i))
+    doc: Dict[str, Any] = {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+    }
+    if manifest is not None:
+        doc["reproManifest"] = manifest
+    return doc
+
+
+def write_trace(path: str, tracer: Optional[Tracer],
+                manifest: Optional[Dict[str, Any]] = None
+                ) -> Dict[str, Any]:
+    """Write the Perfetto-loadable trace document to ``path``."""
+    doc = trace_document(tracer, manifest=manifest)
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=1)
+        fh.write("\n")
+    return doc

@@ -1,0 +1,181 @@
+"""Run manifests and self-time profiles.
+
+A *manifest* is the JSON summary persisted beside a run's trace (and,
+via the CLI, beside the ResultStore): the counter registry split into
+its deterministic and cache-local sections, gauge/histogram summaries,
+and a per-span-name aggregate (count, total and *self* time — total
+minus time attributed to child spans).  The ``counters`` section is the
+determinism contract: same seed + same spec must produce the same
+values under any ``--jobs`` setting, which both the trace-determinism
+tests and ``benchmarks/check_regression.py`` gate on.  Durations are
+wall-clock and therefore reported but never compared.
+
+:func:`render_profile` prints the top-N self-time table backing the
+``repro-bench profile`` verb and ``examples/profile_ladder_table.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from . import metrics as _metrics
+from .export import write_trace
+from .trace import ENV_PATH_VAR, Span, Tracer, current
+
+__all__ = [
+    "MANIFEST_SCHEMA",
+    "build_manifest",
+    "self_times",
+    "write_manifest",
+    "manifest_path_for",
+    "render_manifest",
+    "render_profile",
+    "flush",
+]
+
+MANIFEST_SCHEMA = 1
+
+
+def self_times(spans: Sequence[Span]) -> Dict[str, Tuple[int, int, int]]:
+    """Aggregate spans by name: ``{name: (count, total_ns, self_ns)}``.
+
+    Self time is a span's duration minus its direct children's — the
+    quantity a profiler sorts by.  Open spans (``dur_ns < 0``) count as
+    zero so a crashed run still renders.
+    """
+    child_ns: Dict[int, int] = {}
+    for sp in spans:
+        if sp.parent >= 0 and sp.dur_ns > 0:
+            child_ns[sp.parent] = child_ns.get(sp.parent, 0) + sp.dur_ns
+    agg: Dict[str, List[int]] = {}
+    for sp in spans:
+        dur = max(sp.dur_ns, 0)
+        own = max(dur - child_ns.get(sp.sid, 0), 0)
+        entry = agg.setdefault(sp.name, [0, 0, 0])
+        entry[0] += 1
+        entry[1] += dur
+        entry[2] += own
+    return {name: (c, t, s) for name, (c, t, s) in sorted(agg.items())}
+
+
+def build_manifest(tracer: Optional[Tracer] = None) -> Dict[str, Any]:
+    """The JSON-able run manifest for ``tracer`` (default: the process
+    tracer) plus the process metric registry."""
+    if tracer is None:
+        tracer = current()
+    spans = tracer.spans if tracer is not None else []
+    timelines = tracer.timelines if tracer is not None else []
+    return {
+        "schema": MANIFEST_SCHEMA,
+        "counters": _metrics.counters(),
+        "local": _metrics.local_counters(),
+        "gauges": _metrics.gauges(),
+        "hists": _metrics.histograms(),
+        "spans": {
+            name: {"count": count,
+                   "total_ms": round(total / 1e6, 3),
+                   "self_ms": round(own / 1e6, 3)}
+            for name, (count, total, own) in self_times(spans).items()
+        },
+        "timelines": [list(tl["key"]) for tl in timelines],
+    }
+
+
+def write_manifest(path: str, manifest: Dict[str, Any]) -> None:
+    with open(path, "w") as fh:
+        json.dump(manifest, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+
+
+def manifest_path_for(trace_path: str) -> str:
+    """Sibling manifest path: ``trace.json`` -> ``trace.manifest.json``."""
+    root, ext = os.path.splitext(trace_path)
+    if ext == ".json":
+        return f"{root}.manifest.json"
+    return f"{trace_path}.manifest.json"
+
+
+def render_manifest(manifest: Dict[str, Any]) -> str:
+    """Human-readable summary of a manifest (``trace show``)."""
+    lines: List[str] = []
+    for section, title in (("counters", "counters"),
+                           ("local", "counters (process-local)")):
+        values = manifest.get(section) or {}
+        if values:
+            lines.append(f"{title}:")
+            width = max(len(n) for n in values)
+            for name in sorted(values):
+                lines.append(f"  {name:<{width}}  {values[name]}")
+    gauges = manifest.get("gauges") or {}
+    if gauges:
+        lines.append("gauges:")
+        for name in sorted(gauges):
+            lines.append(f"  {name}  {gauges[name]:g}")
+    hists = manifest.get("hists") or {}
+    if hists:
+        lines.append("histograms:")
+        for name in sorted(hists):
+            h = hists[name]
+            mean = h["total"] / h["count"] if h["count"] else 0.0
+            lines.append(f"  {name}  n={h['count']} mean={mean:g} "
+                         f"min={h['min']:g} max={h['max']:g}")
+    timelines = manifest.get("timelines") or []
+    if timelines:
+        lines.append(f"timelines: {len(timelines)}")
+        for key in timelines[:10]:
+            lines.append("  " + ":".join(str(k) for k in key))
+        if len(timelines) > 10:
+            lines.append(f"  ... and {len(timelines) - 10} more")
+    spans = manifest.get("spans") or {}
+    if spans:
+        lines.append(render_profile(manifest, top=10))
+    if not lines:
+        return "(empty manifest: run with REPRO_TRACE=1 or --trace)"
+    return "\n".join(lines)
+
+
+def render_profile(manifest: Dict[str, Any], top: int = 10) -> str:
+    """The top-N self-time table of a manifest's span aggregates."""
+    spans: Dict[str, Dict[str, Any]] = manifest.get("spans") or {}
+    if not spans:
+        return "(no spans recorded)"
+    ranked = sorted(spans.items(),
+                    key=lambda kv: (-kv[1]["self_ms"], kv[0]))[:top]
+    name_w = max(len("span"), max(len(n) for n, _ in ranked))
+    lines = [f"{'span':<{name_w}}  {'count':>8}  {'total ms':>10}  "
+             f"{'self ms':>10}  {'self %':>7}"]
+    total_self = sum(s["self_ms"] for s in spans.values()) or 1.0
+    for name, s in ranked:
+        pct = 100.0 * s["self_ms"] / total_self
+        lines.append(f"{name:<{name_w}}  {s['count']:>8}  "
+                     f"{s['total_ms']:>10.3f}  {s['self_ms']:>10.3f}  "
+                     f"{pct:>6.1f}%")
+    return "\n".join(lines)
+
+
+def flush(path: Optional[str] = None) -> Optional[Tuple[str, str]]:
+    """Write the process trace + manifest if anything was recorded.
+
+    ``path`` defaults to ``$REPRO_TRACE_PATH`` or ``trace.json``; the
+    manifest lands at the :func:`manifest_path_for` sibling.  Returns
+    the ``(trace_path, manifest_path)`` pair, or ``None`` when there is
+    nothing to write — the CLI calls this after every verb, so a verb
+    that recorded nothing stays silent.
+    """
+    tracer = current()
+    has_metrics = bool(_metrics.counters() or _metrics.local_counters()
+                       or _metrics.gauges() or _metrics.histograms())
+    if tracer is None or (not tracer.spans and not tracer.timelines
+                          and not has_metrics):
+        return None
+    trace_path = path or os.environ.get(ENV_PATH_VAR) or "trace.json"
+    parent = os.path.dirname(trace_path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    manifest = build_manifest(tracer)
+    write_trace(trace_path, tracer, manifest=manifest)
+    manifest_path = manifest_path_for(trace_path)
+    write_manifest(manifest_path, manifest)
+    return trace_path, manifest_path

@@ -46,6 +46,8 @@ from ..check import sanitize as _sanitize
 from ..core.exceptions import ScheduleError
 from ..core.rng import SeedLike, as_generator
 from ..core.schedule import Schedule, Violation, render_violations
+from ..obs import metrics as _metrics
+from ..obs import trace as _trace
 from .netmodel import NetworkModel, replay_network
 from .perturb import DETERMINISTIC, PerturbationModel
 
@@ -130,7 +132,8 @@ class SimResult:
 def simulate(schedule: Schedule,
              perturb: PerturbationModel = DETERMINISTIC,
              network: Optional[NetworkModel] = None,
-             rng: SeedLike = None) -> SimResult:
+             rng: SeedLike = None,
+             label: Optional[str] = None) -> SimResult:
     """Execute ``schedule`` once under a perturbation model.
 
     Parameters
@@ -146,9 +149,33 @@ def simulate(schedule: Schedule,
         makes zero-noise replay exact for this schedule).
     rng:
         Seed or generator for the noise draws.
+    label:
+        Observability tag (usually the algorithm name).  With tracing
+        armed, the first trial per ``(label, graph)`` records its
+        executed timeline as a per-processor Perfetto track.
     """
     if not schedule.is_complete():
         raise ScheduleError("can only simulate a complete schedule")
+    with _trace.span("sim.run", graph=schedule.graph.name,
+                     label=label or "") as sp:
+        result = _replay(schedule, perturb, network, rng)
+    if sp is not None:
+        sp.args["events"] = result.num_events
+    _metrics.incr("sim.events", result.num_events)
+    key = ("sim", label or "", schedule.graph.name)
+    if _trace.wants_timeline(key):  # first trial per key records
+        from ..io.gantt import timeline_rows
+
+        _trace.add_timeline(
+            key,
+            label=f"sim: {label or 'schedule'} on {schedule.graph.name}",
+            rows=timeline_rows(result.schedule))
+    return result
+
+
+def _replay(schedule: Schedule, perturb: PerturbationModel,
+            network: Optional[NetworkModel], rng: SeedLike) -> SimResult:
+    """The replay loop behind :func:`simulate` (input already valid)."""
     graph = schedule.graph
     n = graph.num_nodes
     num_procs = schedule.num_procs

@@ -38,6 +38,8 @@ from typing import Deque, List, Optional, Tuple
 
 from ...check import sanitize as _sanitize
 from ...core.exceptions import ScheduleError
+from ...obs import metrics as _metrics
+from ...obs import trace as _trace
 from ...core.graph import TaskGraph
 from ...core.machine import Machine
 from ...core.rng import SeedLike, as_generator
@@ -109,6 +111,12 @@ class OnlineResult:
     num_events: int
     num_replans: int
     trace: List[Tuple[int, int, float]] = field(default_factory=list)
+    #: Every accepted replan as ``(time, cause, migrations)``: *cause*
+    #: is the triggering event callback (``task_finished`` /
+    #: ``message_arrived`` / ``worker_idle`` / ``task_started``) and
+    #: *migrations* counts pending tasks the directive moved to a
+    #: different processor.
+    replan_log: List[Tuple[float, str, int]] = field(default_factory=list)
 
     @property
     def degradation_pct(self) -> float:
@@ -133,7 +141,8 @@ def simulate_online(graph: TaskGraph,
                     policy,
                     perturb: PerturbationModel = DETERMINISTIC,
                     network: Optional[NetworkModel] = None,
-                    rng: SeedLike = None) -> OnlineResult:
+                    rng: SeedLike = None,
+                    label: Optional[str] = None) -> OnlineResult:
     """Execute ``graph`` on ``machine`` under an online policy.
 
     ``policy`` may be an :class:`OnlinePolicy` instance, an
@@ -143,7 +152,10 @@ def simulate_online(graph: TaskGraph,
     ``perturb``/``rng`` drive the *charged* durations and latencies
     exactly as in :func:`repro.sim.engine.simulate`; ``network``
     defaults to the fixed-delay clique model (there is no static
-    schedule to replay a message plan from).
+    schedule to replay a message plan from).  ``label`` tags the
+    observability layer: with tracing armed, the first execution per
+    ``(label, graph)`` records its per-processor timeline plus the
+    attributed replan events.
     """
     from .scheduler import PlanRescheduler
     from .spec import OnlineSchedulerSpec, parse_online_spec
@@ -153,6 +165,36 @@ def simulate_online(graph: TaskGraph,
     if isinstance(policy, OnlineSchedulerSpec):
         policy = PlanRescheduler(policy, graph, machine)
 
+    with _trace.span("online.run", graph=graph.name,
+                     label=label or "") as sp:
+        result = _execute_online(graph, machine, policy, perturb,
+                                 network, rng)
+    _metrics.incr("online.events", result.num_events)
+    _metrics.incr("online.replans", result.num_replans)
+    migrations = sum(moved for _, _, moved in result.replan_log)
+    _metrics.incr("online.migrations", migrations)
+    if sp is not None:
+        sp.args.update(events=result.num_events,
+                       replans=result.num_replans,
+                       migrations=migrations)
+    key = ("online", label or "", graph.name)
+    if _trace.wants_timeline(key):  # first execution per key records
+        from ...io.gantt import timeline_rows
+
+        _trace.add_timeline(
+            key,
+            label=f"online: {label or 'policy'} on {graph.name}",
+            rows=timeline_rows(result.schedule),
+            events=[(-1, when, "replan", {"cause": cause, "moved": moved})
+                    for when, cause, moved in result.replan_log])
+    return result
+
+
+def _execute_online(graph: TaskGraph, machine: Machine,
+                    policy: OnlinePolicy, perturb: PerturbationModel,
+                    network: Optional[NetworkModel],
+                    rng: SeedLike) -> OnlineResult:
+    """The event loop behind :func:`simulate_online` (policy resolved)."""
     n = graph.num_nodes
     num_procs = machine.num_procs
     noise = perturb.begin_trial(as_generator(rng), n, num_procs)
@@ -173,20 +215,27 @@ def simulate_online(graph: TaskGraph,
 
     executed = Schedule(graph, num_procs, speeds=machine.speeds)
     trace: List[Tuple[int, int, float]] = []
+    replan_log: List[Tuple[float, str, int]] = []
     heap: List[tuple] = []  # (time, insertion seq, kind, payload)
     seq_counter = 0
     num_events = 0
     num_replans = 0
 
-    def apply(directives: Optional[Directives]) -> bool:
-        """Swap in a policy's new queues; enforce the complete plan."""
+    def apply(directives: Optional[Directives]) -> Optional[int]:
+        """Swap in a policy's new queues; enforce the complete plan.
+
+        Returns the number of pending tasks the directive *migrated*
+        (moved to a different processor than their previous
+        assignment), or ``None`` when the policy stood pat.
+        """
         if directives is None:
-            return False
+            return None
         if len(directives) != num_procs:
             raise ScheduleError(
                 f"online policy returned {len(directives)} queue(s) for "
                 f"{num_procs} processor(s)")
         seen = set()
+        moved = 0
         new_pending: List[Deque[int]] = []
         for p, nodes in enumerate(directives):
             q: Deque[int] = deque()
@@ -199,6 +248,8 @@ def simulate_online(graph: TaskGraph,
                     raise ScheduleError(
                         f"online policy queued task {node} twice")
                 seen.add(node)
+                if 0 <= assigned[node] != p:
+                    moved += 1
                 assigned[node] = p
                 q.append(node)
             new_pending.append(q)
@@ -211,19 +262,24 @@ def simulate_online(graph: TaskGraph,
                 f"online policy left task(s) {left_out} unqueued — the "
                 "engine requires a complete plan after every directive")
         pending[:] = new_pending
-        return True
+        return moved
 
-    def notify(directives: Optional[Directives], now: float) -> None:
+    def notify(directives: Optional[Directives], now: float,
+               cause: str) -> None:
         """Apply an event reply; every accepted directive is a replan.
 
         A replan can hand startable work to *any* processor — e.g.
         move a blocked head off one queue onto an idle machine — so an
         accepted directive re-tries every processor, not just the one
-        the triggering event touched.
+        the triggering event touched.  ``cause`` names the policy
+        callback that produced the directive; it is recorded with the
+        migration count in :attr:`OnlineResult.replan_log`.
         """
         nonlocal num_replans
-        if apply(directives):
+        moved = apply(directives)
+        if moved is not None:
             num_replans += 1
+            replan_log.append((now, cause, moved))
             for q in range(num_procs):
                 try_start(q, now)
 
@@ -262,13 +318,13 @@ def simulate_online(graph: TaskGraph,
         pending[p].popleft()
         running[p] = True
         push(start + duration, _FINISH, node)
-        notify(policy.task_started(node, p, start), start)
+        notify(policy.task_started(node, p, start), start, "task_started")
 
     apply(policy.begin(machine))
     for p in range(num_procs):
         try_start(p, 0.0)
         if not running[p]:
-            notify(policy.worker_idle(p, 0.0), 0.0)
+            notify(policy.worker_idle(p, 0.0), 0.0, "worker_idle")
 
     sanitizing = _sanitize.enabled()
     last_now = 0.0
@@ -285,7 +341,7 @@ def simulate_online(graph: TaskGraph,
             p = executed.proc_of(node)
             running[p] = False
             proc_free[p] = now
-            notify(policy.task_finished(node, p, now), now)
+            notify(policy.task_finished(node, p, now), now, "task_finished")
             children, costs = graph.succ_pairs(node)
             for child, cost in zip(children, costs):
                 dst = assigned[child]
@@ -304,11 +360,11 @@ def simulate_online(graph: TaskGraph,
                     push(arrival, _ARRIVAL, (node, child))
             try_start(p, now)
             if not running[p]:
-                notify(policy.worker_idle(p, now), now)
+                notify(policy.worker_idle(p, now), now, "worker_idle")
         else:  # _ARRIVAL
             src, child = payload
             notify(policy.message_arrived(src, child, assigned[child], now),
-                   now)
+                   now, "message_arrived")
             if _resolve_edge(missing, ready_time, child, now):
                 try_start(assigned[child], now)
 
@@ -328,4 +384,5 @@ def simulate_online(graph: TaskGraph,
         num_events=num_events,
         num_replans=num_replans,
         trace=trace,
+        replan_log=replan_log,
     )

@@ -40,6 +40,7 @@ from ...core.graph import TaskGraph
 from ...core.machine import Machine
 from ...core.rng import derive_rng
 from ...core.schedule import Schedule
+from ...obs import trace as _trace
 from .engine import Directives, OnlinePolicy, simulate_online
 from .imodes import observe
 from .spec import OnlineSchedulerSpec
@@ -65,8 +66,10 @@ class PlanRescheduler(OnlinePolicy):
         self.obs = observe(graph, spec.imode,
                            rng=derive_rng(spec.seed, "imode", graph.name))
         self._parts = spec.components()
-        self.plan: Schedule = run_component_loop(self._parts, self.obs,
-                                                 machine)
+        with _trace.span("online.plan", spec=spec.canonical(),
+                         graph=graph.name, cause="initial"):
+            self.plan: Schedule = run_component_loop(self._parts, self.obs,
+                                                     machine)
         self.predicted = self.plan.length
         self.num_replans = 0
         self._started: Dict[int, Tuple[int, float]] = {}
@@ -91,7 +94,7 @@ class PlanRescheduler(OnlinePolicy):
         self._finished[node] = now
         if abs(now - self.plan.finish_of(node)) <= _TOL:
             return None
-        return self._replan()
+        return self._replan("task_finished")
 
     def message_arrived(self, src: int, dst: int, proc: int,
                         now: float) -> Optional[Directives]:
@@ -102,12 +105,12 @@ class PlanRescheduler(OnlinePolicy):
         expected = self.plan.finish_of(src) + self.obs.comm_cost(src, dst)
         if abs(now - expected) <= _TOL:
             return None
-        return self._replan()
+        return self._replan("message_arrived")
 
     # ------------------------------------------------------------------
     # replanning
     # ------------------------------------------------------------------
-    def _replan(self) -> Directives:
+    def _replan(self, cause: str) -> Directives:
         self.num_replans += 1
         pinned = []
         for node, (proc, start) in sorted(self._started.items(),
@@ -123,8 +126,11 @@ class PlanRescheduler(OnlinePolicy):
                 duration = (w if self.machine.speeds is None
                             else w / self.machine.speeds[proc])
             pinned.append((node, proc, start, duration))
-        self.plan = run_component_loop(self._parts, self.obs, self.machine,
-                                       pinned=pinned)
+        with _trace.span("online.plan", spec=self.spec.canonical(),
+                         graph=self.obs.name, cause=cause,
+                         pinned=len(pinned)):
+            self.plan = run_component_loop(self._parts, self.obs,
+                                           self.machine, pinned=pinned)
         return self._pending_sequences()
 
     def _pending_sequences(self) -> Directives:
@@ -163,4 +169,5 @@ class OnlineScheduler(Scheduler):
         self.complexity = f"{base} per (re)plan"
 
     def _run(self, graph: TaskGraph, machine: Machine) -> Schedule:
-        return simulate_online(graph, machine, self.spec).schedule
+        return simulate_online(graph, machine, self.spec,
+                               label=self.name).schedule

@@ -153,7 +153,7 @@ def monte_carlo(schedule: Schedule,
     makespans = np.empty(trials)
     for t in range(executions):
         makespans[t] = simulate(schedule, perturb=perturb, network=net,
-                                rng=rng).makespan
+                                rng=rng, label=algorithm or None).makespan
     makespans[executions:] = makespans[0]
     predicted = schedule.length
     mean = float(makespans.mean())

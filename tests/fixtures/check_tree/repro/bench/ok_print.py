@@ -1,0 +1,6 @@
+"""RPR006 fixture: printing is the CLI layer's job — allowed here."""
+
+
+def emit(table):
+    print(table)  # repro/bench/ is the CLI layer: not flagged
+    return table

@@ -1,0 +1,17 @@
+"""RPR006 fixture: ad-hoc output in library code."""
+
+import logging                     # logging import -> RPR006
+from logging import getLogger      # logging import -> RPR006
+
+log = getLogger(__name__)
+
+
+def chatty(schedule):
+    print("scheduling", schedule)  # bare print -> RPR006
+    log.info("done")               # attribute use: the import is flagged
+    return schedule
+
+
+def suppressed(table):
+    print(table)  # repro: noqa-RPR006 fixture-only sanctioned emission
+    return table

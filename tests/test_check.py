@@ -105,6 +105,16 @@ class TestRulesOnFixtures:
         hits = [f for f in fixture_findings if f.code == "RPR005"]
         assert all(f.line not in (9, 11) for f in hits)
 
+    def test_rpr006_flags_prints_and_logging(self, fixture_findings):
+        hits = [f for f in fixture_findings
+                if f.code == "RPR006" and "bad_print" in f.path]
+        assert {f.line for f in hits} == {3, 4, 10}
+
+    def test_rpr006_allows_the_cli_layer(self, fixture_findings):
+        # repro/bench/ is the CLI layer; its prints are the contract.
+        hits = [f for f in fixture_findings if f.code == "RPR006"]
+        assert all("ok_print" not in f.path for f in hits)
+
     def test_rule_subset_selection(self):
         findings = run_check(src_root=FIXTURES, repo_root=FIXTURES,
                              rules=["RPR005"])
@@ -133,6 +143,7 @@ class TestSuppression:
             "bad_rng.py": 26,
             "bad_fingerprint.py": 12,
             "bad_float.py": 17,
+            "bad_print.py": 16,
         }
         for fname, line in suppressed_lines.items():
             assert not any(fname in f.path and f.line == line
@@ -201,7 +212,7 @@ class TestCheckCli:
         assert payload["clean"] is False
         assert payload["count"] == len(payload["findings"])
         assert set(payload["by_rule"]) == {
-            "RPR001", "RPR002", "RPR003", "RPR004", "RPR005"}
+            "RPR001", "RPR002", "RPR003", "RPR004", "RPR005", "RPR006"}
         paths = {f["path"] for f in payload["findings"]}
         assert all(not p.startswith("/") for p in paths)  # relativized
 
@@ -216,7 +227,8 @@ class TestCheckCli:
         rc = check_cli.main(["--list-rules"])
         out = capsys.readouterr().out
         assert rc == 0
-        for code in ("RPR001", "RPR002", "RPR003", "RPR004", "RPR005"):
+        for code in ("RPR001", "RPR002", "RPR003", "RPR004", "RPR005",
+                     "RPR006"):
             assert code in out
 
     def test_exit_2_on_unknown_rule(self, capsys):
