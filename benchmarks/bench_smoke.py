@@ -135,3 +135,29 @@ def test_smoke_ladder_1200(benchmark):
     # any schedule must show up here as well as in the golden corpus.
     assert lengths == {"HLFET": 1461.0, "ISH": 1461.0, "MCP": 1449.0,
                        "DSC": 1466.0, "LC": 1456.0}
+
+
+def test_smoke_service_storm(benchmark):
+    """Schedule-as-a-service: a small seeded storm over real HTTP.
+
+    Self-hosts the asyncio batching server and replays a Zipf-skewed
+    60-request storm against it — digest memo, schedule cache, batch
+    loop and worker pool all on the hot path.  One round (the case
+    gates service-layer slowdowns, not noise).  Beyond timing, it
+    asserts the service contract the loadtest tables rest on: every
+    request answered, a warm majority, and a real cold/warm cache
+    speedup (the CI floor of 5x is far under the ~20x a full-size
+    storm shows; see EXPERIMENTS.md).
+    """
+    from repro.scenarios.storm import StormConfig
+    from repro.service import run_loadtest
+
+    config = StormConfig(requests=60, templates=4, sizes=(60, 90),
+                         specs=("mcp", "dls"), rate=1000.0, seed=3)
+    report = benchmark.pedantic(
+        run_loadtest, args=(config,),
+        kwargs={"jobs": 1, "concurrency": 8}, rounds=1, iterations=1)
+    assert report.ok == report.requests == 60
+    assert report.rejected == report.timeouts == report.errors == 0
+    assert report.warm > report.cold
+    assert report.speedup >= 5.0

@@ -2,44 +2,54 @@
 """Quickstart: build a task graph, schedule it three ways, compare.
 
 Run:  python examples/quickstart.py
+
+Everything goes through the stable facade (:mod:`repro.api`): one call
+parses the input, resolves the scheduler spec, schedules and validates.
 """
 
-from repro import Machine, TaskGraph, get_scheduler, validate
+from repro import api
 from repro.io import gantt
 from repro.metrics import nsl
 
 # ----------------------------------------------------------------------
 # 1. A task graph: nodes carry computation costs, edges carry the cost
 #    of moving data between processors (free when co-located).
-#    This is the 9-node example from the authors' papers.
+#    This is the 9-node example from the authors' papers.  The facade
+#    also accepts a ready TaskGraph or STG-format text.
 # ----------------------------------------------------------------------
-graph = TaskGraph(
-    weights=[2, 3, 3, 4, 5, 4, 4, 4, 1],
-    edges={
-        (0, 1): 4, (0, 2): 1, (0, 3): 1, (0, 4): 1, (0, 5): 10,
-        (1, 6): 1, (2, 6): 1,
-        (3, 7): 1, (4, 7): 1,
-        (5, 8): 5, (6, 8): 5, (7, 8): 10,
-    },
-    name="kwok-ahmad-9",
-)
+graph = api.as_graph({
+    "weights": [2, 3, 3, 4, 5, 4, 4, 4, 1],
+    "edges": [
+        [0, 1, 4], [0, 2, 1], [0, 3, 1], [0, 4, 1], [0, 5, 10],
+        [1, 6, 1], [2, 6, 1],
+        [3, 7, 1], [4, 7, 1],
+        [5, 8, 5], [6, 8, 5], [7, 8, 10],
+    ],
+    "name": "kwok-ahmad-9",
+})
 print(f"graph: {graph}")
 print(f"serial execution time: {graph.total_computation:g}\n")
 
 # ----------------------------------------------------------------------
 # 2. Schedule on 3 identical processors with three different heuristics.
 #    MCP: static critical-path priorities.  DLS: dynamic levels.
-#    DCP: dynamic critical path (unbounded processors).
+#    DCP: dynamic critical path (machine=None means one processor per
+#    task, the unbounded UNC convention).  api.schedule validates every
+#    result (precedence + communication + no-overlap checks).
 # ----------------------------------------------------------------------
-machine = Machine(3)
-for name in ("MCP", "DLS", "DCP"):
-    scheduler = get_scheduler(name)
-    m = Machine.unbounded(graph) if scheduler.klass == "UNC" else machine
-    schedule = scheduler.schedule(graph, m)
-    validate(schedule)  # precedence + communication + no-overlap checks
-    print(f"--- {name} ({scheduler.klass}) ---")
+for spec, machine in (("MCP", 3), ("DLS", 3), ("DCP", None)):
+    schedule = api.schedule(graph, machine, spec)
+    print(f"--- {spec} ---")
     print(f"schedule length: {schedule.length:g}   "
           f"NSL: {nsl(schedule):.3f}   "
           f"processors used: {schedule.processors_used()}")
     print(gantt(schedule, width=60))
     print()
+
+# ----------------------------------------------------------------------
+# 3. Which heuristic wins overall?  api.rank replays the paper's
+#    ranking methodology over any graph set.
+# ----------------------------------------------------------------------
+for row in api.rank(graph, 3, specs=("MCP", "DLS", "HLFET")):
+    print(f"{row['spec']:>24}: avg rank {row['avg_rank']:.2f}, "
+          f"mean NSL {row['mean_nsl']:.3f}, wins {row['wins']}")

@@ -34,7 +34,6 @@ from .base import (
     SCHEDULER_CLASSES,
     Scheduler,
     get_scheduler,
-    get_scheduler_class,
     list_schedulers,
     register,
 )
@@ -53,7 +52,6 @@ __all__ = [
     "Scheduler",
     "register",
     "get_scheduler",
-    "get_scheduler_class",
     "list_schedulers",
     "SCHEDULER_CLASSES",
     "BNP_SPECS",

@@ -19,7 +19,6 @@ simulator) therefore accepts synthesized schedulers for free.
 from __future__ import annotations
 
 import abc
-import warnings
 from typing import Dict, List, Optional, Type
 
 from ..core.graph import TaskGraph
@@ -31,7 +30,6 @@ __all__ = [
     "Scheduler",
     "register",
     "get_scheduler",
-    "get_scheduler_class",
     "list_schedulers",
     "SCHEDULER_CLASSES",
 ]
@@ -99,7 +97,6 @@ def register(cls: Type[Scheduler]) -> Type[Scheduler]:
 
 
 _INSTANCES: Dict[str, Scheduler] = {}
-_CLASS_SHIM_WARNED = False
 
 
 def get_scheduler(name: str) -> Scheduler:
@@ -150,31 +147,6 @@ def get_scheduler(name: str) -> Scheduler:
         inst = cls()
         _INSTANCES[name.upper()] = inst
     return inst
-
-
-def get_scheduler_class(name: str) -> Type[Scheduler]:
-    """Deprecated: the registered *class* for ``name``.
-
-    The pre-1.1 lookup returned classes and every caller instantiated
-    ad hoc; :func:`get_scheduler` now returns a ready-to-call instance
-    and additionally resolves ``param:`` component specs (which have no
-    dedicated class — use :func:`get_scheduler` for those).  This shim
-    keeps the old contract for external callers and warns once per
-    process.
-    """
-    global _CLASS_SHIM_WARNED
-    if not _CLASS_SHIM_WARNED:
-        _CLASS_SHIM_WARNED = True
-        warnings.warn(
-            "get_scheduler_class() is deprecated; get_scheduler() "
-            "returns a ready-to-call instance and also resolves "
-            "'param:' component specs",
-            DeprecationWarning, stacklevel=2)
-    try:
-        return _REGISTRY[name.upper()]
-    except KeyError:
-        known = ", ".join(sorted(_REGISTRY))
-        raise KeyError(f"unknown scheduler {name!r}; known: {known}") from None
 
 
 def list_schedulers(klass: Optional[str] = None) -> List[str]:

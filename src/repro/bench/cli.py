@@ -45,6 +45,20 @@ pair's gap, persisting every chain plus a per-pair Pareto front
 writes the frontier instances as ``.stg`` files that
 :func:`repro.generators.load_graph` reads back.
 
+The ``serve`` / ``loadtest`` verbs run scheduling as a service
+(:mod:`repro.service`)::
+
+    repro-bench serve --port 8080 --jobs 4 --cache-dir results/cache
+    repro-bench loadtest                       # self-hosted storm
+    repro-bench loadtest --url 127.0.0.1:8080 --requests 500 --skew 1.3
+
+``serve`` answers ``POST /schedule`` (task graph + machine + spec, as
+JSON or bare STG text) with batching onto a persistent worker pool and
+a fingerprint-keyed schedule cache, and drains cleanly on SIGTERM;
+``loadtest`` replays a seeded Zipf-skewed traffic storm
+(:mod:`repro.scenarios.storm`) and prints the RPS/p50/p99 table with
+the cold-vs-warm cache speedup.
+
 The ``check`` verb runs the domain-aware static analysis
 (:mod:`repro.check`) over the repo's own source::
 
@@ -111,10 +125,10 @@ from typing import Callable, Dict, List, Optional
 from . import figures, tables
 from ..obs import report as _obs_report
 from ..obs import trace as _trace
-from .store import OptimaStore, ResultStore, ensure_writable
+from .store import OptimaStore, ResultStore, open_store
 
 __all__ = ["main", "algo_main", "scenario_main", "sim_main", "adv_main",
-           "trace_main", "profile_main"]
+           "trace_main", "profile_main", "serve_main", "loadtest_main"]
 
 
 def _fail(message: str) -> int:
@@ -126,16 +140,16 @@ def _fail(message: str) -> int:
 def _open_results(directory: str, opener):
     """The one validated store-opening path shared by every verb family.
 
-    The artifact flags, ``scenario run``, ``sim run/compare`` and the
-    ``adv`` verbs all funnel their ``--results`` directory through
-    here: :func:`repro.bench.store.ensure_writable` turns an
-    unwritable or invalid path into a ``ValueError`` whose one-line
-    message every caller prints as the exit-2 diagnostic, and
-    ``opener`` then loads — and thereby validates — the family's store
-    files, so a corrupt store fails the same way on every verb.
+    The artifact flags, ``scenario run``, ``sim run/compare``, the
+    ``adv`` verbs and the service's persistent schedule cache all
+    funnel their store directory through
+    :func:`repro.bench.store.open_store`: it turns an unwritable or
+    invalid path into a ``ValueError`` whose one-line message every
+    caller prints as the exit-2 diagnostic, and ``opener`` then loads —
+    and thereby validates — the family's store files, so a corrupt
+    store fails the same way on every verb.
     """
-    ensure_writable(directory)
-    return opener(directory)
+    return open_store(directory, opener=opener)
 
 
 def _open_store(directory: str) -> ResultStore:
@@ -272,6 +286,10 @@ def _dispatch(argv: List[str]) -> int:
         return trace_main(argv[1:])
     if argv and argv[0] == "profile":
         return profile_main(argv[1:])
+    if argv and argv[0] == "serve":
+        return serve_main(argv[1:])
+    if argv and argv[0] == "loadtest":
+        return loadtest_main(argv[1:])
     return _artifact_main(argv)
 
 
@@ -854,6 +872,197 @@ def profile_main(argv: Optional[List[str]] = None) -> int:
     except ValueError as exc:
         return _fail(str(exc))
     print(_obs_report.render_profile(manifest, top=args.top))
+    return 0
+
+
+# ----------------------------------------------------------------------
+# service verbs
+# ----------------------------------------------------------------------
+def serve_main(argv: Optional[List[str]] = None) -> int:
+    """``repro-bench serve``: run the scheduling service until SIGTERM.
+
+    Stands up :class:`repro.service.ScheduleService` — async batching
+    front end, fingerprint-keyed schedule cache, persistent worker
+    pool — and blocks until SIGTERM/SIGINT triggers a clean drain
+    (stop accepting, finish queued work, flush the cache).
+    """
+    import asyncio
+
+    parser = argparse.ArgumentParser(
+        prog="repro-bench serve",
+        description="Serve POST /schedule (task graph + machine + spec "
+                    "-> schedule) with batching and a fingerprint-keyed "
+                    "cache; GET /healthz and /stats for monitoring.",
+    )
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="bind address (default: 127.0.0.1)")
+    parser.add_argument("--port", type=int, default=8080,
+                        help="bind port, 0 = ephemeral (default: 8080)")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes; 0 = one per CPU, "
+                             "1 = in-process (default: 1)")
+    parser.add_argument("--queue-limit", type=int, default=64,
+                        metavar="N",
+                        help="pending-request bound before 429s "
+                             "(default: 64)")
+    parser.add_argument("--max-batch", type=int, default=8, metavar="N",
+                        help="max requests batched per pool dispatch "
+                             "(default: 8)")
+    parser.add_argument("--timeout", type=float, default=30.0,
+                        metavar="SECONDS",
+                        help="per-request deadline before a 504 "
+                             "(default: 30)")
+    parser.add_argument("--cache-capacity", type=int, default=1024,
+                        metavar="N",
+                        help="in-memory LRU entries (default: 1024)")
+    parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="persist the schedule cache in DIR "
+                             "(default: memory only)")
+    args = parser.parse_args(argv)
+
+    from ..service import ScheduleService, ServiceConfig
+
+    config = ServiceConfig(
+        host=args.host, port=args.port, jobs=args.jobs,
+        queue_limit=args.queue_limit, max_batch=args.max_batch,
+        timeout_s=args.timeout, cache_capacity=args.cache_capacity,
+        cache_dir=args.cache_dir)
+
+    async def run() -> None:
+        service = ScheduleService(config)
+        await service.start()
+        service.install_signal_handlers()
+        print(f"repro-bench serve: listening on "
+              f"http://{config.host}:{service.port} "
+              f"(jobs={service.pool.jobs}, "
+              f"queue-limit={config.queue_limit}, "
+              f"timeout={config.timeout_s:g}s)")
+        try:
+            await service.serve_forever()
+        finally:
+            await service.drain()
+            print("repro-bench serve: drained, bye")
+
+    try:
+        asyncio.run(run())
+    except ValueError as exc:          # e.g. unusable --cache-dir
+        return _fail(str(exc))
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def loadtest_main(argv: Optional[List[str]] = None) -> int:
+    """``repro-bench loadtest``: fire a seeded traffic storm, print the
+    RPS/p50/p99 table.
+
+    Self-hosts an in-process service by default (a from-cold
+    measurement including cache warm-up); ``--url HOST:PORT`` targets
+    a server started with ``repro-bench serve`` instead.
+    """
+    parser = argparse.ArgumentParser(
+        prog="repro-bench loadtest",
+        description="Replay a seeded, Zipf-skewed storm of scheduling "
+                    "requests and report RPS, latency percentiles and "
+                    "the cold-vs-warm cache speedup.",
+    )
+    parser.add_argument("--url", default=None, metavar="HOST:PORT",
+                        help="target a running server (default: "
+                             "self-host one in process)")
+    parser.add_argument("--requests", type=int, default=200, metavar="N",
+                        help="storm length (default: 200)")
+    parser.add_argument("--templates", type=int, default=8, metavar="N",
+                        help="distinct (graph, spec) templates "
+                             "(default: 8)")
+    parser.add_argument("--sizes", default="150,250,400", metavar="LIST",
+                        help="comma-separated graph sizes the templates "
+                             "cycle over (default: 150,250,400)")
+    parser.add_argument("--ccr", type=float, default=1.0,
+                        help="graph CCR (default: 1.0)")
+    parser.add_argument("--specs", default=None, metavar="LIST",
+                        help="comma-separated scheduler specs "
+                             "(default: mcp,dls,param:prio=blevel,"
+                             "proc=est)")
+    parser.add_argument("--procs", type=int, default=8, metavar="P",
+                        help="processors per request (default: 8)")
+    parser.add_argument("--rate", type=float, default=500.0,
+                        help="mean arrival rate in req/s (default: 500)")
+    parser.add_argument("--skew", type=float, default=1.1,
+                        help="Zipf popularity exponent (default: 1.1)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="storm seed (default: 0)")
+    parser.add_argument("--jobs", type=int, default=2, metavar="N",
+                        help="self-hosted server workers; worker "
+                             "processes keep cold scheduling off the "
+                             "event loop (default: 2)")
+    parser.add_argument("--concurrency", type=int, default=16,
+                        metavar="N",
+                        help="client connections in flight "
+                             "(default: 16)")
+    parser.add_argument("--pace", type=float, default=0.0,
+                        metavar="SCALE",
+                        help="scale seeded arrival times; 0 = fire as "
+                             "fast as --concurrency allows (default: 0)")
+    parser.add_argument("--timeout", type=float, default=30.0,
+                        metavar="SECONDS",
+                        help="per-request deadline (default: 30)")
+    parser.add_argument("--format", default="text",
+                        choices=sorted(_EXTENSIONS),
+                        help="output format (default: text)")
+    parser.add_argument("--out", default=None, metavar="DIR",
+                        help="also write the table under DIR")
+    args = parser.parse_args(argv)
+
+    from ..scenarios.storm import StormConfig
+    from ..service import loadtest_table, run_loadtest
+
+    url = None
+    if args.url is not None:
+        host, sep, port = args.url.rpartition(":")
+        if not sep or not port.isdigit():
+            return _fail(f"--url must be HOST:PORT, got {args.url!r}")
+        url = (host or "127.0.0.1", int(port))
+
+    try:
+        sizes = tuple(int(s) for s in args.sizes.split(",") if s)
+        if not sizes:
+            raise ValueError
+    except ValueError:
+        return _fail(f"--sizes must be comma-separated integers, "
+                     f"got {args.sizes!r}")
+    spec_field = StormConfig.__dataclass_fields__["specs"]
+    if args.specs is None:
+        specs = spec_field.default
+    else:
+        # Commas both separate specs and appear inside param specs
+        # (``param:prio=blevel,proc=est``); a fragment that is a bare
+        # key=value continues the previous spec.
+        merged: List[str] = []
+        for part in args.specs.split(","):
+            if not part:
+                continue
+            if merged and "=" in part and ":" not in part:
+                merged[-1] += "," + part
+            else:
+                merged.append(part)
+        if not merged:
+            return _fail(f"--specs must name at least one scheduler "
+                         f"spec, got {args.specs!r}")
+        specs = tuple(merged)
+
+    config = StormConfig(requests=args.requests,
+                         templates=args.templates, sizes=sizes,
+                         ccr=args.ccr, specs=specs, procs=args.procs,
+                         rate=args.rate, skew=args.skew, seed=args.seed)
+    try:
+        report = run_loadtest(config, url=url, jobs=args.jobs,
+                              concurrency=args.concurrency,
+                              pace=args.pace, timeout_s=args.timeout)
+    except OSError as exc:
+        return _fail(f"cannot reach {args.url}: {exc}")
+    table = loadtest_table(report, config)
+    _emit(_render_table(table, args.format), "loadtest", args.out,
+          args.format)
     return 0
 
 

@@ -32,7 +32,8 @@ from ..obs import metrics as _metrics
 from ..obs import trace as _trace
 from .store import ResultStore
 
-__all__ = ["grid_cells", "execute_cells", "run_grid", "default_jobs"]
+__all__ = ["grid_cells", "execute_cells", "run_grid", "default_jobs",
+           "WorkerPool"]
 
 # One cell of work: (algorithm name, graph, requested optimum or None).
 Cell = Tuple[str, TaskGraph, Optional[float]]
@@ -48,6 +49,79 @@ def default_jobs() -> int:
         return max(1, len(os.sched_getaffinity(0)))
     except AttributeError:  # platforms without sched_getaffinity
         return max(1, os.cpu_count() or 1)
+
+
+class WorkerPool:
+    """A long-lived worker pool: the grid engine's fan-out, persistent.
+
+    ``execute_cells`` forks a fresh ``multiprocessing.Pool`` per call —
+    right for a batch CLI run, wrong for a service handling requests
+    for hours.  A ``WorkerPool`` keeps the same workers alive across
+    any number of :meth:`run_batch` / :meth:`imap` calls (created
+    lazily on first use, so constructing one is free) and is handed to
+    ``execute_cells(pool=...)`` to reuse them for grid work too.
+
+    ``jobs`` follows the CLI convention: ``None``/``1`` — run
+    in-process with no subprocesses at all; ``N > 1`` — ``N`` workers;
+    ``0`` — one per usable CPU.  :meth:`drain` finishes all submitted
+    work and releases the workers (the SIGTERM path of the service);
+    :meth:`shutdown` with ``wait=False`` kills them immediately.  The
+    object is reusable after either — the next submission simply forks
+    a fresh pool — and works as a context manager.
+    """
+
+    def __init__(self, jobs: Optional[int] = None):
+        self.jobs = default_jobs() if jobs == 0 else max(1, int(jobs or 1))
+        self._pool: Optional[multiprocessing.pool.Pool] = None
+
+    # ------------------------------------------------------------------
+    def _ensure(self) -> multiprocessing.pool.Pool:
+        if self._pool is None:
+            self._pool = multiprocessing.Pool(processes=self.jobs)
+        return self._pool
+
+    @property
+    def alive(self) -> bool:
+        """Whether worker processes currently exist."""
+        return self._pool is not None
+
+    def imap(self, fn, batch: Sequence, chunksize: int = 1):
+        """Order-preserving lazy map over the persistent workers.
+
+        Falls back to an in-process generator when ``jobs <= 1`` or the
+        batch has a single item (same policy as ``execute_cells``), so
+        callers never pay pool overhead for degenerate batches.
+        """
+        if self.jobs <= 1 or len(batch) <= 1:
+            return (fn(args) for args in batch)
+        return self._ensure().imap(fn, batch, chunksize=chunksize)
+
+    def run_batch(self, fn, batch: Sequence) -> List:
+        """Run ``fn`` over ``batch`` on the persistent workers; returns
+        results in submission order (the service's per-batch call)."""
+        return list(self.imap(fn, batch))
+
+    # ------------------------------------------------------------------
+    def drain(self) -> None:
+        """Finish everything submitted, then release the workers."""
+        self.shutdown(wait=True)
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Release the workers; ``wait=False`` terminates them."""
+        pool, self._pool = self._pool, None
+        if pool is None:
+            return
+        if wait:
+            pool.close()
+        else:
+            pool.terminate()
+        pool.join()
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.shutdown(wait=exc_type is None)
 
 
 def grid_cells(names: Sequence[str], graphs: Iterable[TaskGraph],
@@ -92,7 +166,8 @@ def execute_cells(keys: Sequence[Tuple[str, str]], work: Sequence,
                   jobs: Optional[int] = None,
                   store: Optional[ResultStore] = None,
                   resume: bool = False,
-                  rebase=None) -> List:
+                  rebase=None,
+                  pool: Optional[WorkerPool] = None) -> List:
     """The grid executor every cell-shaped benchmark shares.
 
     ``keys[i] = (algorithm, graph name)`` is cell *i*'s store cache key
@@ -105,6 +180,11 @@ def execute_cells(keys: Sequence[Tuple[str, str]], work: Sequence,
     once at the end.  Both the static grid (:func:`run_grid`) and the
     Monte-Carlo sim grid (:func:`repro.sim.bench.run_sim_grid`) run on
     this one implementation.
+
+    ``pool`` hands in a persistent :class:`WorkerPool` to run the
+    fan-out on instead of forking a fresh ``multiprocessing.Pool`` for
+    this call — the service mode, where workers outlive any one batch;
+    ``jobs`` is then ignored in favour of the pool's worker count.
     """
     rows: List = [None] * len(keys)
     todo: List[int] = []
@@ -139,7 +219,21 @@ def execute_cells(keys: Sequence[Tuple[str, str]], work: Sequence,
         alg, gname = keys[i]
         return f"{alg} on {gname}"
 
-    jobs = default_jobs() if jobs == 0 else max(1, int(jobs or 1))
+    if pool is not None:
+        jobs = pool.jobs
+    else:
+        jobs = default_jobs() if jobs == 0 else max(1, int(jobs or 1))
+
+    def consume(results) -> None:
+        # imap preserves submission order: rows land at their serial
+        # indices no matter which worker finishes first.
+        for i, res in zip(todo, results):
+            if observing:
+                res, payload = res
+                _trace.absorb(payload, track=cell_label(i))
+            rows[i] = res
+            record(res)
+
     try:
         if jobs > 1 and len(todo) > 1:
             if observing:
@@ -148,18 +242,13 @@ def execute_cells(keys: Sequence[Tuple[str, str]], work: Sequence,
             else:
                 fn = worker
                 batch = [work[i] for i in todo]
-            processes = min(jobs, len(batch))
-            chunksize = max(1, len(batch) // (processes * 4))
-            with multiprocessing.Pool(processes=processes) as pool:
-                # imap preserves submission order: rows land at their
-                # serial indices no matter which worker finishes first.
-                for i, res in zip(todo, pool.imap(fn, batch,
-                                                  chunksize=chunksize)):
-                    if observing:
-                        res, payload = res
-                        _trace.absorb(payload, track=cell_label(i))
-                    rows[i] = res
-                    record(res)
+            chunksize = max(1, len(batch) // (min(jobs, len(batch)) * 4))
+            if pool is not None:
+                consume(pool.imap(fn, batch, chunksize=chunksize))
+            else:
+                processes = min(jobs, len(batch))
+                with multiprocessing.Pool(processes=processes) as mp_pool:
+                    consume(mp_pool.imap(fn, batch, chunksize=chunksize))
         else:
             for i in todo:
                 if observing:

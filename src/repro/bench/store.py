@@ -44,6 +44,7 @@ __all__ = [
     "result_to_dict",
     "result_from_dict",
     "ensure_writable",
+    "open_store",
     "ResultStore",
     "OptimaStore",
 ]
@@ -68,6 +69,25 @@ def ensure_writable(directory: str) -> None:
             f"results path {directory!r} is not a writable directory "
             f"({exc.strerror or exc})"
         ) from exc
+
+def open_store(directory: str, basename: str = "results",
+               row_type: Optional[type] = None, opener=None):
+    """Validate ``directory`` and open a store in it — the one path
+    every ``--results`` flag and the service cache go through.
+
+    Probes writability first (:func:`ensure_writable`), so every
+    caller fails the same way — a ``ValueError`` whose message the
+    CLIs turn into their one-line exit-2 diagnostic — instead of a
+    traceback from deep inside a grid run.  ``opener`` customizes
+    construction (e.g. ``sim_store`` / ``adv_store``); the default
+    builds a :class:`ResultStore` with ``basename`` and ``row_type``.
+    """
+    ensure_writable(directory)
+    if opener is not None:
+        return opener(directory)
+    return ResultStore(directory, basename=basename,
+                       row_type=row_type or RunResult)
+
 
 SCHEMA_VERSION = 1
 
@@ -138,6 +158,12 @@ class ResultStore:
         self.row_type = row_type
         self._fields = row_fields(row_type)
         self._rows: Dict[Key, Dict] = {}
+        #: Lifetime lookup counters (process-local, never persisted):
+        #: every :meth:`get` bumps exactly one of the two.  The service
+        #: surfaces them per cache; the grid engine's aggregate
+        #: ``store.cache_hits`` obs counter is separate and unchanged.
+        self.hits = 0
+        self.misses = 0
         if os.path.exists(self.json_path):
             self.load()
 
@@ -169,8 +195,11 @@ class ResultStore:
             fingerprint: str) -> Optional[RunResult]:
         """The cached row for a cell, or ``None`` on a miss."""
         data = self._rows.get(self.key(algorithm, graph, fingerprint))
-        return (row_from_dict(data, self.row_type)
-                if data is not None else None)
+        if data is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return row_from_dict(data, self.row_type)
 
     def put(self, row, fingerprint: str) -> None:
         """Insert or overwrite one cell."""

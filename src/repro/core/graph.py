@@ -181,6 +181,31 @@ class TaskGraph:
         """Node ids ``0 .. num_nodes-1``."""
         return range(self.num_nodes)
 
+    def fingerprint(self) -> str:
+        """Stable content identity of the graph structure.
+
+        A short SHA-256 digest over the node count, every computation
+        cost and every ``(u, v, cost)`` edge — the *name* is
+        deliberately excluded, so two differently-named copies of the
+        same DAG share one identity.  Schedulers are pure functions of
+        ``(graph, machine, spec)``, which makes this digest the graph
+        part of every schedule-cache key (see :mod:`repro.service`):
+        equal fingerprints guarantee bit-identical schedules from any
+        deterministic scheduler.  Computed once per graph (the graph is
+        immutable) and memoised.
+        """
+        import hashlib
+
+        def compute(g: "TaskGraph") -> str:
+            h = hashlib.sha256()
+            h.update(str(g.num_nodes).encode())
+            h.update(g._weights.tobytes())
+            for u, v, c in g.edges():
+                h.update(f"|{u},{v},{c:.17g}".encode())
+            return h.hexdigest()[:16]
+
+        return str(self.cached("_fingerprint", compute))
+
     # ------------------------------------------------------------------
     # flat-array kernel views
     # ------------------------------------------------------------------

@@ -18,10 +18,16 @@ Counter names form a small registry (see DESIGN.md "Observability"):
 ``online.replans``     accepted replan directives
 ``online.migrations``  pending tasks moved between processors by replans
 ``store.cache_hits``   grid cells served from a ResultStore (local)
+``service.requests``   HTTP requests answered by the schedule service
+``service.cache_hits`` requests served from the schedule cache (local)
+``service.rejected``   requests bounced with 429 backpressure (local)
+``service.timeouts``   requests answered 504 past the deadline (local)
 ===================== ==================================================
 
 Counters marked *local* depend on per-process memo caches (a worker
-recomputes what a serial run memoizes), so the manifest keeps them in a
+recomputes what a serial run memoizes) or on request timing (how a
+storm interleaves decides which requests find the cache warm, hit the
+queue bound or outrun the deadline), so the manifest keeps them in a
 separate ``local`` section that is excluded from the cross-``--jobs``
 determinism contract and from the regression gate.
 
@@ -49,9 +55,16 @@ __all__ = [
     "reset",
 ]
 
-#: Counter names whose totals depend on per-process caches, not on the
-#: work itself; kept out of the deterministic manifest section.
-LOCAL_COUNTERS = frozenset({"kernel.sweeps", "store.cache_hits"})
+#: Counter names whose totals depend on per-process caches or request
+#: timing, not on the work itself; kept out of the deterministic
+#: manifest section.
+LOCAL_COUNTERS = frozenset({
+    "kernel.sweeps",
+    "store.cache_hits",
+    "service.cache_hits",
+    "service.rejected",
+    "service.timeouts",
+})
 
 # The registry: {"counters": {...}, "local": {...}, "gauges": {...},
 # "hists": {name: {"count", "total", "min", "max"}}} — or None while

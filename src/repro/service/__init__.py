@@ -1,0 +1,37 @@
+"""Schedule-as-a-service: the repro as a long-running server.
+
+The batch CLI answers "how good are the schedules"; this package
+answers the ROADMAP's other axis — how fast can they be *served*.  A
+stdlib-``asyncio`` HTTP server (:mod:`repro.service.server`) accepts
+scheduling requests (graph + machine + spec, JSON or STG text),
+batches concurrent work onto a persistent
+:class:`~repro.bench.parallel.WorkerPool`, and memoizes results in an
+LRU :class:`~repro.service.cache.ScheduleCache` keyed by the
+``repro.api`` fingerprints, so repeated requests for a hot graph are
+answered without scheduling anything.
+
+Robustness is part of the contract: per-request timeouts (504), a
+bounded queue with backpressure (429), malformed graphs answered with
+the model's :class:`~repro.core.schedule.Violation` tables instead of
+tracebacks, and a clean drain on SIGTERM.  Drive it with
+``repro-bench serve`` / ``repro-bench loadtest``, or in-process:
+
+>>> from repro.service import ScheduleService, ServiceConfig
+>>> service = ScheduleService(ServiceConfig(port=0))  # doctest: +SKIP
+"""
+
+from .cache import ScheduleCache, ServiceRow
+from .client import ServiceClient
+from .loadtest import LoadtestReport, loadtest_table, run_loadtest
+from .server import ScheduleService, ServiceConfig
+
+__all__ = [
+    "ScheduleCache",
+    "ServiceRow",
+    "ServiceClient",
+    "ScheduleService",
+    "ServiceConfig",
+    "LoadtestReport",
+    "loadtest_table",
+    "run_loadtest",
+]

@@ -1,0 +1,72 @@
+"""A minimal blocking client for the scheduling service.
+
+Stdlib :mod:`http.client` only — the counterpart of the server's
+hand-rolled HTTP.  Every call returns ``(status, payload)`` with the
+payload already JSON-decoded; no exceptions for HTTP-level errors
+(400/429/504 are *protocol*, the loadtest counts them), only for
+transport failures (``OSError``).
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from typing import Any, Dict, Optional, Tuple
+
+__all__ = ["ServiceClient"]
+
+
+class ServiceClient:
+    """Blocking HTTP client bound to one service address."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8080,
+                 timeout: float = 30.0):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    def _request(self, method: str, path: str,
+                 body: Optional[bytes] = None,
+                 content_type: str = "application/json"
+                 ) -> Tuple[int, Dict]:
+        conn = http.client.HTTPConnection(self.host, self.port,
+                                          timeout=self.timeout)
+        try:
+            headers = {"Content-Type": content_type} if body else {}
+            conn.request(method, path, body=body, headers=headers)
+            response = conn.getresponse()
+            raw = response.read()
+            try:
+                payload = json.loads(raw) if raw else {}
+            except json.JSONDecodeError:
+                payload = {"error": raw.decode("utf-8", "replace")}
+            return response.status, payload
+        finally:
+            conn.close()
+
+    # ------------------------------------------------------------------
+    def post_body(self, body: bytes,
+                  content_type: str = "application/json"
+                  ) -> Tuple[int, Dict]:
+        """POST pre-serialized bytes to ``/schedule`` (loadtest path —
+        byte-identical bodies hit the server's digest memo)."""
+        return self._request("POST", "/schedule", body, content_type)
+
+    def schedule(self, graph: Any, machine: Any = None,
+                 spec: str = "mcp") -> Tuple[int, Dict]:
+        """Schedule ``graph`` remotely; sources as :mod:`repro.api`
+        accepts them (mappings, STG text, processor counts)."""
+        body = json.dumps({"graph": graph, "machine": machine,
+                           "spec": spec}, sort_keys=True).encode()
+        return self.post_body(body)
+
+    def schedule_stg(self, stg_text: str) -> Tuple[int, Dict]:
+        """Schedule bare STG text with the default spec."""
+        return self.post_body(stg_text.encode(), content_type="text/plain")
+
+    def stats(self) -> Tuple[int, Dict]:
+        return self._request("GET", "/stats")
+
+    def healthz(self) -> Tuple[int, Dict]:
+        return self._request("GET", "/healthz")

@@ -1,0 +1,192 @@
+"""The loadtest harness: fire a seeded storm at a running service.
+
+Drives a :class:`~repro.scenarios.storm.StormConfig` request stream
+against a server — an external one (``url``) or a self-hosted
+in-process instance on an ephemeral port (the default of
+``repro-bench loadtest``, so one command measures a cold server).
+Requests are paced by the storm's seeded arrival times (``pace``
+scales them; 0 fires as fast as ``concurrency`` allows) and posted as
+pre-serialized bytes, so repeats of a template are byte-identical and
+exercise the server's digest memo exactly like real repeated traffic.
+
+The report separates cold (``cached: false``) from warm latencies —
+the cold/warm p50 ratio is the cache's headline number, gated by the
+CI service-smoke case — and ends with the server's own ``/stats``
+snapshot for the warm-hit ratio.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..bench.tables import Table
+from ..scenarios.storm import StormConfig, make_storm
+from .client import ServiceClient
+
+__all__ = ["LoadtestReport", "run_loadtest", "loadtest_table"]
+
+
+def _percentile(samples: List[float], q: float) -> float:
+    """Nearest-rank percentile (deterministic, no interpolation)."""
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    rank = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+    return ordered[rank]
+
+
+@dataclass
+class LoadtestReport:
+    """Everything one storm run measured."""
+
+    requests: int = 0
+    ok: int = 0
+    rejected: int = 0          # 429 backpressure
+    timeouts: int = 0          # 504 deadline
+    errors: int = 0            # anything else non-200
+    duration_s: float = 0.0
+    rps: float = 0.0
+    p50_ms: float = 0.0
+    p99_ms: float = 0.0
+    cold: int = 0
+    warm: int = 0
+    cold_p50_ms: float = 0.0
+    warm_p50_ms: float = 0.0
+    warm_hit_ratio: float = 0.0
+    server_stats: Dict = field(default_factory=dict)
+
+    @property
+    def speedup(self) -> float:
+        """Cold p50 over warm p50 — the cache's payoff."""
+        if self.warm_p50_ms <= 0:
+            return 0.0
+        return self.cold_p50_ms / self.warm_p50_ms
+
+
+async def _drive(config: StormConfig, client: ServiceClient,
+                 concurrency: int, pace: float) -> LoadtestReport:
+    requests = make_storm(config)
+    loop = asyncio.get_running_loop()
+    gate = asyncio.Semaphore(max(1, concurrency))
+    bodies = {id(r): json.dumps(r.body, sort_keys=True).encode()
+              for r in requests}
+    outcomes: List[Tuple[int, bool, float]] = []
+
+    start = time.perf_counter()
+
+    async def one(req) -> None:
+        if pace > 0:
+            delay = req.arrival * pace - (time.perf_counter() - start)
+            if delay > 0:
+                await asyncio.sleep(delay)
+        async with gate:
+            t0 = time.perf_counter()
+            status, payload = await loop.run_in_executor(
+                executor, client.post_body, bodies[id(req)])
+            latency_ms = (time.perf_counter() - t0) * 1000.0
+        outcomes.append((status, bool(payload.get("cached")), latency_ms))
+
+    with ThreadPoolExecutor(max_workers=max(1, concurrency)) as executor:
+        await asyncio.gather(*(one(r) for r in requests))
+        duration = time.perf_counter() - start
+        stats_status, server_stats = await loop.run_in_executor(
+            executor, client.stats)
+
+    report = LoadtestReport(requests=len(requests), duration_s=duration)
+    all_ms: List[float] = []
+    cold_ms: List[float] = []
+    warm_ms: List[float] = []
+    for status, cached, latency_ms in outcomes:
+        if status == 200:
+            report.ok += 1
+            all_ms.append(latency_ms)
+            (warm_ms if cached else cold_ms).append(latency_ms)
+        elif status == 429:
+            report.rejected += 1
+        elif status == 504:
+            report.timeouts += 1
+        else:
+            report.errors += 1
+    report.rps = report.requests / duration if duration > 0 else 0.0
+    report.p50_ms = _percentile(all_ms, 0.50)
+    report.p99_ms = _percentile(all_ms, 0.99)
+    report.cold = len(cold_ms)
+    report.warm = len(warm_ms)
+    report.cold_p50_ms = _percentile(cold_ms, 0.50)
+    report.warm_p50_ms = _percentile(warm_ms, 0.50)
+    if report.ok:
+        report.warm_hit_ratio = report.warm / report.ok
+    if stats_status == 200:
+        report.server_stats = server_stats
+    return report
+
+
+async def _run_selfhosted(config: StormConfig, jobs: int,
+                          concurrency: int, pace: float,
+                          timeout_s: float) -> LoadtestReport:
+    from .server import ScheduleService, ServiceConfig
+
+    service = ScheduleService(ServiceConfig(port=0, jobs=jobs,
+                                            timeout_s=timeout_s))
+    await service.start()
+    try:
+        client = ServiceClient(service.config.host, service.port,
+                               timeout=timeout_s + 5.0)
+        return await _drive(config, client, concurrency, pace)
+    finally:
+        await service.drain()
+
+
+def run_loadtest(config: Optional[StormConfig] = None,
+                 url: Optional[Tuple[str, int]] = None,
+                 jobs: int = 2, concurrency: int = 16,
+                 pace: float = 0.0,
+                 timeout_s: float = 30.0) -> LoadtestReport:
+    """Run one storm and return its report (blocking entry point).
+
+    ``url=(host, port)`` targets a running server; ``None``
+    self-hosts a fresh in-process service with ``jobs`` workers for
+    the duration of the storm — a from-cold measurement.  ``jobs``
+    defaults to 2 because with worker *processes* the cold scheduling
+    work leaves the event loop (and the GIL) alone, so warm hits stay
+    fast during cold bursts; ``jobs=1`` schedules in the server's own
+    process and measures the contended worst case.
+    """
+    config = config or StormConfig()
+    if url is not None:
+        client = ServiceClient(url[0], url[1], timeout=timeout_s + 5.0)
+        return asyncio.run(_drive(config, client, concurrency, pace))
+    return asyncio.run(_run_selfhosted(config, jobs, concurrency, pace,
+                                       timeout_s))
+
+
+def loadtest_table(report: LoadtestReport,
+                   config: StormConfig) -> Table:
+    """The RPS/p50/p99 table ``repro-bench loadtest`` renders."""
+    rows = [
+        ["requests", str(report.requests)],
+        ["ok / 429 / 504 / err",
+         f"{report.ok} / {report.rejected} / {report.timeouts} / "
+         f"{report.errors}"],
+        ["duration", f"{report.duration_s:.3f} s"],
+        ["RPS", f"{report.rps:.1f}"],
+        ["p50", f"{report.p50_ms:.2f} ms"],
+        ["p99", f"{report.p99_ms:.2f} ms"],
+        ["cold p50", f"{report.cold_p50_ms:.2f} ms ({report.cold} reqs)"],
+        ["warm p50", f"{report.warm_p50_ms:.2f} ms ({report.warm} reqs)"],
+        ["warm/cold speedup", f"{report.speedup:.1f}x"],
+        ["warm-hit ratio", f"{report.warm_hit_ratio:.2f}"],
+    ]
+    return Table(
+        id="loadtest",
+        title=f"traffic storm [{config.fingerprint()}]",
+        columns=["metric", "value"],
+        rows=rows,
+        notes=["cold = scheduled on the pool; warm = served from the "
+               "fingerprint-keyed schedule cache"],
+    )

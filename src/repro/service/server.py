@@ -1,0 +1,351 @@
+"""The asyncio batching server.
+
+Request lifecycle::
+
+    connection -> parse HTTP -> digest memo -> schedule cache
+        hit  -> respond (no scheduling, no queueing)
+        miss -> coalesce with any identical in-flight request, else
+                enqueue on the bounded job queue   (full -> 429)
+        batch loop drains the queue (up to ``max_batch`` jobs), runs
+        the batch on the persistent WorkerPool, fulfils futures,
+        populates the cache
+    handler awaits its future under ``timeout_s``  (late -> 504)
+
+Batching is what makes the worker pool a service component rather
+than a per-request fork: concurrent misses ride one executor
+round-trip, exactly like grid cells ride one ``execute_cells`` call —
+and it *is* the same pool class
+(:class:`~repro.bench.parallel.WorkerPool`), so `jobs > 1` fans a
+batch across processes while ``jobs=1`` schedules in-process with no
+multiprocessing at all.
+
+Shutdown: :meth:`ScheduleService.drain` (wired to SIGTERM/SIGINT by
+``repro-bench serve``) stops accepting, lets queued and in-flight
+jobs finish, flushes the cache's persistent backend, and releases the
+workers.  Everything observable goes through :mod:`repro.obs`:
+``service.request`` spans, ``service.requests`` /
+``service.cache_hits`` / ``service.rejected`` / ``service.timeouts``
+counters and a ``service.latency_ms`` histogram land in the run
+manifest of a traced run.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import functools
+import hashlib
+import signal
+import time
+from collections import OrderedDict
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple, Union
+
+from .. import api
+from ..bench.parallel import WorkerPool
+from ..obs import metrics as _metrics
+from ..obs import trace as _trace
+from .cache import ScheduleCache
+from .protocol import (
+    Request,
+    parse_schedule_request,
+    read_request,
+    response_bytes,
+    schedule_cell,
+    violations_payload,
+)
+
+__all__ = ["ServiceConfig", "ScheduleService"]
+
+
+def _parse_and_key(body: bytes, content_type: str):
+    """Parse a request body down to its cache key (module-level so the
+    handler can push this CPU-bound step off the event loop — a cold
+    300-node parse must not delay concurrent warm hits)."""
+    graph_src, machine_src, spec = parse_schedule_request(body,
+                                                          content_type)
+    graph = api.as_graph(graph_src)
+    machine = api.as_machine(machine_src, graph)
+    key = (f"{graph.fingerprint()}|{api.machine_fingerprint(machine)}"
+           f"|{api.spec_fingerprint(spec)}")
+    return key, (graph_src, machine_src, spec)
+
+
+@dataclass
+class ServiceConfig:
+    """Tuning knobs of one :class:`ScheduleService`.
+
+    ``port=0`` binds an ephemeral port (tests, self-hosted loadtests);
+    the bound port is on :attr:`ScheduleService.port` after
+    :meth:`~ScheduleService.start`.  ``queue_limit`` bounds admission
+    (beyond it requests get 429), ``max_batch`` how many queued jobs
+    one pool round-trip may carry, ``timeout_s`` the per-request
+    deadline (504), ``jobs`` the worker count
+    (:class:`~repro.bench.parallel.WorkerPool` convention: 1 =
+    in-process, 0 = one per CPU).  ``cache_dir`` switches the schedule
+    cache to a persistent store so restarts begin warm.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 8080
+    jobs: int = 1
+    queue_limit: int = 64
+    max_batch: int = 8
+    timeout_s: float = 30.0
+    cache_capacity: int = 1024
+    cache_dir: Optional[str] = None
+
+
+class ScheduleService:
+    """The scheduling server; start/drain from any asyncio loop."""
+
+    def __init__(self, config: Optional[ServiceConfig] = None,
+                 pool: Optional[WorkerPool] = None):
+        self.config = config or ServiceConfig()
+        self.cache = ScheduleCache(self.config.cache_capacity,
+                                   directory=self.config.cache_dir)
+        self.pool = pool or WorkerPool(self.config.jobs)
+        self.port: Optional[int] = None
+        self.stats: Dict[str, int] = {
+            "requests": 0, "scheduled": 0, "cache_hits": 0,
+            "coalesced": 0, "rejected": 0, "timeouts": 0,
+            "bad_requests": 0, "errors": 0, "batches": 0,
+        }
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._queue: Optional[asyncio.Queue] = None
+        self._batch_task: Optional[asyncio.Task] = None
+        self._drain_task: Optional[asyncio.Task] = None
+        self._pending: Dict[str, asyncio.Future] = {}
+        self._draining = False
+        # Encoded warm responses by key: a hot hit writes pre-built
+        # bytes instead of re-serializing the schedule every time.
+        self._warm_bytes: "OrderedDict[str, bytes]" = OrderedDict()
+        # The service's own threads for parsing and batch dispatch —
+        # never the loop's default executor, which other code in the
+        # process (e.g. an in-process loadtest client) may saturate.
+        self._executor: Optional[ThreadPoolExecutor] = None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Bind, start serving, start the batch loop."""
+        self._queue = asyncio.Queue(maxsize=self.config.queue_limit)
+        self._executor = ThreadPoolExecutor(
+            max_workers=4, thread_name_prefix="repro-service")
+        self._server = await asyncio.start_server(
+            self._handle, self.config.host, self.config.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._batch_task = asyncio.get_running_loop().create_task(
+            self._batch_loop())
+
+    def install_signal_handlers(self) -> None:
+        """SIGTERM/SIGINT -> graceful drain (the ``serve`` verb's wiring)."""
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            loop.add_signal_handler(
+                sig, lambda: loop.create_task(self.drain()))
+
+    async def drain(self) -> None:
+        """Stop accepting, finish queued and in-flight work, release
+        the workers, flush the cache.
+
+        Idempotent and join-able: every caller (the SIGTERM handler,
+        the serve verb's epilogue, a test's teardown) awaits the same
+        underlying drain, so none returns before the work is done.
+        """
+        if self._drain_task is None:
+            self._drain_task = asyncio.get_running_loop().create_task(
+                self._do_drain())
+        await asyncio.shield(self._drain_task)
+
+    async def _do_drain(self) -> None:
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if self._queue is not None:
+            await self._queue.join()
+        if self._batch_task is not None:
+            self._batch_task.cancel()
+            try:
+                await self._batch_task
+            except asyncio.CancelledError:
+                pass
+        if self._executor is not None:
+            await asyncio.get_running_loop().run_in_executor(
+                self._executor, self.pool.drain)
+            self._executor.shutdown(wait=True)
+        else:
+            self.pool.drain()
+        self.cache.save()
+
+    async def serve_forever(self) -> None:
+        """Block until :meth:`drain` closes the server."""
+        assert self._server is not None, "call start() first"
+        try:
+            await self._server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+
+    # ------------------------------------------------------------------
+    # request handling
+    # ------------------------------------------------------------------
+    async def _handle(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        t0 = time.perf_counter()
+        encoded = response_bytes(400, {"error": "unreadable request"})
+        request = await read_request(reader)
+        if request is not None:
+            with _trace.span("service.request", method=request.method,
+                             path=request.path):
+                response = await self._route(request)
+            encoded = (response if isinstance(response, bytes)
+                       else response_bytes(*response))
+        self.stats["requests"] += 1
+        _metrics.incr("service.requests")
+        _metrics.observe("service.latency_ms",
+                         (time.perf_counter() - t0) * 1000.0)
+        try:
+            writer.write(encoded)
+            await writer.drain()
+            writer.close()
+            await writer.wait_closed()
+        except ConnectionError:
+            pass
+
+    async def _route(self, request: Request
+                     ) -> Union[Tuple[int, Dict], bytes]:
+        if request.method == "GET" and request.path == "/healthz":
+            return 200, {"status": "draining" if self._draining else "ok"}
+        if request.method == "GET" and request.path == "/stats":
+            return 200, {"service": dict(self.stats),
+                         "cache": self.cache.stats(),
+                         "queue": (self._queue.qsize()
+                                   if self._queue else 0),
+                         "jobs": self.pool.jobs}
+        if request.method == "POST" and request.path == "/schedule":
+            return await self._schedule(request)
+        if request.path in ("/schedule", "/healthz", "/stats"):
+            self.stats["bad_requests"] += 1
+            return 405, {"error": f"{request.method} not allowed on "
+                                  f"{request.path}"}
+        self.stats["bad_requests"] += 1
+        return 404, {"error": f"no such endpoint: {request.path}"}
+
+    async def _schedule(self, request: Request
+                        ) -> Union[Tuple[int, Dict], bytes]:
+        if self._draining:
+            return 503, {"error": "server is draining"}
+
+        # Warm fast path: a byte-identical body resolves straight to a
+        # cache key through the digest memo — no JSON, no graph build.
+        digest = hashlib.sha256(request.body).hexdigest()
+        key = self.cache.key_for(digest)
+        sources: Optional[Tuple] = None
+        if key is None:
+            try:
+                # CPU-bound (JSON + graph build + fingerprints): run it
+                # off-loop so concurrent warm hits are not delayed.
+                key, sources = await asyncio.get_running_loop(
+                    ).run_in_executor(
+                        self._executor, _parse_and_key, request.body,
+                        request.headers.get("content-type", ""))
+            except Exception as exc:
+                self.stats["bad_requests"] += 1
+                return 400, violations_payload(exc)
+            self.cache.link_digest(digest, key)
+
+        result = self.cache.lookup(key)
+        if result is not None:
+            self.stats["cache_hits"] += 1
+            _metrics.incr("service.cache_hits")
+            return self._warm_response(key, result)
+
+        # Coalesce identical in-flight requests onto one future; only
+        # the first of them occupies a queue slot.
+        future = self._pending.get(key)
+        if future is None:
+            if sources is None:
+                # Digest memo knew the key but the entry was evicted
+                # and nothing is in flight: re-parse to rebuild the job.
+                try:
+                    sources = parse_schedule_request(
+                        request.body,
+                        request.headers.get("content-type", ""))
+                except Exception as exc:
+                    self.stats["bad_requests"] += 1
+                    return 400, violations_payload(exc)
+            assert self._queue is not None, "call start() first"
+            future = asyncio.get_running_loop().create_future()
+            try:
+                self._queue.put_nowait((key, sources, future))
+            except asyncio.QueueFull:
+                self.stats["rejected"] += 1
+                _metrics.incr("service.rejected")
+                return 429, {"error": "job queue is full, retry later",
+                             "queue_limit": self.config.queue_limit}
+            self._pending[key] = future
+        else:
+            self.stats["coalesced"] += 1
+
+        try:
+            # shield(): several requests may await one coalesced
+            # future; one waiter timing out must not cancel the rest.
+            result = await asyncio.wait_for(asyncio.shield(future),
+                                            self.config.timeout_s)
+        except asyncio.TimeoutError:
+            self.stats["timeouts"] += 1
+            _metrics.incr("service.timeouts")
+            return 504, {"error": "scheduling timed out",
+                         "timeout_s": self.config.timeout_s}
+        if "error" in result:
+            self.stats["errors"] += 1
+            return 500, result.get("error_payload",
+                                   {"error": result["error"]})
+        return 200, {"cached": False, **result}
+
+    def _warm_response(self, key: str, result: Dict) -> bytes:
+        """Encoded 200 for a cache hit, serialized at most once per key."""
+        encoded = self._warm_bytes.get(key)
+        if encoded is None:
+            encoded = response_bytes(200, {"cached": True, **result})
+            self._warm_bytes[key] = encoded
+            while len(self._warm_bytes) > self.config.cache_capacity:
+                self._warm_bytes.popitem(last=False)
+        else:
+            self._warm_bytes.move_to_end(key)
+        return encoded
+
+    # ------------------------------------------------------------------
+    # the batch loop
+    # ------------------------------------------------------------------
+    async def _batch_loop(self) -> None:
+        assert self._queue is not None
+        loop = asyncio.get_running_loop()
+        while True:
+            jobs = [await self._queue.get()]
+            while len(jobs) < self.config.max_batch:
+                try:
+                    jobs.append(self._queue.get_nowait())
+                except asyncio.QueueEmpty:
+                    break
+            with _trace.span("service.batch", size=len(jobs)):
+                try:
+                    results = await loop.run_in_executor(
+                        self._executor, functools.partial(
+                            self.pool.run_batch, schedule_cell,
+                            [sources for _key, sources, _fut in jobs]))
+                except Exception as exc:  # pool died mid-batch
+                    results = [{"error": f"worker pool failure: {exc}"}
+                               ] * len(jobs)
+            self.stats["batches"] += 1
+            self.stats["scheduled"] += len(jobs)
+            _metrics.observe("service.batch_size", float(len(jobs)))
+            for (key, _sources, future), result in zip(jobs, results):
+                if "error" not in result:
+                    self.cache.put(key, result)
+                self._pending.pop(key, None)
+                if not future.done():
+                    future.set_result(result)
+                self._queue.task_done()

@@ -13,7 +13,6 @@ invariants (complete, validated schedules on bounded machines).
 from __future__ import annotations
 
 import json
-import warnings
 
 import pytest
 from hypothesis import given, settings
@@ -27,7 +26,6 @@ from repro.algorithms import (
     ParamScheduler,
     SchedulerSpec,
     get_scheduler,
-    get_scheduler_class,
     parse_spec,
 )
 from repro.algorithms.components import AXES, expand_param_grid
@@ -183,27 +181,16 @@ class TestLookup:
         with pytest.raises(ValueError, match="bogus"):
             get_scheduler("param:prio=bogus")
 
-    def test_class_shim_returns_class_and_warns_once(self):
+    def test_class_shim_is_retired(self):
+        # The deprecated class-returning lookup is gone for good:
+        # get_scheduler(name) is the one resolver (it returns
+        # ready-to-call instances and also resolves specs).
+        import repro.algorithms as algorithms
         from repro.algorithms import base
 
-        original = base._CLASS_SHIM_WARNED
-        base._CLASS_SHIM_WARNED = False
-        try:
-            with pytest.warns(DeprecationWarning, match="get_scheduler"):
-                cls = get_scheduler_class("mcp")
-            assert cls is type(get_scheduler("MCP"))
-            assert issubclass(cls, get_scheduler("MCP").__class__)
-            with warnings.catch_warnings():
-                warnings.simplefilter("error")
-                get_scheduler_class("dls")  # second call stays silent
-        finally:
-            base._CLASS_SHIM_WARNED = original
-
-    def test_class_shim_unknown_name(self):
-        with warnings.catch_warnings():
-            warnings.simplefilter("ignore", DeprecationWarning)
-            with pytest.raises(KeyError, match="unknown scheduler"):
-                get_scheduler_class("NOPE")
+        assert not hasattr(base, "get_scheduler_class")
+        assert not hasattr(algorithms, "get_scheduler_class")
+        assert "get_scheduler_class" not in algorithms.__all__
 
     def test_taxonomy_flags_derive_from_components(self):
         s = get_scheduler("param:prio=alap,proc=etf,insert=on")

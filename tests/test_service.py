@@ -1,0 +1,310 @@
+"""Service tests: the robustness contract of ``repro.service``.
+
+Each test boots a real :class:`~repro.service.ScheduleService` on an
+ephemeral port inside ``asyncio.run`` and talks to it over actual HTTP
+with the blocking :class:`~repro.service.ServiceClient` pushed onto a
+side thread (the server owns its own executor, so in-process clients
+cannot starve it).  Covered contract:
+
+* malformed graphs answer 400 with a ``Violation`` table, never a
+  traceback;
+* the per-request deadline answers 504;
+* the bounded queue answers 429 backpressure;
+* a warm hit is byte-for-byte the same schedule the cold request
+  computed (the cache-correctness half of the cold/warm speedup);
+* drain is clean, idempotent and join-able.
+
+Plus the storm generator's determinism (equal configs ⇒ identical
+request streams), which the loadtest's rankable tables rest on.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from collections import Counter
+
+import pytest
+
+from repro.scenarios.storm import StormConfig, make_storm, storm_bodies
+from repro.service import ScheduleCache, ScheduleService, ServiceClient, ServiceConfig
+
+GRAPH = {
+    "weights": [2.0, 3.0, 4.0, 1.0],
+    "edges": [[0, 1, 4.0], [0, 2, 1.0], [1, 3, 1.0], [2, 3, 5.0]],
+    "name": "svc-test",
+}
+
+
+def _run(coro):
+    return asyncio.run(coro)
+
+
+async def _with_service(config, body):
+    """Start a service, run ``body(service, client)`` off-loop, drain."""
+    service = ScheduleService(config)
+    await service.start()
+    loop = asyncio.get_running_loop()
+    client = ServiceClient(port=service.port, timeout=10.0)
+    try:
+        return await loop.run_in_executor(
+            None, lambda: body(service, client))
+    finally:
+        await service.drain()
+
+
+def _serve(body, **config_kwargs):
+    config = ServiceConfig(port=0, **config_kwargs)
+    return _run(_with_service(config, body))
+
+
+# ----------------------------------------------------------------------
+# happy path + cold/warm equivalence
+# ----------------------------------------------------------------------
+class TestScheduleEndpoint:
+    def test_cold_then_warm_same_schedule(self):
+        def body(service, client):
+            raw = json.dumps({"graph": GRAPH, "machine": 2,
+                              "spec": "mcp"}, sort_keys=True).encode()
+            s1, cold = client.post_body(raw)
+            s2, warm = client.post_body(raw)
+            return s1, cold, s2, warm, dict(service.stats)
+
+        s1, cold, s2, warm, stats = _serve(body)
+        assert (s1, s2) == (200, 200)
+        assert cold["cached"] is False and warm["cached"] is True
+        assert warm["schedule"] == cold["schedule"]
+        assert warm["length"] == cold["length"]
+        assert warm["key"] == cold["key"]
+        assert stats["cache_hits"] == 1 and stats["scheduled"] == 1
+
+    def test_equivalent_spelling_hits_same_cache_entry(self):
+        # Different JSON bytes (spec case, axis order), same request
+        # identity: the second must be a cache hit, not a recompute.
+        def body(service, client):
+            r1 = client.schedule(GRAPH, 2, "MCP")
+            r2 = client.schedule(GRAPH, 2, "mcp")
+            return r1, r2, dict(service.stats)
+
+        (s1, cold), (s2, warm), stats = _serve(body)
+        assert (s1, s2) == (200, 200)
+        assert warm["cached"] is True
+        assert warm["schedule"] == cold["schedule"]
+        assert stats["scheduled"] == 1
+
+    def test_stg_text_request(self):
+        def body(service, client):
+            from repro.io.stg import dumps_stg
+            from repro import api
+
+            return client.schedule_stg(dumps_stg(api.as_graph(GRAPH)))
+
+        status, payload = _serve(body)
+        assert status == 200
+        assert payload["length"] > 0
+
+    def test_healthz_stats_and_unknown_routes(self):
+        def body(service, client):
+            return (client.healthz(), client.stats(),
+                    client._request("GET", "/nope"),
+                    client._request("GET", "/schedule"))
+
+        health, stats, missing, wrong_method = _serve(body)
+        assert health == (200, {"status": "ok"})
+        assert stats[0] == 200 and "cache" in stats[1]
+        assert missing[0] == 404
+        assert wrong_method[0] == 405
+
+
+# ----------------------------------------------------------------------
+# error shapes: violations, not tracebacks
+# ----------------------------------------------------------------------
+class TestErrorContract:
+    @pytest.mark.parametrize("raw, code", [
+        (b'{"graph": {"edges": [[0, 1, 1.0]]}}', "graph"),
+        (b'{"graph": {"weights": [1.0, "x"]}}', "graph"),
+        (b'{"spec": "mcp"}', "graph"),          # no graph at all
+        (b'not json and not stg', "graph"),
+        (b'{"graph": ' + json.dumps(GRAPH).encode()
+         + b', "spec": "NOPE"}', "spec"),
+        (b'{"graph": ' + json.dumps(GRAPH).encode()
+         + b', "machine": {"procs": "many"}}', "machine"),
+    ])
+    def test_malformed_requests_answer_violation_tables(self, raw, code):
+        def body(service, client):
+            return client.post_body(raw)
+
+        status, payload = _serve(body)
+        assert status == 400
+        assert "traceback" not in json.dumps(payload).lower()
+        assert payload["violations"], payload
+        assert payload["violations"][0]["code"] == code
+        assert code in payload["table"] and "CODE" in payload["table"]
+
+    def test_bad_request_counts_but_never_kills_the_server(self):
+        def body(service, client):
+            client.post_body(b"\xff\xfe broken bytes")
+            client.post_body(b"{}")
+            status, payload = client.schedule(GRAPH, 2, "mcp")
+            return status, payload, dict(service.stats)
+
+        status, payload, stats = _serve(body)
+        assert status == 200 and payload["length"] > 0
+        assert stats["bad_requests"] == 2
+
+
+# ----------------------------------------------------------------------
+# deadlines and backpressure
+# ----------------------------------------------------------------------
+class TestTimeoutsAndBackpressure:
+    def test_deadline_answers_504(self):
+        async def scenario():
+            config = ServiceConfig(port=0, timeout_s=0.0)
+            service = ScheduleService(config)
+            await service.start()
+            # Park the batch loop so the future can never resolve
+            # inside the (zero) deadline.
+            service._batch_task.cancel()
+            loop = asyncio.get_running_loop()
+            client = ServiceClient(port=service.port, timeout=10.0)
+            try:
+                status, payload = await loop.run_in_executor(
+                    None, client.schedule, GRAPH, 2, "mcp")
+                return status, payload, dict(service.stats), service
+            finally:
+                # Nothing consumes the queue: hand-settle it so drain's
+                # queue.join() completes.
+                while True:
+                    try:
+                        _k, _s, fut = service._queue.get_nowait()
+                    except asyncio.QueueEmpty:
+                        break
+                    fut.cancel()
+                    service._queue.task_done()
+                service._pending.clear()
+                await service.drain()
+
+        status, payload, stats, _ = _run(scenario())
+        assert status == 504
+        assert payload["timeout_s"] == 0.0
+        assert stats["timeouts"] == 1
+
+    def test_full_queue_answers_429(self):
+        async def scenario():
+            config = ServiceConfig(port=0, queue_limit=1, timeout_s=0.0)
+            service = ScheduleService(config)
+            await service.start()
+            service._batch_task.cancel()
+            loop = asyncio.get_running_loop()
+            client = ServiceClient(port=service.port, timeout=10.0)
+            other = dict(GRAPH, weights=[5.0, 6.0, 7.0, 8.0])
+            try:
+                # First distinct request occupies the single queue slot
+                # (and 504s on the zero deadline); the second distinct
+                # request must bounce with 429.
+                first = await loop.run_in_executor(
+                    None, client.schedule, GRAPH, 2, "mcp")
+                second = await loop.run_in_executor(
+                    None, client.schedule, other, 2, "mcp")
+                return first[0], second, dict(service.stats)
+            finally:
+                while True:
+                    try:
+                        _k, _s, fut = service._queue.get_nowait()
+                    except asyncio.QueueEmpty:
+                        break
+                    fut.cancel()
+                    service._queue.task_done()
+                service._pending.clear()
+                await service.drain()
+
+        first_status, (second_status, payload), stats = _run(scenario())
+        assert first_status == 504
+        assert second_status == 429
+        assert payload["queue_limit"] == 1
+        assert stats["rejected"] == 1
+
+
+# ----------------------------------------------------------------------
+# lifecycle
+# ----------------------------------------------------------------------
+class TestDrain:
+    def test_drain_is_idempotent_and_final(self):
+        async def scenario():
+            service = ScheduleService(ServiceConfig(port=0))
+            await service.start()
+            loop = asyncio.get_running_loop()
+            client = ServiceClient(port=service.port, timeout=10.0)
+            status, _ = await loop.run_in_executor(
+                None, client.schedule, GRAPH, 2, "mcp")
+            # Concurrent and repeated drains all join the same work.
+            await asyncio.gather(service.drain(), service.drain())
+            await service.drain()
+            refused = False
+            try:
+                await loop.run_in_executor(None, client.healthz)
+            except OSError:
+                refused = True
+            return status, refused
+
+        status, refused = _run(scenario())
+        assert status == 200
+        assert refused
+
+    def test_persistent_cache_survives_restart(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+
+        def body(service, client):
+            return client.schedule(GRAPH, 2, "mcp")
+
+        status, cold = _serve(body, cache_dir=cache_dir)
+        assert status == 200 and cold["cached"] is False
+
+        status, warm = _serve(body, cache_dir=cache_dir)
+        assert status == 200 and warm["cached"] is True
+        assert warm["schedule"] == cold["schedule"]
+
+    def test_unusable_cache_dir_raises_value_error(self, tmp_path):
+        not_a_dir = tmp_path / "file"
+        not_a_dir.write_text("occupied")
+        with pytest.raises(ValueError):
+            ScheduleCache(directory=str(not_a_dir))
+
+
+# ----------------------------------------------------------------------
+# the storm generator
+# ----------------------------------------------------------------------
+class TestStorm:
+    CONFIG = StormConfig(requests=60, templates=4, sizes=(20, 30),
+                         specs=("mcp", "dls"), rate=100.0, seed=7)
+
+    def test_equal_configs_are_request_identical(self):
+        a = make_storm(self.CONFIG)
+        b = make_storm(StormConfig(requests=60, templates=4,
+                                   sizes=(20, 30), specs=("mcp", "dls"),
+                                   rate=100.0, seed=7))
+        assert [(r.arrival, r.template) for r in a] == \
+               [(r.arrival, r.template) for r in b]
+        assert a[0].body == b[0].body
+
+    def test_seed_changes_the_storm(self):
+        a = make_storm(self.CONFIG)
+        b = make_storm(StormConfig(requests=60, templates=4,
+                                   sizes=(20, 30), specs=("mcp", "dls"),
+                                   rate=100.0, seed=8))
+        assert [(r.arrival, r.template) for r in a] != \
+               [(r.arrival, r.template) for r in b]
+
+    def test_popularity_is_zipf_skewed(self):
+        counts = Counter(r.template for r in make_storm(self.CONFIG))
+        assert counts[0] == max(counts.values())
+        assert counts[0] > self.CONFIG.requests / self.CONFIG.templates
+
+    def test_arrivals_sorted_and_bodies_distinct(self):
+        storm = make_storm(self.CONFIG)
+        arrivals = [r.arrival for r in storm]
+        assert arrivals == sorted(arrivals)
+        bodies = storm_bodies(self.CONFIG)
+        assert len(bodies) == self.CONFIG.templates
+        fps = {json.dumps(b, sort_keys=True) for b in bodies}
+        assert len(fps) == self.CONFIG.templates
